@@ -1,0 +1,38 @@
+"""Figure 2: the motivating example — bfs, cutcp, stencil, tpacf co-run on
+the NVIDIA platform (individual slowdowns, unfairness, throughput)."""
+
+from repro.cl import nvidia_k20m
+from repro.harness import format_table, run_workload
+
+WORKLOAD = ("bfs", "cutcp", "stencil", "tpacf")
+
+
+def test_fig02_motivating_example(benchmark, emit):
+    device = nvidia_k20m()
+
+    results = {scheme: run_workload(WORKLOAD, scheme, device, repetitions=3)
+               for scheme in ("baseline", "ek", "accelos")}
+    benchmark(run_workload, WORKLOAD, "accelos", device, repetitions=1)
+
+    rows = []
+    for i, name in enumerate(WORKLOAD):
+        rows.append([name] + ["{:.2f}".format(results[s].slowdowns[i])
+                              for s in ("baseline", "ek", "accelos")])
+    emit(format_table(
+        ["kernel", "IS std", "IS EK", "IS accelOS"], rows,
+        title="Fig 2a — individual slowdowns (paper: std uneven, "
+              "accelOS even)"))
+
+    base = results["baseline"]
+    emit(format_table(
+        ["scheme", "unfairness", "fairness improvement",
+         "throughput speedup"],
+        [[s,
+          results[s].unfairness,
+          base.unfairness / results[s].unfairness,
+          base.makespan / results[s].makespan]
+         for s in ("baseline", "ek", "accelos")],
+        title="Fig 2b/2c — paper: accelOS 5.79x fairer, 1.31x throughput; "
+              "EK 1.14x throughput, marginal fairness"))
+
+    assert results["accelos"].unfairness < base.unfairness

@@ -1,0 +1,44 @@
+"""Figure 9: average system unfairness, 2/4/8 requests, both platforms."""
+
+import pytest
+
+from benchmarks.conftest import DEVICES, sweep_summary
+from repro.harness import format_table, run_workload
+
+PAPER = {
+    # device -> request count -> (std, accelOS)
+    "NVIDIA K20m": {2: (8.43, 1.24), 4: (19.65, 1.89), 8: (43.42, 3.54)},
+    "AMD R9 295X2": {2: (12.97, 1.58), 4: (31.25, 3.27), 8: (28.57, 2.79)},
+}
+
+
+@pytest.mark.parametrize("device_name", list(DEVICES))
+def test_fig09_average_unfairness(benchmark, emit, device_name):
+    rows = []
+    for k in (2, 4, 8):
+        summary = sweep_summary(device_name, k)
+        paper_std, paper_acc = PAPER[device_name][k]
+        rows.append([
+            k,
+            summary.avg_unfairness["baseline"],
+            summary.avg_unfairness["ek"],
+            summary.avg_unfairness["accelos"],
+            "{} / {}".format(paper_std, paper_acc),
+        ])
+    emit(format_table(
+        ["requests", "std OpenCL", "EK", "accelOS", "paper std/accelOS"],
+        rows, title="Fig 9 ({}) — average system unfairness, lower is "
+                    "better".format(device_name)))
+
+    device = DEVICES[device_name]()
+    benchmark(run_workload, ("bfs", "cutcp"), "baseline", device,
+              repetitions=1)
+
+    for k in (2, 4, 8):
+        summary = sweep_summary(device_name, k)
+        assert summary.avg_unfairness["accelos"] < \
+            summary.avg_unfairness["baseline"]
+    # baseline unfairness grows with the request count
+    u = [sweep_summary(device_name, k).avg_unfairness["baseline"]
+         for k in (2, 4, 8)]
+    assert u[0] < u[1] < u[2]

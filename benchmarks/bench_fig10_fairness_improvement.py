@@ -1,0 +1,46 @@
+"""Figure 10: fairness-improvement distributions (accelOS and EK)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import DEVICES, sweep_summary
+from repro.harness import format_table, run_workload
+
+PAPER_ACCELOS = {
+    "NVIDIA K20m": {2: 6.8, 4: 10.4, 8: 12.27},
+    "AMD R9 295X2": {2: 8.21, 4: 9.56, 8: 13.66},
+}
+
+
+@pytest.mark.parametrize("device_name", list(DEVICES))
+def test_fig10_fairness_improvement(benchmark, emit, device_name):
+    rows = []
+    for k in (2, 4, 8):
+        summary = sweep_summary(device_name, k)
+        acc = np.asarray(summary.fairness_improvements["accelos"])
+        ek = np.asarray(summary.fairness_improvements["ek"])
+        rows.append([
+            k, float(acc.mean()), float(acc.min()), float(acc.max()),
+            "{:.0f}%".format(100 * (acc < 1).mean()),
+            float(ek.mean()),
+            "{:.0f}%".format(100 * (ek < 1).mean()),
+            PAPER_ACCELOS[device_name][k],
+        ])
+    emit(format_table(
+        ["requests", "accelOS mean", "min", "max", "acc neg",
+         "EK mean", "EK neg", "paper accelOS"],
+        rows,
+        title="Fig 10 ({}) — fairness improvement over standard OpenCL "
+              "(paper: accelOS <2% negative, EK 44% negative)"
+              .format(device_name)))
+
+    device = DEVICES[device_name]()
+    benchmark(run_workload, ("spmv", "sgemm"), "accelos", device,
+              repetitions=1)
+
+    summary = sweep_summary(device_name, 2)
+    # accelOS makes fairness materially worse on only a minority of pairs
+    # (the paper reports <2%; our coarse timing model leaves ~a quarter of
+    # near-fair small-kernel pairs marginally negative — see EXPERIMENTS.md)
+    assert summary.negative_fairness_fraction("accelos") < 0.35
+    assert summary.avg_fairness_improvement("accelos") > 2.0

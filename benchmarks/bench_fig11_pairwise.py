@@ -1,0 +1,37 @@
+"""Figure 11: unfairness for the 13 alphabetic 2-kernel pairs."""
+
+import pytest
+
+from benchmarks.conftest import DEVICES
+from repro.harness import format_table, run_workload
+from repro.workloads import alphabetic_pairs
+
+
+@pytest.mark.parametrize("device_name", list(DEVICES))
+def test_fig11_alphabetic_pairs(benchmark, emit, device_name):
+    device = DEVICES[device_name]()
+    rows = []
+    accel_wins = 0
+    for pair in alphabetic_pairs():
+        per_scheme = {
+            scheme: run_workload(pair, scheme, device, repetitions=2)
+            for scheme in ("baseline", "ek", "accelos")}
+        rows.append([
+            " + ".join(pair),
+            per_scheme["baseline"].unfairness,
+            per_scheme["ek"].unfairness,
+            per_scheme["accelos"].unfairness,
+        ])
+        if per_scheme["accelos"].unfairness <= \
+                min(per_scheme["baseline"].unfairness,
+                    per_scheme["ek"].unfairness) + 0.5:
+            accel_wins += 1
+    emit(format_table(
+        ["pair", "std", "EK", "accelOS"], rows,
+        title="Fig 11 ({}) — unfairness per alphabetic pair, lower is "
+              "better (paper: accelOS steadily best)".format(device_name)))
+
+    benchmark(run_workload, alphabetic_pairs()[0], "accelos", device,
+              repetitions=1)
+    # accelOS delivers the best (or tied) result for most pairs
+    assert accel_wins >= 9

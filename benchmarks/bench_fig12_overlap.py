@@ -1,0 +1,50 @@
+"""Figure 12: average kernel execution overlap.
+
+Measurement-protocol note (documented in EXPERIMENTS.md): the paper measures
+overlap in a steady multi-tenant state where applications re-issue their
+requests, so similar shares imply near-total co-execution; our harness
+measures a single launch per request, which bounds the all-kernels
+co-execution window by the *shortest* kernel.  Ordering and trends
+(std ~= 0, EK in between and collapsing at 8, accelOS highest) reproduce;
+absolute accelOS values are lower than the paper's 82-94%.
+"""
+
+import pytest
+
+from benchmarks.conftest import DEVICES, sweep_summary
+from repro.harness import format_table, run_workload
+
+PAPER = {
+    "NVIDIA K20m": {2: (21, 71, 94), 4: (3, 43, 87), 8: (0, 7, 82)},
+    "AMD R9 295X2": {2: (4, 53, 83), 4: (0, 17, 75), 8: (0, 0, 69)},
+}
+
+
+@pytest.mark.parametrize("device_name", list(DEVICES))
+def test_fig12_execution_overlap(benchmark, emit, device_name):
+    rows = []
+    for k in (2, 4, 8):
+        summary = sweep_summary(device_name, k)
+        paper = PAPER[device_name][k]
+        rows.append([
+            k,
+            "{:.0f}%".format(100 * summary.avg_overlap["baseline"]),
+            "{:.0f}%".format(100 * summary.avg_overlap["ek"]),
+            "{:.0f}%".format(100 * summary.avg_overlap["accelos"]),
+            "{}% / {}% / {}%".format(*paper),
+        ])
+    emit(format_table(
+        ["requests", "std OpenCL", "EK", "accelOS", "paper std/EK/accelOS"],
+        rows, title="Fig 12 ({}) — average kernel execution overlap, higher "
+                    "is better".format(device_name)))
+
+    device = DEVICES[device_name]()
+    benchmark(run_workload, ("histo_main", "spmv"), "accelos", device,
+              repetitions=1)
+
+    for k in (2, 4, 8):
+        summary = sweep_summary(device_name, k)
+        assert summary.avg_overlap["accelos"] >= \
+            summary.avg_overlap["baseline"]
+    # standard OpenCL overlap collapses beyond 2 requests
+    assert sweep_summary(device_name, 8).avg_overlap["baseline"] < 0.02

@@ -1,0 +1,39 @@
+"""Figure 13: average system throughput speedups over standard OpenCL."""
+
+import pytest
+
+from benchmarks.conftest import DEVICES, sweep_summary
+from repro.harness import format_table, run_workload
+
+PAPER = {
+    "NVIDIA K20m": {2: (1.13, 1.08), 4: (1.19, 1.02), 8: (1.23, 0.91)},
+    "AMD R9 295X2": {2: (1.17, 1.07), 4: (1.19, 0.95), 8: (1.31, 0.90)},
+}
+
+
+@pytest.mark.parametrize("device_name", list(DEVICES))
+def test_fig13_throughput_speedup(benchmark, emit, device_name):
+    rows = []
+    for k in (2, 4, 8):
+        summary = sweep_summary(device_name, k)
+        paper_acc, paper_ek = PAPER[device_name][k]
+        rows.append([
+            k,
+            summary.avg_throughput_speedup("accelos"),
+            summary.avg_throughput_speedup("ek"),
+            "{} / {}".format(paper_acc, paper_ek),
+        ])
+    emit(format_table(
+        ["requests", "accelOS", "EK", "paper accelOS/EK"],
+        rows, title="Fig 13 ({}) — average system throughput speedup over "
+                    "standard OpenCL".format(device_name)))
+
+    device = DEVICES[device_name]()
+    benchmark(run_workload, ("lbm", "sgemm"), "accelos", device,
+              repetitions=1)
+
+    for k in (2, 4, 8):
+        summary = sweep_summary(device_name, k)
+        # accelOS always beats EK on throughput, as in the paper
+        assert summary.avg_throughput_speedup("accelos") > \
+            summary.avg_throughput_speedup("ek")

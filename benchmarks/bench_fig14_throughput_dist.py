@@ -1,0 +1,40 @@
+"""Figure 14: throughput-speedup distributions across all workloads."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import DEVICES, sweep_summary
+from repro.harness import format_table, run_workload
+
+
+@pytest.mark.parametrize("device_name", list(DEVICES))
+def test_fig14_throughput_distribution(benchmark, emit, device_name):
+    rows = []
+    slow_acc_all = []
+    slow_ek_all = []
+    for k in (2, 4, 8):
+        summary = sweep_summary(device_name, k)
+        acc = np.asarray(summary.throughput_speedups["accelos"])
+        ek = np.asarray(summary.throughput_speedups["ek"])
+        slow_acc_all.append((acc < 1).mean())
+        slow_ek_all.append((ek < 1).mean())
+        rows.append([
+            k,
+            float(acc.min()), float(np.median(acc)), float(acc.max()),
+            "{:.0f}%".format(100 * (acc < 1).mean()),
+            "{:.0f}%".format(100 * (ek < 1).mean()),
+        ])
+    emit(format_table(
+        ["requests", "accelOS min", "median", "max", "accelOS slowdowns",
+         "EK slowdowns"],
+        rows,
+        title="Fig 14 ({}) — throughput speedup distribution (paper: range "
+              "0.52x-4.8x; <5% accelOS slowdowns, 54% EK slowdowns)"
+              .format(device_name)))
+
+    device = DEVICES[device_name]()
+    benchmark(run_workload, ("stencil", "cutcp"), "ek", device,
+              repetitions=1)
+
+    # accelOS slows down far fewer workloads than EK does
+    assert np.mean(slow_acc_all) < np.mean(slow_ek_all)

@@ -1,0 +1,52 @@
+"""Tables 1 and 2: STP, ANTT and worst-case ANTT on both platforms."""
+
+import pytest
+
+from benchmarks.conftest import DEVICES, sweep_summary
+from repro.harness import format_table, run_workload
+
+PAPER = {
+    "NVIDIA K20m": {
+        # rqsts -> (EK STP, EK ANTT, EK W.ANTT, acc STP, acc ANTT, acc W.ANTT)
+        2: (1.13, 3.57, 56.7, 1.15, 1.12, 8.2),
+        4: (0.99, 4.33, 72.2, 1.18, 1.32, 14.2),
+        8: (0.93, 7.57, 87.59, 1.25, 1.78, 23.1),
+    },
+    "AMD R9 295X2": {
+        2: (1.04, 4.2, 64.6, 1.18, 1.35, 13.4),
+        4: (0.97, 6.83, 84.6, 1.18, 2.12, 19.5),
+        8: (0.92, 7.98, 98.54, 1.28, 3.26, 31.34),
+    },
+}
+
+
+@pytest.mark.parametrize("device_name", list(DEVICES))
+def test_tables_1_2_stp_antt(benchmark, emit, device_name):
+    rows = []
+    for k in (2, 4, 8):
+        summary = sweep_summary(device_name, k)
+        paper = PAPER[device_name][k]
+        rows.append([
+            k,
+            summary.avg_stp["ek"], summary.avg_antt["ek"],
+            summary.worst_antt["ek"],
+            summary.avg_stp["accelos"], summary.avg_antt["accelos"],
+            summary.worst_antt["accelos"],
+            "{}/{}/{} vs {}/{}/{}".format(*paper),
+        ])
+    emit(format_table(
+        ["rqsts", "EK STP", "EK ANTT", "EK W.ANTT",
+         "acc STP", "acc ANTT", "acc W.ANTT", "paper EK vs acc"],
+        rows,
+        title="Tables 1/2 ({}) — STP higher is better, ANTT lower is better"
+        .format(device_name)))
+
+    device = DEVICES[device_name]()
+    benchmark(run_workload, ("bfs", "histo_main"), "ek", device,
+              repetitions=1)
+
+    for k in (2, 4, 8):
+        summary = sweep_summary(device_name, k)
+        assert summary.avg_antt["accelos"] < summary.avg_antt["ek"]
+        assert summary.worst_antt["accelos"] < summary.worst_antt["ek"]
+        assert summary.avg_stp["accelos"] > summary.avg_stp["ek"] * 0.95

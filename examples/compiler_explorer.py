@@ -1,0 +1,79 @@
+"""Compiler explorer: watch the accelOS JIT rewrite a kernel.
+
+Shows the paper's fig. 8 transformation on its own example kernel: the
+original `mop` kernel, the computation function it becomes, and the
+generated `dyn_sched` scheduling kernel — plus the Elastic Kernels static
+merge, including why merging two applications' kernels into one binary is
+the security concern the paper calls out.
+
+Run:  python examples/compiler_explorer.py
+"""
+
+from repro.accelos.transform import AccelOSTransform
+from repro.baselines.elastic_kernels import elastic_merge_kernels
+from repro.ir import compile_source, print_function
+
+MOP_SOURCE = """
+#define NConstant 4
+kernel void mop(global const float* ina, global const float* inb,
+                global float* out)
+{
+    size_t gid = get_global_id(0);
+    size_t grid = get_group_id(0);
+
+    if (grid < NConstant)
+        out[gid] = ina[gid] + inb[gid];
+    else
+        out[gid] = ina[gid] - inb[gid];
+}
+"""
+
+OTHER_APP_SOURCE = """
+kernel void secret_scale(global float* data, float key)
+{
+    data[get_global_id(0)] = data[get_global_id(0)] * key;
+}
+"""
+
+
+def banner(text):
+    print("\n" + "=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main():
+    module = compile_source(MOP_SOURCE)
+
+    banner("1. Original kernel (paper fig. 8a), lowered to IR")
+    print(print_function(module.get("mop")))
+
+    transformed, infos = AccelOSTransform(inline=False).run(module)
+    info = infos["mop"]
+
+    banner("2. Computation function after the accelOS rewrite (fig. 8b top):"
+           "\n   kernel -> plain function, work-item builtins -> rt_* calls")
+    print(print_function(transformed.get(info.impl_name)))
+
+    banner("3. Generated scheduling kernel (fig. 8b bottom): the dequeue "
+           "loop\n   transparently keeps the original name 'mop'")
+    print(print_function(transformed.get("mop")))
+
+    print("\nJIT decisions: {} IR instructions -> dequeue chunk {} "
+          "(paper 6.4 table)".format(info.instruction_count, info.chunk))
+
+    banner("4. Elastic Kernels baseline: STATIC merge of two applications' "
+           "kernels")
+    other = compile_source(OTHER_APP_SOURCE)
+    merged, name = elastic_merge_kernels(module, "mop",
+                                         other, "secret_scale", split=4)
+    print(print_function(merged.get(name)))
+    print("\nNote the single binary containing both applications' code "
+          "(functions {} ...) — the cross-application isolation problem the "
+          "paper's accelOS avoids by never merging kernels.".format(
+              ", ".join(sorted(f for f in merged.functions
+                               if f.startswith("ek_"))[:4])))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs fail; keeping a ``setup.py`` lets ``pip install -e .`` use the
+legacy ``setup.py develop`` path. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

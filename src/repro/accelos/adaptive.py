@@ -1,0 +1,59 @@
+"""Adaptive scheduling policy (paper §6.4).
+
+"Scheduling of small kernels would expose significant overhead.  To
+compensate for that we support scheduling of multiple virtual groups at a
+time.  If the number of kernel instructions in LLVM IR is less than 10, a
+scheduling operation assigns 8 virtual groups to the work group at a time.
+Respectively, 6 groups for less than 20 instructions, 4 groups if less than
+30, 2 groups if less than 40.  Otherwise, the scheduling is done by 1 group
+at a time."
+"""
+
+from __future__ import annotations
+
+# (instruction-count upper bound, chunk) — searched in order.
+CHUNK_TABLE = (
+    (10, 8),
+    (20, 6),
+    (30, 4),
+    (40, 2),
+)
+DEFAULT_CHUNK = 1
+
+
+class SchedulingPolicy:
+    """Which dequeue-chunk policy a transformed kernel uses.
+
+    * ``naive`` — always 1 virtual group per dequeue (§8.5's baseline).
+    * ``adaptive`` — the §6.4 instruction-count-keyed table (the default).
+    """
+
+    NAIVE = "naive"
+    ADAPTIVE = "adaptive"
+
+
+def chunk_size_for(instruction_count, policy=SchedulingPolicy.ADAPTIVE):
+    """Virtual groups assigned per scheduling operation."""
+    if policy == SchedulingPolicy.NAIVE:
+        return 1
+    if policy != SchedulingPolicy.ADAPTIVE:
+        raise ValueError("unknown scheduling policy {!r}".format(policy))
+    for bound, chunk in CHUNK_TABLE:
+        if instruction_count < bound:
+            return chunk
+    return DEFAULT_CHUNK
+
+
+def effective_chunk(chunk, total_groups, physical_groups):
+    """Per-execution chunk after the launch-time cap.
+
+    The Kernel Scheduler knows the Virtual NDRange size and the physical
+    allocation when it writes ``rt[2]``, so it caps the §6.4 chunk at the
+    number of virtual groups per physical work group — otherwise a small
+    execution (few virtual groups) would be serialised onto a handful of
+    work groups by an 8-wide dequeue.
+    """
+    if physical_groups <= 0:
+        raise ValueError("physical group count must be positive")
+    per_slot = max(1, total_groups // physical_groups)
+    return max(1, min(chunk, per_slot))

@@ -1,0 +1,97 @@
+"""Host-runtime accelerator memory management (paper §5).
+
+"The host runtime keeps track of the memory allocations of applications on
+the accelerator memory...  In case that the accelerator memory is not
+sufficient for serving all the applications concurrently, one or more
+applications may be paused."
+
+The manager tracks per-application allocations and, when an allocation
+cannot be served, pauses the requesting application: the request is queued
+and retried (FIFO) whenever memory is released.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+from repro.errors import DeviceOutOfMemory
+
+
+class MemoryManager:
+    def __init__(self, context):
+        self.context = context
+        self.per_app = OrderedDict()   # app_id -> [Buffer]
+        self.paused = deque()          # (app_id, elem_type, count, tag, future)
+
+    # -- queries ------------------------------------------------------------
+
+    def app_usage(self, app_id):
+        return sum(b.size_bytes for b in self.per_app.get(app_id, []))
+
+    def paused_apps(self):
+        return [entry[0] for entry in self.paused]
+
+    def is_paused(self, app_id):
+        return any(entry[0] == app_id for entry in self.paused)
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate(self, app_id, elem_type, count, tag=""):
+        """Allocate a buffer for ``app_id``.
+
+        Returns the buffer, or ``None`` when the application had to be
+        paused (its request will be served once memory frees up; poll with
+        :meth:`claim`).
+        """
+        try:
+            buffer = self.context.create_buffer(elem_type, count, tag)
+        except DeviceOutOfMemory:
+            future = _PendingAllocation()
+            self.paused.append((app_id, elem_type, count, tag, future))
+            return None
+        self.per_app.setdefault(app_id, []).append(buffer)
+        return buffer
+
+    def release(self, app_id, buffer):
+        """Release a buffer and retry paused applications."""
+        buffers = self.per_app.get(app_id, [])
+        if buffer in buffers:
+            buffers.remove(buffer)
+        buffer.release()
+        self._retry_paused()
+
+    def release_all(self, app_id):
+        for buffer in list(self.per_app.get(app_id, [])):
+            self.release(app_id, buffer)
+        self.per_app.pop(app_id, None)
+
+    def claim(self, app_id):
+        """Buffers granted to ``app_id`` after it was paused (may be empty)."""
+        granted = []
+        for buffer in self.per_app.get(app_id, []):
+            if getattr(buffer, "_granted_after_pause", False):
+                buffer._granted_after_pause = False
+                granted.append(buffer)
+        return granted
+
+    def _retry_paused(self):
+        made_progress = True
+        while made_progress and self.paused:
+            made_progress = False
+            app_id, elem_type, count, tag, future = self.paused[0]
+            try:
+                buffer = self.context.create_buffer(elem_type, count, tag)
+            except DeviceOutOfMemory:
+                return
+            self.paused.popleft()
+            buffer._granted_after_pause = True
+            future.buffer = buffer
+            self.per_app.setdefault(app_id, []).append(buffer)
+            made_progress = True
+
+
+class _PendingAllocation:
+    """Placeholder resolved when a paused allocation is finally served."""
+
+    def __init__(self):
+        self.buffer = None

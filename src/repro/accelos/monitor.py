@@ -1,0 +1,69 @@
+"""The Application Monitor (paper §5, fig. 6).
+
+The only accelOS component that talks to applications (via ProxyCL).  It
+watches each application's OpenCL requests and dispatches them through the
+fig. 6 finite state machine:
+
+* (a) new ``clProgram``  -> the JIT compiler transforms the kernel code and
+  the original operation proceeds with the transformed version;
+* (b) new kernel execution -> the Kernel Scheduler alters the ND-range and
+  schedules it;
+* (c) anything else -> passes through untouched.
+"""
+
+from __future__ import annotations
+
+
+class MonitorState:
+    IDLE = "idle"
+    JIT = "jit-compiler"
+    SCHEDULER = "kernel-scheduler"
+    PASSTHROUGH = "passthrough"
+
+
+class Request:
+    """One intercepted OpenCL request."""
+
+    PROGRAM = "new-program"
+    KERNEL_EXEC = "new-kernel-exec"
+    OTHER = "other"
+
+    __slots__ = ("kind", "payload", "app_id")
+
+    def __init__(self, kind, payload=None, app_id=None):
+        self.kind = kind
+        self.payload = payload
+        self.app_id = app_id
+
+    def __repr__(self):
+        return "<Request {} from {}>".format(self.kind, self.app_id)
+
+
+class ApplicationMonitor:
+    """Fig. 6 FSM: routes requests to the JIT, the scheduler, or through."""
+
+    def __init__(self, jit_handler, exec_handler):
+        self.jit_handler = jit_handler
+        self.exec_handler = exec_handler
+        self.state = MonitorState.IDLE
+        self.transitions = []  # (state_from, request_kind, state_to) log
+
+    def handle(self, request):
+        """Dispatch one request; returns the handler's result."""
+        if request.kind == Request.PROGRAM:
+            return self._dispatch(MonitorState.JIT, request, self.jit_handler)
+        if request.kind == Request.KERNEL_EXEC:
+            return self._dispatch(MonitorState.SCHEDULER, request,
+                                  self.exec_handler)
+        return self._dispatch(MonitorState.PASSTHROUGH, request, None)
+
+    def _dispatch(self, state, request, handler):
+        self.transitions.append((self.state, request.kind, state))
+        self.state = state
+        try:
+            if handler is None:
+                return None  # (c): application continues instantly
+            return handler(request)
+        finally:
+            self.transitions.append((self.state, "done", MonitorState.IDLE))
+            self.state = MonitorState.IDLE

@@ -1,0 +1,77 @@
+"""ProxyCL: the application interface (paper §4, level 2).
+
+ProxyCL "replaces standard OpenCL" for the application: it exposes the same
+context/program/queue surface as :mod:`repro.cl` but forwards every request
+through the accelOS Application Monitor.  The application never knows it is
+not talking to the vendor runtime — the transparency property the paper
+leans on.  (The paper implements the hand-off with interprocess shared
+memory; in-process forwarding preserves the same interface contract.)
+"""
+
+from __future__ import annotations
+
+from repro.accelos.monitor import Request
+from repro.errors import CLError
+
+
+class ProxyCLContext:
+    """Drop-in replacement for :class:`repro.cl.Context` for one app."""
+
+    def __init__(self, runtime, app_id):
+        self.runtime = runtime
+        self.app_id = app_id
+        self.device = runtime.context.device
+
+    def create_buffer(self, elem_type, count, tag=""):
+        request = Request(Request.OTHER,
+                          ("create_buffer", elem_type, count, tag),
+                          self.app_id)
+        self.runtime.monitor.handle(request)
+        buffer = self.runtime.memory.allocate(self.app_id, elem_type, count,
+                                              tag)
+        if buffer is None:
+            raise CLError(
+                "application {} paused: device memory exhausted".format(
+                    self.app_id))
+        return buffer
+
+    def create_program(self, source):
+        request = Request(Request.PROGRAM, source, self.app_id)
+        return self.runtime.monitor.handle(request)
+
+    def create_queue(self):
+        return ProxyCLQueue(self.runtime, self.app_id)
+
+
+class ProxyCLQueue:
+    """Queue facade: kernel launches go through the Kernel Scheduler."""
+
+    def __init__(self, runtime, app_id):
+        self.runtime = runtime
+        self.app_id = app_id
+        self._real_queue = runtime.context.create_queue()
+
+    def enqueue_write_buffer(self, buffer, host_array):
+        self.runtime.monitor.handle(
+            Request(Request.OTHER, ("write", buffer), self.app_id))
+        return self._real_queue.enqueue_write_buffer(buffer, host_array)
+
+    def enqueue_read_buffer(self, buffer, dtype=None):
+        self.runtime.monitor.handle(
+            Request(Request.OTHER, ("read", buffer), self.app_id))
+        return self._real_queue.enqueue_read_buffer(buffer, dtype)
+
+    def enqueue_nd_range(self, kernel, nd_range):
+        """Submit a kernel execution request to accelOS.
+
+        The request joins the runtime's current arrival batch; execution
+        happens when the batch drains (mirroring requests from multiple
+        applications arriving concurrently at the background process).
+        """
+        request = Request(Request.KERNEL_EXEC,
+                          (kernel, nd_range, self._real_queue), self.app_id)
+        return self.runtime.monitor.handle(request)
+
+    def finish(self):
+        self.runtime.drain()
+        return self._real_queue.finish()

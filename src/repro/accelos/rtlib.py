@@ -1,0 +1,134 @@
+"""The GPU scheduling runtime library (paper §6.3).
+
+Written in the mini OpenCL-C and *statically linked* into every transformed
+kernel module, exactly as the paper links kernels against its scheduling
+library.  The functional interpreter therefore executes the real linked
+artifact rather than a Python shortcut.
+
+Data structures (flat ``long`` arrays instead of C structs, which the mini-C
+does not need):
+
+``rt`` — the Virtual NDRange descriptor, one per kernel execution, in
+*global* (accelerator) memory::
+
+    rt[0]  next virtual group counter (atomically advanced by dequeues)
+    rt[1]  total number of virtual groups
+    rt[2]  dequeue chunk size (set per §6.4 adaptive policy)
+    rt[3]  original work dimension
+    rt[4]  original number of groups, dim 0
+    rt[5]  original number of groups, dim 1
+    rt[6]  original number of groups, dim 2
+
+``sd`` — per-work-group scheduling state in *local* memory::
+
+    sd[0]  status (0 = RUN, 1 = RUN_TERMINATE)
+    sd[1]  first virtual group of the current chunk
+    sd[2]  one past the last virtual group of the current chunk
+
+The virtual group handler ``hdlr`` is the linearised original group id;
+``rt_group_id`` decodes it against the original grid dimensions.
+"""
+
+from __future__ import annotations
+
+from repro.ir import compile_source
+
+RT_WORDS = 8          # length of the rt descriptor in longs
+SD_WORDS = 4          # length of the sd block in longs (one spare)
+
+RT_COUNTER = 0
+RT_TOTAL = 1
+RT_CHUNK = 2
+RT_WORK_DIM = 3
+RT_GROUPS0 = 4
+
+SD_STATUS = 0
+SD_BASE = 1
+SD_END = 2
+
+STATUS_RUN = 0
+STATUS_TERMINATE = 1
+
+RTLIB_SOURCE = """
+long rt_is_master_work_item()
+{
+    if (get_local_id(0) == 0 && get_local_id(1) == 0 && get_local_id(2) == 0)
+        return 1;
+    return 0;
+}
+
+void rt_env_init(global long* rt, local long* sd)
+{
+    sd[0] = 0;
+    sd[1] = 0;
+    sd[2] = 0;
+}
+
+void rt_sched_wgroup(global long* rt, local long* sd)
+{
+    long chunk = rt[2];
+    long total = rt[1];
+    long base = atomic_add(&rt[0], chunk);
+    if (base >= total) {
+        sd[0] = 1;
+    } else {
+        long end = base + chunk;
+        sd[1] = base;
+        sd[2] = end > total ? total : end;
+    }
+}
+
+size_t rt_group_id(global long* rt, local long* sd, long hdlr, uint d)
+{
+    long gx = rt[4];
+    long gy = rt[5];
+    if (d == 0)
+        return (size_t)(hdlr % gx);
+    if (d == 1)
+        return (size_t)((hdlr / gx) % gy);
+    return (size_t)(hdlr / (gx * gy));
+}
+
+size_t rt_global_id(global long* rt, local long* sd, long hdlr, uint d)
+{
+    return rt_group_id(rt, sd, hdlr, d) * get_local_size(d) + get_local_id(d);
+}
+
+size_t rt_num_groups(global long* rt, uint d)
+{
+    return (size_t)rt[4 + d];
+}
+
+size_t rt_global_size(global long* rt, uint d)
+{
+    return (size_t)rt[4 + d] * get_local_size(d);
+}
+
+uint rt_work_dim(global long* rt)
+{
+    return (uint)rt[3];
+}
+"""
+
+# Names the transformation maps work-item builtins to.  get_local_id and
+# get_local_size stay hardware builtins: the work-group size is unchanged by
+# the transformation (paper §5, Kernel Scheduler "does not modify the work
+# group size or the dimensions").
+REPLACEMENTS = {
+    "get_global_id": "rt_global_id",     # needs (rt, sd, hdlr, d)
+    "get_group_id": "rt_group_id",       # needs (rt, sd, hdlr, d)
+    "get_num_groups": "rt_num_groups",   # needs (rt, d)
+    "get_global_size": "rt_global_size",  # needs (rt, d)
+    "get_work_dim": "rt_work_dim",       # needs (rt)
+}
+
+RTLIB_FUNCTIONS = (
+    "rt_is_master_work_item", "rt_env_init", "rt_sched_wgroup",
+    "rt_group_id", "rt_global_id", "rt_num_groups", "rt_global_size",
+    "rt_work_dim",
+)
+
+
+def build_rtlib_module():
+    """Compile a fresh rtlib module (one per transformed kernel module)."""
+    return compile_source(RTLIB_SOURCE, name="accelos_rtlib", optimize=True)

@@ -1,0 +1,80 @@
+"""The accelOS background process (paper §4, level 1).
+
+Owns the real OpenCL context, the JIT compiler and the Kernel Scheduler, and
+serves any number of applications through ProxyCL sessions.  Kernel
+execution requests are collected into an *arrival batch* (concurrent
+requests from distinct applications) and scheduled together with the §3
+sharing algorithm when the batch drains.
+"""
+
+from __future__ import annotations
+
+from repro.accelos.monitor import ApplicationMonitor, Request
+from repro.accelos.memory_manager import MemoryManager
+from repro.accelos.proxycl import ProxyCLContext
+from repro.accelos.scheduler import KernelScheduler
+from repro.accelos.adaptive import SchedulingPolicy
+from repro.accelos.transform import AccelOSTransform
+from repro.cl.context import Context
+
+
+class AccelOSRuntime:
+    """One accelOS instance managing one accelerator."""
+
+    def __init__(self, device, policy=SchedulingPolicy.ADAPTIVE,
+                 saturate=True, inline=True):
+        self.context = Context(device)
+        self.transform = AccelOSTransform(policy=policy, inline=inline)
+        self.scheduler = KernelScheduler(self.context, saturate=saturate)
+        self.memory = MemoryManager(self.context)
+        self.monitor = ApplicationMonitor(self._on_program, self._on_exec)
+        self.pending = []        # [(kernel, nd_range, queue)]
+        self.launch_history = []  # LaunchPlans of everything executed
+        self.transform_info = {}  # kernel name -> TransformedKernel
+
+    # -- application sessions ------------------------------------------------
+
+    def session(self, app_id):
+        """Create a ProxyCL context for an application."""
+        return ProxyCLContext(self, app_id)
+
+    # -- monitor handlers ------------------------------------------------------
+
+    def _on_program(self, request):
+        """(a) new clProgram: JIT transforms the kernel code."""
+        source = request.payload
+        program = self.context.create_program(source)
+        program.build_hook = self._jit_build
+        return program
+
+    def _jit_build(self, module):
+        transformed, infos = self.transform.run(module)
+        self.transform_info.update(infos)
+        return transformed
+
+    def _on_exec(self, request):
+        """(b) new kernel execution: joins the current arrival batch."""
+        kernel, nd_range, queue = request.payload
+        self.pending.append((kernel, nd_range, queue))
+        return None
+
+    # -- batch execution -----------------------------------------------------------
+
+    def drain(self, share_ratio=None):
+        """Schedule and execute the current arrival batch.
+
+        Returns the batch's :class:`LaunchPlan` list (one per request) in
+        submission order; the plans carry everything the timing simulator
+        needs to co-schedule the batch.
+        """
+        if not self.pending:
+            return []
+        batch = self.pending
+        self.pending = []
+        plans = self.scheduler.plan_batch(
+            [(kernel, nd_range) for kernel, nd_range, _ in batch],
+            share_ratio=share_ratio)
+        for plan, (_, _, queue) in zip(plans, batch):
+            self.scheduler.execute_plan(plan, queue)
+        self.launch_history.extend(plans)
+        return plans

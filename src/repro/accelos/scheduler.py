@@ -1,0 +1,127 @@
+"""The Kernel Scheduler (paper §5).
+
+Centrally manages kernel execution requests: for every request it
+
+1. derives the kernel's per-work-group resource demands (work-group size
+   from the launch geometry, local memory and registers from the JIT's
+   resource analysis),
+2. runs the §3 sharing algorithm across the concurrently active requests,
+3. constructs a Virtual NDRange and copies it to accelerator memory,
+4. alters the *global size* of the physical launch to match the reduced
+   group count — never the work-group size or dimensionality,
+5. launches the transformed kernel.
+
+The scheduler produces a :class:`LaunchPlan` per request, which is both
+executed functionally (correctness plane) and handed to the timing simulator
+(evaluation plane).
+"""
+
+from __future__ import annotations
+
+from repro.accelos.sharing import KernelRequirements, compute_allocations
+from repro.accelos.vndrange import VirtualNDRange
+from repro.cl.kernel import NDRange
+from repro.errors import SchedulingError
+from repro.ir.passes import ResourceAnalysis
+
+
+class LaunchPlan:
+    """Everything needed to execute one scheduled kernel request."""
+
+    __slots__ = ("kernel", "nd_range", "physical_groups", "physical_range",
+                 "vndrange", "requirements", "chunk", "instruction_count")
+
+    def __init__(self, kernel, nd_range, physical_groups, physical_range,
+                 vndrange, requirements, chunk, instruction_count):
+        self.kernel = kernel
+        self.nd_range = nd_range              # original (virtual) range
+        self.physical_groups = physical_groups
+        self.physical_range = physical_range  # reduced physical range
+        self.vndrange = vndrange
+        self.requirements = requirements
+        self.chunk = chunk
+        self.instruction_count = instruction_count
+
+    def __repr__(self):
+        return ("<LaunchPlan {}: {} virtual -> {} physical groups, chunk {}>"
+                .format(self.kernel.name, self.nd_range.num_groups,
+                        self.physical_groups, self.chunk))
+
+
+class KernelScheduler:
+    """Schedules batches of concurrent kernel execution requests."""
+
+    def __init__(self, context, saturate=True):
+        self.context = context
+        self.device = context.device
+        self.saturate = saturate
+
+    # -- requirements ------------------------------------------------------
+
+    def requirements_for(self, kernel, nd_range):
+        """Per-work-group demands of one request (inputs to §3)."""
+        meta = kernel.function.metadata.get("accelos")
+        if meta is None:
+            raise SchedulingError(
+                "kernel {} was not transformed by the accelOS JIT"
+                .format(kernel.name))
+        usage = ResourceAnalysis(kernel.local_arg_sizes()).analyze(
+            kernel.function)
+        return KernelRequirements(
+            name=kernel.name,
+            wg_threads=nd_range.work_group_size,
+            local_mem_bytes=usage.local_memory_bytes,
+            registers_per_thread=usage.registers,
+            total_groups=nd_range.num_groups,
+        )
+
+    # -- scheduling --------------------------------------------------------
+
+    def plan_batch(self, requests, share_ratio=None):
+        """Plan a batch of concurrent requests: ``[(kernel, nd_range)]``.
+
+        Returns one :class:`LaunchPlan` per request, with physical group
+        counts chosen by the sharing algorithm.
+        """
+        if not requests:
+            return []
+        requirements = [self.requirements_for(k, r) for k, r in requests]
+        allocations = compute_allocations(requirements, self.device,
+                                          saturate=self.saturate,
+                                          share_ratio=share_ratio)
+        plans = []
+        for (kernel, nd_range), allocation in zip(requests, allocations):
+            plans.append(self._make_plan(kernel, nd_range, allocation.groups))
+        return plans
+
+    def _make_plan(self, kernel, nd_range, physical_groups):
+        from repro.accelos.adaptive import effective_chunk
+        meta = kernel.function.metadata["accelos"]
+        chunk = effective_chunk(meta["chunk"], nd_range.num_groups,
+                                physical_groups)
+        vndrange = VirtualNDRange(nd_range, chunk)
+        vndrange.upload(self.context)
+
+        local = nd_range.local_size
+        physical_range = NDRange(
+            (physical_groups * local[0], local[1], local[2]), local)
+        return LaunchPlan(
+            kernel=kernel,
+            nd_range=nd_range,
+            physical_groups=physical_groups,
+            physical_range=physical_range,
+            vndrange=vndrange,
+            requirements=self.requirements_for(kernel, nd_range),
+            chunk=chunk,
+            instruction_count=meta["instruction_count"],
+        )
+
+    # -- execution (functional plane) ---------------------------------------
+
+    def execute_plan(self, plan, queue):
+        """Run the plan's kernel functionally and release its vndrange."""
+        rt_index = plan.kernel.function.metadata["accelos"]["original_params"]
+        plan.kernel.set_arg(rt_index, plan.vndrange.buffer)
+        event = queue.enqueue_nd_range(plan.kernel, plan.physical_range)
+        plan.vndrange.release()
+        return event

@@ -1,0 +1,177 @@
+"""Accelerator resource sharing control (paper §3).
+
+Given ``K`` concurrently active kernel executions, choose the number of
+physical work groups per kernel so that all fit on the device at once with
+approximately equal shares of three resources:
+
+* hardware threads:   ``x_i = T / (K * w_i)``
+* local memory:       ``y_i = L / (K * m_i)``
+* registers:          ``z_i = R / (K * r_i)``
+
+The allocation is ``min(x_i, y_i, z_i)``, clamped to at least one work group
+and to the kernel's original group count.  Because these are Diophantine
+(integer) constraints the result may be conservative, so a greedy heuristic
+then hands out additional work groups one at a time — always to the kernel
+with the smallest current thread share — until no kernel can grow without
+violating a constraint (paper: "we apply a simple greedy heuristic to
+incrementally increase the number of work-groups iteratively across the
+kernel executions until resource saturation").
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+
+
+class KernelRequirements:
+    """Per-work-group resource demands of one kernel execution request."""
+
+    __slots__ = ("name", "wg_threads", "local_mem_bytes", "registers_per_thread",
+                 "total_groups")
+
+    def __init__(self, name, wg_threads, local_mem_bytes, registers_per_thread,
+                 total_groups):
+        if wg_threads <= 0:
+            raise SchedulingError("work-group size must be positive")
+        if total_groups <= 0:
+            raise SchedulingError("kernel must have at least one work group")
+        self.name = name
+        self.wg_threads = int(wg_threads)
+        self.local_mem_bytes = int(local_mem_bytes)
+        self.registers_per_thread = int(registers_per_thread)
+        self.total_groups = int(total_groups)
+
+    @property
+    def registers_per_group(self):
+        return self.registers_per_thread * self.wg_threads
+
+    def __repr__(self):
+        return ("KernelRequirements({}, w={}, m={}B, r={}/thr, n={})"
+                .format(self.name, self.wg_threads, self.local_mem_bytes,
+                        self.registers_per_thread, self.total_groups))
+
+
+class Allocation:
+    """The sharing decision for one kernel execution."""
+
+    __slots__ = ("requirements", "groups")
+
+    def __init__(self, requirements, groups):
+        self.requirements = requirements
+        self.groups = int(groups)
+
+    @property
+    def threads(self):
+        return self.groups * self.requirements.wg_threads
+
+    @property
+    def local_mem(self):
+        return self.groups * self.requirements.local_mem_bytes
+
+    @property
+    def registers(self):
+        return self.groups * self.requirements.registers_per_group
+
+    def __repr__(self):
+        return "Allocation({} -> {} groups)".format(
+            self.requirements.name, self.groups)
+
+
+def _fits(allocations, device, extra=None):
+    """Would the allocation set (plus ``extra`` as (req, +groups)) fit?"""
+    threads = sum(a.threads for a in allocations)
+    lmem = sum(a.local_mem for a in allocations)
+    regs = sum(a.registers for a in allocations)
+    if extra is not None:
+        req, delta = extra
+        threads += delta * req.wg_threads
+        lmem += delta * req.local_mem_bytes
+        regs += delta * req.registers_per_group
+    return (threads <= device.max_threads
+            and lmem <= device.total_local_mem
+            and regs <= device.total_registers)
+
+
+def compute_allocations(requirements, device, saturate=True, share_ratio=None):
+    """Run the §3 algorithm; returns a list of :class:`Allocation`.
+
+    ``share_ratio`` optionally weights kernels (§2.2: "This can easily be
+    achieved by changing the sharing ratio"); ``None`` means equal sharing,
+    otherwise it is a list of positive weights, one per kernel.
+    """
+    if not requirements:
+        return []
+    k = len(requirements)
+    if share_ratio is None:
+        weights = [1.0] * k
+    else:
+        if len(share_ratio) != k or any(w <= 0 for w in share_ratio):
+            raise SchedulingError("share_ratio must list a positive weight "
+                                  "per kernel")
+        weights = [w * k / sum(share_ratio) for w in share_ratio]
+
+    allocations = []
+    for req, weight in zip(requirements, weights):
+        share = weight / k
+        x = int(device.max_threads * share // req.wg_threads)
+        if req.local_mem_bytes > 0:
+            y = int(device.total_local_mem * share // req.local_mem_bytes)
+        else:
+            y = req.total_groups
+        if req.registers_per_group > 0:
+            z = int(device.total_registers * share // req.registers_per_group)
+        else:
+            z = req.total_groups
+        groups = min(x, y, z, req.total_groups)
+        allocations.append(Allocation(req, max(1, groups)))
+
+    # The clamp to >= 1 group can oversubscribe pathological mixes; shrink
+    # the largest allocations until everything fits (never below 1).
+    guard = 0
+    while not _fits(allocations, device):
+        candidates = [a for a in allocations if a.groups > 1]
+        if not candidates:
+            # K kernels of 1 group each genuinely exceed the device: the
+            # scheduler should not have activated this many concurrently.
+            raise SchedulingError(
+                "cannot fit {} concurrent kernels on {}".format(
+                    k, device.name))
+        largest = max(candidates, key=lambda a: a.threads)
+        largest.groups -= 1
+        guard += 1
+        if guard > 10_000_000:
+            raise SchedulingError("allocation shrink loop did not converge")
+
+    if saturate:
+        _greedy_saturation(allocations, device)
+    return allocations
+
+
+def _greedy_saturation(allocations, device):
+    """Hand out remaining resources one work group at a time.
+
+    Each round picks the kernel with the smallest current thread footprint
+    that can still grow (has ungranted original groups and fits), keeping the
+    shares as equal as the integer granularity allows.
+    """
+    while True:
+        growable = [
+            a for a in allocations
+            if a.groups < a.requirements.total_groups
+            and _fits(allocations, device, extra=(a.requirements, 1))
+        ]
+        if not growable:
+            return
+        smallest = min(growable, key=lambda a: (a.threads, a.requirements.name))
+        smallest.groups += 1
+
+
+def thread_imbalance(allocations):
+    """max |x_i*w_i - x_j*w_j| across kernel pairs — the §3 objective.
+
+    Exposed for tests and the saturation ablation; lower is better.
+    """
+    shares = [a.threads for a in allocations]
+    if len(shares) < 2:
+        return 0
+    return max(shares) - min(shares)

@@ -1,0 +1,344 @@
+"""The accelOS JIT kernel transformation (paper §6.2).
+
+For every kernel in a module we perform the paper's five steps:
+
+1. convert the kernel function into a regular computation function,
+2. extend its interface with the runtime data structures
+   (``global long* rt``, ``local long* sd``, ``long hdlr``),
+3. replace work-item builtins with runtime-library equivalents
+   (``get_global_id`` → ``rt_global_id`` …); regular functions that use
+   work-item builtins (transitively) get the same treatment,
+4. create a scheduling kernel with the original kernel's name and interface
+   plus a trailing ``rt`` pointer argument,
+5. generate the scheduling body: master work-item initialises the
+   environment, then a dequeue loop atomically pulls chunks of virtual
+   groups from the Virtual NDRange and calls the computation function for
+   each handler.
+
+Local-data hoisting: ``local`` arrays declared in the original kernel are
+hoisted into the scheduling kernel and passed to the computation function as
+extra ``local`` pointer parameters (OpenCL forbids local declarations in
+non-kernel functions, §6.2 "Local Data Hoisting").
+
+One deliberate deviation from the paper's fig. 8b pseudo-code: we emit a
+barrier at the *top* of the dequeue loop (two barriers per iteration, not
+one).  With a single barrier the master may overwrite ``sd`` while laggard
+work items still read the previous chunk's bounds — a data race the
+pseudo-code elides.  Our functional interpreter exposes exactly this race,
+so the generated code closes it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir import instructions as I
+from repro.ir.builder import IRBuilder
+from repro.ir.clone import clone_function
+from repro.ir.function import Function
+from repro.ir.passes import (
+    ConstantFoldPass, DeadCodeEliminationPass, InlinePass, PassManager,
+    SimplifyCFGPass, count_instructions)
+from repro.ir.values import Constant
+from repro.kernelc import types as T
+from repro.accelos import rtlib
+from repro.accelos.adaptive import SchedulingPolicy, chunk_size_for
+
+_GLOBAL_LONG_PTR = T.PointerType(T.LONG, T.GLOBAL)
+_LOCAL_LONG_PTR = T.PointerType(T.LONG, T.LOCAL)
+
+_CTX_PARAM_TYPES = (_GLOBAL_LONG_PTR, _LOCAL_LONG_PTR, T.LONG)
+_CTX_PARAM_NAMES = ("__rt", "__sd", "__hdlr")
+
+
+class TransformedKernel:
+    """Description of one transformed kernel, consumed by the scheduler."""
+
+    __slots__ = ("name", "impl_name", "original_param_count",
+                 "rt_arg_index", "instruction_count", "chunk", "policy")
+
+    def __init__(self, name, impl_name, original_param_count,
+                 instruction_count, chunk, policy):
+        self.name = name
+        self.impl_name = impl_name
+        self.original_param_count = original_param_count
+        self.rt_arg_index = original_param_count
+        self.instruction_count = instruction_count
+        self.chunk = chunk
+        self.policy = policy
+
+    def __repr__(self):
+        return ("<TransformedKernel {} (impl={}, insns={}, chunk={})>"
+                .format(self.name, self.impl_name, self.instruction_count,
+                        self.chunk))
+
+
+class AccelOSTransform:
+    """Module-level driver for the kernel transformation."""
+
+    def __init__(self, policy=SchedulingPolicy.ADAPTIVE, inline=True):
+        self.policy = policy
+        self.inline = inline
+
+    # -- public -----------------------------------------------------------
+
+    def run(self, module):
+        """Transform ``module``; returns ``(new_module, {name: info})``.
+
+        The input module is not mutated.  In the output module, every kernel
+        has been replaced by its scheduling kernel under the *original* name
+        (transparency: the application launches the same kernel name).
+        """
+        out = module.clone()
+        out.link(rtlib.build_rtlib_module(), allow_duplicates=False)
+
+        needs_ctx = self._functions_needing_context(out)
+        extended = {}
+        for func in list(out.plain_functions()):
+            if func.name in needs_ctx and func.name not in rtlib.RTLIB_FUNCTIONS:
+                extended[func.name] = self._extend_plain_function(out, func)
+
+        infos = {}
+        for kernel in list(out.kernels()):
+            infos[kernel.name] = self._transform_kernel(out, kernel, extended)
+
+        # Original versions of extended plain functions are now unreachable.
+        for name in extended:
+            del out.functions[name]
+
+        if self.inline:
+            # GPU toolchains inline everything by default; this is also what
+            # erases the transformation's register overhead (paper §6.5).
+            PassManager().add(InlinePass()).run(out)
+            pm = (PassManager().add(ConstantFoldPass())
+                  .add(SimplifyCFGPass()).add(DeadCodeEliminationPass()))
+            pm.run(out)
+        return out, infos
+
+    # -- analysis -----------------------------------------------------------
+
+    def _functions_needing_context(self, module):
+        """Plain functions that (transitively) use virtualised builtins."""
+        direct = set()
+        callers = {}
+        for func in module.plain_functions():
+            if func.name in rtlib.RTLIB_FUNCTIONS:
+                continue
+            for insn in func.instructions():
+                if isinstance(insn, I.Call):
+                    if insn.is_intrinsic():
+                        if insn.callee in rtlib.REPLACEMENTS:
+                            direct.add(func.name)
+                    else:
+                        callers.setdefault(insn.callee.name, set()).add(func.name)
+        needs = set(direct)
+        frontier = list(direct)
+        while frontier:
+            name = frontier.pop()
+            for caller in callers.get(name, ()):
+                if caller not in needs:
+                    needs.add(caller)
+                    frontier.append(caller)
+        return needs
+
+    # -- plain function extension (step 3 for callees) ------------------------
+
+    def _extend_plain_function(self, module, func):
+        clone, _ = clone_function(
+            func, new_name="{}__rt".format(func.name),
+            extra_param_types=_CTX_PARAM_TYPES,
+            extra_param_names=_CTX_PARAM_NAMES)
+        rt_arg, sd_arg, hdlr_arg = clone.arguments[-3:]
+        self._rewrite_builtins(module, clone, rt_arg, sd_arg, hdlr_arg)
+        module.add_function(clone)
+        return clone
+
+    # -- kernel transformation ---------------------------------------------------
+
+    def _transform_kernel(self, module, kernel, extended):
+        impl, _ = clone_function(
+            kernel, new_name="{}__impl".format(kernel.name),
+            extra_param_types=_CTX_PARAM_TYPES,
+            extra_param_names=_CTX_PARAM_NAMES)
+        impl.is_kernel = False
+        rt_arg, sd_arg, hdlr_arg = impl.arguments[-3:]
+
+        self._rewrite_builtins(module, impl, rt_arg, sd_arg, hdlr_arg)
+        hoisted = self._hoist_local_data(impl)
+        module.add_function(impl)
+
+        instruction_count = count_instructions(impl)
+        chunk = chunk_size_for(instruction_count, self.policy)
+
+        original_param_count = len(kernel.arguments)
+        sched = self._build_scheduling_kernel(
+            module, kernel, impl, hoisted)
+
+        # Replace the original kernel under its own name (transparency).
+        del module.functions[kernel.name]
+        module.add_function(sched)
+
+        # The trailing rt argument is runtime-owned: applications keep
+        # setting the original argument list (transparency).
+        sched.metadata["hidden_params"] = 1
+        sched.metadata["accelos"] = {
+            "impl": impl.name,
+            "original_params": original_param_count,
+            "chunk": chunk,
+            "policy": self.policy,
+            "instruction_count": instruction_count,
+        }
+        return TransformedKernel(kernel.name, impl.name, original_param_count,
+                                 instruction_count, chunk, self.policy)
+
+    def _rewrite_builtins(self, module, func, rt_arg, sd_arg, hdlr_arg):
+        """Step 3: swap work-item builtins for runtime-library calls."""
+        for block in func.blocks:
+            for index, insn in enumerate(block.instructions):
+                if not isinstance(insn, I.Call):
+                    continue
+                if insn.is_intrinsic():
+                    target = rtlib.REPLACEMENTS.get(insn.callee)
+                    if target is None:
+                        continue
+                    callee = module.get(target)
+                    if insn.callee in ("get_global_id", "get_group_id"):
+                        args = [rt_arg, sd_arg, hdlr_arg, insn.operands[0]]
+                    elif insn.callee in ("get_num_groups", "get_global_size"):
+                        args = [rt_arg, insn.operands[0]]
+                    elif insn.callee == "get_work_dim":
+                        args = [rt_arg]
+                    else:
+                        raise IRError("unhandled replacement {}".format(
+                            insn.callee))
+                    replacement = I.Call(callee, args, callee.return_type)
+                    replacement.name = insn.name
+                    replacement.parent = block
+                    block.instructions[index] = replacement
+                    self._replace_uses(func, insn, replacement)
+                else:
+                    # Redirect calls to context-needing functions to their
+                    # extended clones, threading rt/sd/hdlr through.
+                    extended_name = "{}__rt".format(insn.callee.name)
+                    if extended_name in module:
+                        insn.callee = module.get(extended_name)
+                        insn.operands = list(insn.operands) + [
+                            rt_arg, sd_arg, hdlr_arg]
+
+    @staticmethod
+    def _replace_uses(func, old, new):
+        for insn in func.instructions():
+            if insn is not new:
+                insn.replace_operand(old, new)
+
+    def _hoist_local_data(self, impl):
+        """Step: hoist ``local`` allocas out of the computation function.
+
+        Returns ``[(allocated_type, count, name)]`` for the scheduling kernel
+        to materialise; each becomes a trailing ``local`` pointer parameter
+        of the computation function.
+        """
+        from repro.ir.values import Argument
+
+        hoisted = []
+        for block in impl.blocks:
+            kept = []
+            for insn in block.instructions:
+                if isinstance(insn, I.Alloca) and insn.address_space == T.LOCAL:
+                    param = Argument(
+                        T.PointerType(insn.allocated_type, T.LOCAL),
+                        "__lh_{}".format(insn.name or len(hoisted)))
+                    impl.arguments.append(param)
+                    hoisted.append((insn.allocated_type, insn.count, param.name))
+                    self._replace_uses(impl, insn, param)
+                else:
+                    kept.append(insn)
+            block.instructions = kept
+        return hoisted
+
+    def _build_scheduling_kernel(self, module, kernel, impl, hoisted):
+        """Steps 4+5: the ``dyn_sched`` kernel under the original name."""
+        param_types = [a.type for a in kernel.arguments] + [_GLOBAL_LONG_PTR]
+        param_names = [a.name for a in kernel.arguments] + ["__rt"]
+        sched = Function(kernel.name, T.VOID, param_types, param_names,
+                         is_kernel=True)
+        rt_arg = sched.arguments[-1]
+
+        entry = sched.add_block("entry")
+        builder = IRBuilder(sched, entry)
+
+        sd = builder.alloca(T.LONG, count=rtlib.SD_WORDS,
+                            address_space=T.LOCAL, name="sd")
+        local_ptrs = []
+        for allocated_type, count, name in hoisted:
+            local_ptrs.append(builder.alloca(
+                allocated_type, count=count, address_space=T.LOCAL, name=name))
+
+        is_master = module.get("rt_is_master_work_item")
+        env_init = module.get("rt_env_init")
+        sched_wgroup = module.get("rt_sched_wgroup")
+
+        init_block = sched.add_block("init")
+        loop_head = sched.add_block("loop.head")
+        do_sched = sched.add_block("loop.sched")
+        after_sched = sched.add_block("loop.check")
+        chunk_setup = sched.add_block("chunk.setup")
+        inner_cond = sched.add_block("inner.cond")
+        inner_body = sched.add_block("inner.body")
+        exit_block = sched.add_block("exit")
+
+        ind_slot = builder.alloca(T.LONG, name="ind")
+        end_slot = builder.alloca(T.LONG, name="end")
+
+        master0 = builder.call(is_master, [], name="master")
+        builder.condbr(builder.cmp("ne", master0, Constant(T.LONG, 0)),
+                       init_block, loop_head)
+
+        builder.position_at_end(init_block)
+        builder.call(env_init, [rt_arg, sd])
+        builder.br(loop_head)
+
+        # loop head: barrier (protects sd against the next dequeue), then
+        # the master pulls the next chunk.
+        builder.position_at_end(loop_head)
+        builder.barrier()
+        master1 = builder.call(is_master, [], name="master")
+        builder.condbr(builder.cmp("ne", master1, Constant(T.LONG, 0)),
+                       do_sched, after_sched)
+
+        builder.position_at_end(do_sched)
+        builder.call(sched_wgroup, [rt_arg, sd])
+        builder.br(after_sched)
+
+        builder.position_at_end(after_sched)
+        builder.barrier()
+        status_ptr = builder.ptradd(sd, Constant(T.LONG, rtlib.SD_STATUS))
+        status = builder.load(status_ptr, "status")
+        builder.condbr(
+            builder.cmp("eq", status, Constant(T.LONG, rtlib.STATUS_TERMINATE)),
+            exit_block, chunk_setup)
+
+        builder.position_at_end(chunk_setup)
+        base_ptr = builder.ptradd(sd, Constant(T.LONG, rtlib.SD_BASE))
+        end_ptr = builder.ptradd(sd, Constant(T.LONG, rtlib.SD_END))
+        builder.store(ind_slot, builder.load(base_ptr, "base"))
+        builder.store(end_slot, builder.load(end_ptr, "end"))
+        builder.br(inner_cond)
+
+        builder.position_at_end(inner_cond)
+        ind = builder.load(ind_slot, "ind")
+        end = builder.load(end_slot, "end")
+        builder.condbr(builder.cmp("lt", ind, end), inner_body, loop_head)
+
+        builder.position_at_end(inner_body)
+        call_args = list(sched.arguments[:-1]) + [rt_arg, sd]
+        ind_value = builder.load(ind_slot, "hdlr")
+        call_args.append(ind_value)
+        call_args.extend(local_ptrs)
+        builder.call(impl, call_args)
+        builder.store(ind_slot, builder.binop("add", ind_value,
+                                              Constant(T.LONG, 1)))
+        builder.br(inner_cond)
+
+        builder.position_at_end(exit_block)
+        builder.ret()
+        return sched

@@ -1,0 +1,59 @@
+"""Virtual NDRanges (paper §2.4, §5).
+
+For every kernel execution request the Kernel Scheduler constructs a Virtual
+NDRange describing the *original* work groups and copies it to accelerator
+memory; the transformed kernel's physical work groups then dequeue virtual
+groups from it at run time.
+
+The device-side layout is the flat ``long`` descriptor documented in
+:mod:`repro.accelos.rtlib`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelos import rtlib
+from repro.kernelc import types as T
+
+
+class VirtualNDRange:
+    """Host-side handle for one kernel execution's virtual range."""
+
+    def __init__(self, nd_range, chunk):
+        self.nd_range = nd_range
+        self.chunk = int(chunk)
+        self.total_groups = nd_range.num_groups
+        self.buffer = None  # device buffer, allocated by ``upload``
+
+    def descriptor(self):
+        """The rt descriptor words (see rtlib layout)."""
+        words = np.zeros(rtlib.RT_WORDS, dtype=np.int64)
+        words[rtlib.RT_COUNTER] = 0
+        words[rtlib.RT_TOTAL] = self.total_groups
+        words[rtlib.RT_CHUNK] = self.chunk
+        words[rtlib.RT_WORK_DIM] = self.nd_range.work_dim
+        groups = self.nd_range.groups_per_dim
+        for d in range(3):
+            words[rtlib.RT_GROUPS0 + d] = groups[d]
+        return words
+
+    def upload(self, context):
+        """Allocate + copy the descriptor into accelerator memory."""
+        self.buffer = context.create_buffer(T.LONG, rtlib.RT_WORDS,
+                                            tag="vndrange")
+        self.buffer.write(self.descriptor())
+        return self.buffer
+
+    def release(self):
+        if self.buffer is not None:
+            self.buffer.release()
+            self.buffer = None
+
+    def scheduling_operations(self):
+        """How many dequeue operations this execution will perform in total."""
+        return -(-self.total_groups // self.chunk)  # ceil division
+
+    def __repr__(self):
+        return "<VirtualNDRange {} vgroups, chunk {}>".format(
+            self.total_groups, self.chunk)

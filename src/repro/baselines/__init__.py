@@ -1,0 +1,11 @@
+"""Baselines the paper compares against.
+
+* Standard OpenCL is the simulator's hardware mode (no module needed).
+* :mod:`repro.baselines.elastic_kernels` re-implements Elastic Kernels
+  (Pai et al., ASPLOS'13), as the paper did for OpenCL (§7.3).
+"""
+
+from repro.baselines.elastic_kernels import (
+    ElasticKernelsScheduler, elastic_merge_kernels)
+
+__all__ = ["ElasticKernelsScheduler", "elastic_merge_kernels"]

@@ -1,0 +1,26 @@
+"""Mini-OpenCL host runtime (the paper's "System Interface", level 0).
+
+Implements the slice of the OpenCL 1.2 host API that accelOS relies on:
+platform/device discovery, contexts, command queues, buffers, programs and
+kernels.  Applications written against this API are what ``ProxyCL``
+intercepts; accelOS itself also uses it to reach the device ("We use
+standard OpenCL to leverage accelerators", §4).
+
+Functional execution is backed by :mod:`repro.interp`; timing questions are
+answered by :mod:`repro.sim`.
+"""
+
+from repro.cl.device import (
+    DeviceSpec, nvidia_k20m, amd_r9_295x2, known_devices)
+from repro.cl.platform import Platform, get_platforms
+from repro.cl.context import Context
+from repro.cl.memory import Buffer, DeviceAllocator
+from repro.cl.program import Program
+from repro.cl.kernel import Kernel, NDRange
+from repro.cl.queue import CommandQueue
+
+__all__ = [
+    "DeviceSpec", "nvidia_k20m", "amd_r9_295x2", "known_devices",
+    "Platform", "get_platforms", "Context", "Buffer", "DeviceAllocator",
+    "Program", "Kernel", "NDRange", "CommandQueue",
+]

@@ -1,0 +1,32 @@
+"""Contexts (``clCreateContext`` equivalent)."""
+
+from __future__ import annotations
+
+from repro.cl.memory import Buffer, DeviceAllocator
+from repro.errors import CLError
+
+
+class Context:
+    """An OpenCL context bound to a single device.
+
+    The paper's platforms each expose one GPU; multi-device contexts are not
+    needed and keeping a 1:1 context/device mapping simplifies accounting.
+    """
+
+    def __init__(self, device):
+        self.device = device
+        self.allocator = DeviceAllocator(device.global_mem_bytes)
+
+    def create_buffer(self, elem_type, count, tag=""):
+        return Buffer(self, elem_type, count, tag)
+
+    def create_program(self, source):
+        from repro.cl.program import Program
+        return Program(self, source)
+
+    def create_queue(self):
+        from repro.cl.queue import CommandQueue
+        return CommandQueue(self)
+
+    def __repr__(self):
+        return "<Context on {}>".format(self.device.name)

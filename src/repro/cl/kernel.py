@@ -1,0 +1,124 @@
+"""Kernels and ND-ranges (``clCreateKernel`` / ``clSetKernelArg``)."""
+
+from __future__ import annotations
+
+from repro.cl.memory import Buffer
+from repro.errors import CLError
+from repro.interp.memory import LocalArg
+
+
+class NDRange:
+    """Launch geometry: global and local sizes (up to 3 dimensions)."""
+
+    def __init__(self, global_size, local_size):
+        self.global_size = _norm(global_size)
+        self.local_size = _norm(local_size)
+        for g, l in zip(self.global_size, self.local_size):
+            if l <= 0 or g % l:
+                raise CLError("global size {} not divisible by local size {}"
+                              .format(self.global_size, self.local_size))
+
+    @property
+    def work_dim(self):
+        dims = 3
+        while dims > 1 and self.global_size[dims - 1] == 1:
+            dims -= 1
+        return dims
+
+    @property
+    def work_group_size(self):
+        size = 1
+        for l in self.local_size:
+            size *= l
+        return size
+
+    @property
+    def num_groups(self):
+        total = 1
+        for g, l in zip(self.global_size, self.local_size):
+            total *= g // l
+        return total
+
+    @property
+    def groups_per_dim(self):
+        return tuple(g // l for g, l in zip(self.global_size, self.local_size))
+
+    def __repr__(self):
+        return "NDRange(global={}, local={})".format(self.global_size,
+                                                     self.local_size)
+
+
+def _norm(size):
+    if isinstance(size, int):
+        size = (size,)
+    size = tuple(int(s) for s in size)
+    if not 1 <= len(size) <= 3:
+        raise CLError("ND-range dimension must be 1..3")
+    return size + (1,) * (3 - len(size))
+
+
+class Kernel:
+    """A kernel object with bound arguments."""
+
+    def __init__(self, program, name):
+        self.program = program
+        self.name = name
+        self.function = program.module.get(name)
+        self.args = [None] * len(self.function.arguments)
+        self._arg_set = [False] * len(self.function.arguments)
+
+    def set_arg(self, index, value):
+        """Bind argument ``index``.
+
+        Accepts a :class:`Buffer`, a :class:`LocalArg` (size-only local
+        pointer), or a scalar.
+        """
+        if not 0 <= index < len(self.args):
+            raise CLError("argument index {} out of range for {}".format(
+                index, self.name))
+        self.args[index] = value
+        self._arg_set[index] = True
+        return self
+
+    @property
+    def visible_arg_count(self):
+        """Arguments the application is expected to set.
+
+        Trailing runtime-owned parameters (declared via the function's
+        ``hidden_params`` metadata, e.g. by the accelOS JIT) are excluded —
+        this is what keeps interception transparent to applications.
+        """
+        return len(self.args) - int(self.function.metadata.get("hidden_params", 0))
+
+    def set_args(self, *values):
+        if len(values) != self.visible_arg_count:
+            raise CLError("{} expects {} arguments, got {}".format(
+                self.name, self.visible_arg_count, len(values)))
+        for i, value in enumerate(values):
+            self.set_arg(i, value)
+        return self
+
+    def local_arg_sizes(self):
+        """Byte sizes bound to local pointer parameters (for §3 analysis)."""
+        sizes = {}
+        for formal, actual in zip(self.function.arguments, self.args):
+            if isinstance(actual, LocalArg):
+                sizes[formal.name] = actual.size_bytes
+        return sizes
+
+    def runtime_args(self):
+        """Arguments in the form the interpreter consumes."""
+        resolved = []
+        for i, (formal, actual) in enumerate(zip(self.function.arguments,
+                                                 self.args)):
+            if not self._arg_set[i]:
+                raise CLError("argument {} of {} was never set".format(
+                    i, self.name))
+            if isinstance(actual, Buffer):
+                resolved.append(actual.pointer())
+            else:
+                resolved.append(actual)
+        return resolved
+
+    def __repr__(self):
+        return "<Kernel {}>".format(self.name)

@@ -1,0 +1,90 @@
+"""Device memory: buffers and a capacity-tracking allocator.
+
+The allocator enforces the device's global-memory capacity so the accelOS
+memory manager (§5, "Memory Management") has real pressure to react to:
+when concurrent applications oversubscribe device memory, allocation fails
+with :class:`DeviceOutOfMemory` and the runtime pauses applications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CLError, DeviceOutOfMemory
+from repro.interp.memory import MemoryRegion, Pointer
+from repro.kernelc import types as T
+
+
+class DeviceAllocator:
+    """Tracks allocations against a device's global memory capacity."""
+
+    def __init__(self, capacity_bytes):
+        self.capacity_bytes = int(capacity_bytes)
+        self.used_bytes = 0
+        self.live = {}
+
+    def allocate(self, size_bytes, tag=""):
+        size_bytes = int(size_bytes)
+        if size_bytes <= 0:
+            raise CLError("buffer size must be positive")
+        if self.used_bytes + size_bytes > self.capacity_bytes:
+            raise DeviceOutOfMemory(
+                "requested {}B with {}B free".format(
+                    size_bytes, self.capacity_bytes - self.used_bytes))
+        region = MemoryRegion(size_bytes, T.GLOBAL, tag)
+        self.used_bytes += size_bytes
+        self.live[id(region)] = size_bytes
+        return region
+
+    def release(self, region):
+        size = self.live.pop(id(region), None)
+        if size is None:
+            raise CLError("releasing an unknown region")
+        self.used_bytes -= size
+
+    @property
+    def free_bytes(self):
+        return self.capacity_bytes - self.used_bytes
+
+
+class Buffer:
+    """A device buffer (``cl_mem``) of ``count`` elements of ``elem_type``."""
+
+    def __init__(self, context, elem_type, count, tag=""):
+        from repro.interp.memory import scalar_size
+        self.context = context
+        self.elem_type = elem_type
+        self.count = int(count)
+        self.size_bytes = self.count * scalar_size(elem_type)
+        self.region = context.allocator.allocate(self.size_bytes, tag)
+        self.released = False
+
+    def pointer(self):
+        """Device pointer to the start of the buffer."""
+        self._check_live()
+        return Pointer(self.region, self.elem_type, 0)
+
+    def write(self, host_array):
+        """Host-to-device copy (synchronous form used by the queue)."""
+        self._check_live()
+        self.region.fill_from(np.asarray(host_array))
+
+    def read(self, dtype=None):
+        """Device-to-host copy returning a fresh numpy array."""
+        self._check_live()
+        from repro.interp.memory import dtype_for
+        dtype = dtype or dtype_for(self.elem_type)
+        return self.region.to_array(dtype, self.count)
+
+    def release(self):
+        if not self.released:
+            self.context.allocator.release(self.region)
+            self.released = True
+
+    def _check_live(self):
+        if self.released:
+            raise CLError("use of released buffer")
+
+    def __repr__(self):
+        return "<Buffer {}x{} ({}B)>".format(self.count, self.elem_type,
+                                             self.size_bytes)

@@ -1,0 +1,25 @@
+"""Platform discovery (``clGetPlatformIDs`` equivalent)."""
+
+from __future__ import annotations
+
+from repro.cl.device import amd_r9_295x2, nvidia_k20m
+
+
+class Platform:
+    """An OpenCL platform: a vendor runtime exposing devices."""
+
+    def __init__(self, name, vendor, devices):
+        self.name = name
+        self.vendor = vendor
+        self.devices = list(devices)
+
+    def __repr__(self):
+        return "<Platform {} ({} devices)>".format(self.name, len(self.devices))
+
+
+def get_platforms():
+    """Return the simulated platforms (one per vendor, as in the paper)."""
+    return [
+        Platform("NVIDIA OpenCL 331.79", "NVIDIA", [nvidia_k20m()]),
+        Platform("AMD APP 1445.5", "AMD", [amd_r9_295x2()]),
+    ]

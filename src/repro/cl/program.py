@@ -1,0 +1,56 @@
+"""Programs (``clCreateProgramWithSource`` / ``clBuildProgram``).
+
+``Program.build`` is the interception point the accelOS JIT hooks: the
+Application Monitor replaces the standard build with the transformed module
+(paper fig. 6, "New clProgram" edge).  A build hook can be installed per
+program, which is exactly how ProxyCL wires accelOS in without the
+application noticing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CLError
+from repro.ir import compile_source
+from repro.ir.passes import ResourceAnalysis
+
+
+class Program:
+    """An OpenCL program: source plus (after build) a compiled module."""
+
+    def __init__(self, context, source):
+        self.context = context
+        self.source = source
+        self.module = None
+        self.build_options = None
+        self.build_hook = None  # callable(module) -> module, set by accelOS
+
+    def build(self, options=None):
+        """Compile the source; applies the build hook if one is installed."""
+        module = compile_source(self.source, options, name="program")
+        if self.build_hook is not None:
+            module = self.build_hook(module)
+        self.module = module
+        self.build_options = options
+        return self
+
+    def kernel_names(self):
+        self._check_built()
+        return [f.name for f in self.module.kernels()]
+
+    def create_kernel(self, name):
+        from repro.cl.kernel import Kernel
+        self._check_built()
+        if name not in {f.name for f in self.module.kernels()}:
+            raise CLError("no kernel {!r} in program".format(name))
+        return Kernel(self, name)
+
+    def kernel_resource_usage(self, name, local_arg_sizes=None):
+        """Static resource usage of a kernel (what ``clGetKernelWorkGroupInfo``
+        exposes as ``CL_KERNEL_*`` on real drivers)."""
+        self._check_built()
+        func = self.module.get(name)
+        return ResourceAnalysis(local_arg_sizes).analyze(func)
+
+    def _check_built(self):
+        if self.module is None:
+            raise CLError("program has not been built")

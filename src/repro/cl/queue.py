@@ -1,0 +1,50 @@
+"""In-order command queues executing on the functional device."""
+
+from __future__ import annotations
+
+from repro.errors import CLError
+from repro.interp import KernelLauncher
+
+
+class Event:
+    """Completion record for an enqueued command."""
+
+    def __init__(self, kind, detail=None):
+        self.kind = kind
+        self.detail = detail
+        self.complete = True  # the functional queue is synchronous
+
+    def __repr__(self):
+        return "<Event {} complete>".format(self.kind)
+
+
+class CommandQueue:
+    """An in-order queue. Execution is synchronous in the functional plane;
+    the timing plane replays enqueue traces in :mod:`repro.sim`."""
+
+    def __init__(self, context):
+        self.context = context
+        self.enqueue_log = []  # (kind, payload) trace, consumed by the sim
+
+    def enqueue_write_buffer(self, buffer, host_array):
+        buffer.write(host_array)
+        self.enqueue_log.append(("write", buffer.size_bytes))
+        return Event("write")
+
+    def enqueue_read_buffer(self, buffer, dtype=None):
+        self.enqueue_log.append(("read", buffer.size_bytes))
+        result = buffer.read(dtype)
+        return result
+
+    def enqueue_nd_range(self, kernel, nd_range):
+        """Launch a kernel over an ND-range (functionally, synchronously)."""
+        module = kernel.program.module
+        launcher = KernelLauncher(module)
+        stats = launcher.launch(kernel.name, kernel.runtime_args(),
+                                nd_range.global_size, nd_range.local_size)
+        self.enqueue_log.append(("ndrange", (kernel.name, nd_range)))
+        return Event("ndrange", stats)
+
+    def finish(self):
+        """Block until all enqueued work completes (no-op: synchronous)."""
+        return None

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+Every layer of the stack raises a subclass of :class:`ReproError` so callers
+can catch failures from the whole toolchain with a single handler while the
+leaf classes keep diagnostics precise.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CompileError(ReproError):
+    """Base class for kernel compilation failures."""
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = "line {}:{}: {}".format(line, column or 0, message)
+        super().__init__(message)
+
+
+class LexError(CompileError):
+    """Invalid character sequence in kernel source."""
+
+
+class ParseError(CompileError):
+    """Kernel source does not match the grammar."""
+
+
+class SemanticError(CompileError):
+    """Kernel source is grammatical but ill-typed or ill-formed."""
+
+
+class IRError(ReproError):
+    """Malformed IR detected (verifier failure or builder misuse)."""
+
+
+class InterpError(ReproError):
+    """Runtime fault while functionally executing a kernel."""
+
+
+class MemoryFault(InterpError):
+    """Out-of-bounds or wild access in the simulated device memory."""
+
+
+class CLError(ReproError):
+    """Mini-OpenCL host API misuse (mirrors OpenCL error codes loosely)."""
+
+
+class DeviceOutOfMemory(CLError):
+    """Device memory allocator cannot satisfy a request."""
+
+
+class SimulationError(ReproError):
+    """Timing simulator invariant violation."""
+
+
+class SchedulingError(ReproError):
+    """accelOS scheduler could not produce a valid allocation."""

@@ -1,0 +1,12 @@
+"""Experiment harness: runs workloads under the three schemes and
+aggregates the paper's metrics."""
+
+from repro.harness.experiment import (
+    SCHEMES, WorkloadResult, isolated_time, run_single_kernel, run_workload)
+from repro.harness.sweep import SweepSummary, run_sweep, summarize
+from repro.harness.report import format_table
+
+__all__ = [
+    "SCHEMES", "WorkloadResult", "isolated_time", "run_single_kernel",
+    "run_workload", "SweepSummary", "run_sweep", "summarize", "format_table",
+]

@@ -1,0 +1,32 @@
+"""ASCII table rendering for benchmark output (paper-style rows)."""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title=None):
+    """Render a simple aligned table."""
+    text_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in text_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        if abs(value) >= 100:
+            return "{:.1f}".format(value)
+        return "{:.2f}".format(value)
+    return str(value)

@@ -1,0 +1,110 @@
+"""Sweep campaigns: many workloads x schemes, aggregated (figs. 9-14).
+
+Sweep sizes default to laptop scale; set ``REPRO_SWEEP_SCALE`` to grow the
+random 4-/8-kernel samples toward the paper's 16384/32768 (scale 1 = 384
+each, scale N multiplies).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.harness.experiment import (DEFAULT_REPETITIONS, SCHEMES,
+                                      run_workload)
+from repro.metrics import fairness_improvement, throughput_speedup, worst_antt
+from repro.workloads import pairwise_workloads, random_workloads
+
+
+def sweep_scale():
+    return max(1, int(os.environ.get("REPRO_SWEEP_SCALE", "1")))
+
+
+def default_workload_sets(pair_limit=None):
+    """The three request-size campaigns of §7.2."""
+    scale = sweep_scale()
+    pairs = pairwise_workloads()
+    if pair_limit is not None:
+        pairs = pairs[:pair_limit]
+    return {
+        2: pairs,
+        4: random_workloads(4, 384 * scale),
+        8: random_workloads(8, 384 * scale),
+    }
+
+
+def run_sweep(workloads, device, schemes=SCHEMES,
+              repetitions=DEFAULT_REPETITIONS):
+    """Run every workload under every scheme.
+
+    Returns ``{scheme: [WorkloadResult]}`` with matching workload order.
+    """
+    results = {scheme: [] for scheme in schemes}
+    for workload in workloads:
+        for scheme in schemes:
+            results[scheme].append(
+                run_workload(workload, scheme, device,
+                             repetitions=repetitions))
+    return results
+
+
+class SweepSummary:
+    """Aggregates a sweep into the numbers the paper's figures report."""
+
+    def __init__(self, results):
+        self.results = results
+        base = results["baseline"]
+        self.count = len(base)
+
+        self.avg_unfairness = {
+            scheme: float(np.mean([r.unfairness for r in rows]))
+            for scheme, rows in results.items()
+        }
+        self.fairness_improvements = {}
+        self.throughput_speedups = {}
+        for scheme, rows in results.items():
+            if scheme == "baseline":
+                continue
+            self.fairness_improvements[scheme] = [
+                fairness_improvement(b.unfairness, r.unfairness)
+                for b, r in zip(base, rows)
+            ]
+            self.throughput_speedups[scheme] = [
+                throughput_speedup(b.makespan, r.makespan)
+                for b, r in zip(base, rows)
+            ]
+        self.avg_overlap = {
+            scheme: float(np.mean([r.overlap for r in rows]))
+            for scheme, rows in results.items()
+        }
+        self.avg_stp = {
+            scheme: float(np.mean([r.stp for r in rows]))
+            for scheme, rows in results.items()
+        }
+        self.avg_antt = {
+            scheme: float(np.mean([r.antt for r in rows]))
+            for scheme, rows in results.items()
+        }
+        self.worst_antt = {
+            scheme: worst_antt([r.antt for r in rows])
+            for scheme, rows in results.items()
+        }
+
+    def avg_fairness_improvement(self, scheme):
+        return float(np.mean(self.fairness_improvements[scheme]))
+
+    def avg_throughput_speedup(self, scheme):
+        return float(np.mean(self.throughput_speedups[scheme]))
+
+    def negative_fairness_fraction(self, scheme):
+        values = self.fairness_improvements[scheme]
+        return sum(1 for v in values if v < 1.0) / len(values)
+
+    def slowdown_fraction(self, scheme):
+        values = self.throughput_speedups[scheme]
+        return sum(1 for v in values if v < 1.0) / len(values)
+
+
+def summarize(results):
+    return SweepSummary(results)

@@ -1,0 +1,18 @@
+"""Functional device execution: interprets IR kernels over an ND-range.
+
+This is the correctness plane of the reproduction.  On real hardware the
+accelOS transformation is trusted to preserve kernel semantics; here we can
+*check* it: the interpreter executes both the original kernel and the
+transformed ``dyn_sched`` kernel and the test suite asserts bit-identical
+buffer contents.
+
+Barrier semantics are real: each work item runs as a Python generator that
+yields at ``barrier()``, and the work-group executor advances every item to
+the barrier before any item proceeds — the exact contract the transformed
+scheduling loop relies on (master work-item dequeues, then barrier).
+"""
+
+from repro.interp.memory import MemoryRegion, Pointer, LocalArg
+from repro.interp.executor import KernelLauncher, LaunchStats
+
+__all__ = ["MemoryRegion", "Pointer", "LocalArg", "KernelLauncher", "LaunchStats"]

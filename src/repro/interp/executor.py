@@ -1,0 +1,382 @@
+"""Work-item / work-group interpreter over the IR.
+
+Execution model
+---------------
+* A *work item* is a Python generator produced by :meth:`_run_function`;
+  it yields the sentinel :data:`BARRIER` whenever it executes a barrier.
+* A *work group* runs its items in lockstep phases: all items advance to
+  the next barrier (or to completion), then the executor releases them past
+  it.  Divergent barriers (some items finish while others wait) raise —
+  that is undefined behaviour in OpenCL and a bug we want loud.
+* Work groups are executed sequentially (functional mode cares about
+  values, not timing; timing lives in :mod:`repro.sim`).
+
+Private allocas are instantiated per work item, ``local`` allocas once per
+work group (OpenCL shared arrays), which is exactly the distinction the
+accelOS local-data-hoisting step manipulates.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import InterpError
+from repro.ir import arith
+from repro.ir import instructions as I
+from repro.ir.values import Argument, Constant, Undef
+from repro.interp.memory import LocalArg, MemoryRegion, Pointer, scalar_size
+from repro.kernelc import builtins as B
+from repro.kernelc import types as T
+
+BARRIER = object()
+
+
+class LaunchStats:
+    """Dynamic execution statistics for one kernel launch.
+
+    ``instructions_per_group`` feeds timing calibration: the timing simulator
+    can consume real dynamic instruction counts for small launches.
+    """
+
+    def __init__(self):
+        self.instructions = 0
+        self.instructions_per_group = {}
+        self.barriers = 0
+        self.atomic_ops = 0
+
+    def record_group(self, group_id, executed):
+        self.instructions_per_group[group_id] = executed
+        self.instructions += executed
+
+
+class _WorkItemFrame:
+    """Per-work-item execution state for one function activation."""
+
+    __slots__ = ("function", "values",)
+
+    def __init__(self, function):
+        self.function = function
+        self.values = {}
+
+
+class _GroupContext:
+    """Shared state of one executing work group."""
+
+    __slots__ = ("group_id", "local_regions", "executed")
+
+    def __init__(self, group_id):
+        self.group_id = group_id
+        self.local_regions = {}
+        self.executed = 0
+
+
+class _ItemContext:
+    """Identity of one work item within the launch."""
+
+    __slots__ = ("global_id", "local_id", "group")
+
+    def __init__(self, global_id, local_id, group):
+        self.global_id = global_id
+        self.local_id = local_id
+        self.group = group
+
+
+class KernelLauncher:
+    """Executes kernels from a module over an ND-range."""
+
+    def __init__(self, module, max_steps=200_000_000):
+        self.module = module
+        self.max_steps = max_steps
+
+    # -- public API ------------------------------------------------------------
+
+    def launch(self, kernel_name, args, global_size, local_size):
+        """Run ``kernel_name`` over the ND-range; returns :class:`LaunchStats`.
+
+        ``args`` follow OpenCL ``clSetKernelArg`` conventions: scalar Python
+        values, :class:`Pointer` for buffers, or :class:`LocalArg` for
+        local-memory sizes.
+        """
+        kernel = self.module.get(kernel_name)
+        if not kernel.is_kernel:
+            raise InterpError("{} is not a kernel".format(kernel_name))
+        global_size = _normalize(global_size)
+        local_size = _normalize(local_size)
+        work_dim = max(len_nonone(global_size), 1)
+        for d in range(3):
+            if global_size[d] % local_size[d]:
+                raise InterpError(
+                    "global size {} not divisible by local size {}".format(
+                        global_size, local_size))
+        num_groups = tuple(global_size[d] // local_size[d] for d in range(3))
+
+        if len(args) != len(kernel.arguments):
+            raise InterpError("kernel {} expects {} arguments, got {}".format(
+                kernel_name, len(kernel.arguments), len(args)))
+
+        stats = LaunchStats()
+        self._launch_geometry = (global_size, local_size, num_groups, work_dim)
+        # itertools.product iterates the last axis fastest; build the product
+        # as (z, y, x) and reverse each tuple so x varies fastest.
+        for group_id in itertools.product(*(range(num_groups[2 - d])
+                                            for d in range(3))):
+            gid = tuple(reversed(group_id))
+            self._run_group(kernel, args, gid, stats)
+        return stats
+
+    # -- group execution ---------------------------------------------------------
+
+    def _run_group(self, kernel, args, group_id, stats):
+        global_size, local_size, num_groups, work_dim = self._launch_geometry
+        group = _GroupContext(group_id)
+
+        # Materialise local regions: one per local alloca and per LocalArg.
+        bound_args = []
+        for formal, actual in zip(kernel.arguments, args):
+            if isinstance(actual, LocalArg):
+                region = MemoryRegion(actual.size_bytes, T.LOCAL,
+                                      "localarg:{}".format(formal.name))
+                bound_args.append(Pointer(region, formal.type.pointee, 0))
+            else:
+                bound_args.append(actual)
+
+        items = []
+        for local_id in itertools.product(*(range(local_size[2 - d])
+                                            for d in range(3))):
+            lid = tuple(reversed(local_id))
+            item = _ItemContext(
+                tuple(group_id[d] * local_size[d] + lid[d] for d in range(3)),
+                lid, group)
+            frame = _WorkItemFrame(kernel)
+            for formal, actual in zip(kernel.arguments, bound_args):
+                frame.values[formal] = actual
+            generator = self._run_function(kernel, frame, item, stats)
+            items.append(generator)
+
+        # Lockstep phase execution.
+        finished = [False] * len(items)
+        while not all(finished):
+            at_barrier = 0
+            finished_this_phase = 0
+            for index, generator in enumerate(items):
+                if finished[index]:
+                    continue
+                try:
+                    signal = next(generator)
+                except StopIteration:
+                    finished[index] = True
+                    finished_this_phase += 1
+                    continue
+                if signal is BARRIER:
+                    at_barrier += 1
+                else:
+                    raise InterpError("unexpected yield from work item")
+            # Every live item must make the same choice each phase: either
+            # all reach the barrier or all run to completion.  Anything else
+            # is barrier divergence — undefined behaviour in OpenCL, and a
+            # hang on real hardware, so we fail loudly.
+            if at_barrier and finished_this_phase:
+                raise InterpError(
+                    "divergent barrier in kernel {}: {} items at a barrier "
+                    "while {} finished".format(kernel.name, at_barrier,
+                                               finished_this_phase))
+        stats.record_group(group_id, group.executed)
+
+    # -- function interpretation -------------------------------------------------
+
+    def _run_function(self, function, frame, item, stats):
+        """Generator interpreting ``function``; yields BARRIER at barriers.
+
+        The generator's return value (via StopIteration) is the function's
+        return value.
+        """
+        values = frame.values
+        group = item.group
+
+        block = function.entry
+        steps = 0
+        while True:
+            next_block = None
+            for insn in block.instructions:
+                steps += 1
+                group.executed += 1
+                if steps > self.max_steps:
+                    raise InterpError(
+                        "work item exceeded {} steps (infinite loop?)".format(
+                            self.max_steps))
+                op = insn.opcode
+
+                if op == "alloca":
+                    values[insn] = self._do_alloca(insn, function, item)
+                elif op == "load":
+                    values[insn] = values_of(insn.pointer, values).load()
+                elif op == "store":
+                    pointer = values_of(insn.pointer, values)
+                    pointer.store(values_of(insn.value, values))
+                elif op == "ptradd":
+                    base = values_of(insn.base, values)
+                    index = values_of(insn.index, values)
+                    values[insn] = base.add(index)
+                elif op == "binop":
+                    values[insn] = arith.eval_binop(
+                        insn.op,
+                        values_of(insn.lhs, values),
+                        values_of(insn.rhs, values),
+                        insn.type)
+                elif op == "cmp":
+                    values[insn] = arith.eval_cmp(
+                        insn.op,
+                        values_of(insn.lhs, values),
+                        values_of(insn.rhs, values))
+                elif op == "cast":
+                    values[insn] = self._do_cast(insn, values)
+                elif op == "select":
+                    cond = values_of(insn.operands[0], values)
+                    chosen = insn.operands[1] if cond else insn.operands[2]
+                    values[insn] = values_of(chosen, values)
+                elif op == "call":
+                    result = yield from self._do_call(insn, values, item, stats)
+                    if not insn.type.is_void():
+                        values[insn] = result
+                elif op == "atomicrmw":
+                    values[insn] = self._do_atomic(insn, values, stats)
+                elif op == "barrier":
+                    stats.barriers += 1
+                    yield BARRIER
+                elif op == "br":
+                    next_block = insn.target
+                elif op == "condbr":
+                    cond = values_of(insn.cond, values)
+                    next_block = insn.then_block if cond else insn.else_block
+                elif op == "ret":
+                    return values_of(insn.value, values) if insn.value is not None \
+                        else None
+                else:
+                    raise InterpError("cannot interpret {}".format(op))
+            if next_block is None:
+                raise InterpError("block fell through without terminator")
+            block = next_block
+
+    # -- instruction helpers -----------------------------------------------------
+
+    def _do_alloca(self, insn, function, item):
+        if insn.address_space == T.LOCAL:
+            # Work-group shared: one region per (group, alloca).
+            region = item.group.local_regions.get(insn)
+            if region is None:
+                if insn.allocated_type.is_pointer():
+                    region = MemoryRegion(0, T.LOCAL, insn.name, kind="object",
+                                          object_slots=insn.count)
+                else:
+                    region = MemoryRegion(
+                        insn.count * scalar_size(insn.allocated_type),
+                        T.LOCAL, insn.name)
+                item.group.local_regions[insn] = region
+            return Pointer(region, insn.allocated_type, 0)
+        if insn.allocated_type.is_pointer():
+            region = MemoryRegion(0, T.PRIVATE, insn.name, kind="object",
+                                  object_slots=insn.count)
+        else:
+            region = MemoryRegion(insn.count * scalar_size(insn.allocated_type),
+                                  T.PRIVATE, insn.name)
+        return Pointer(region, insn.allocated_type, 0)
+
+    def _do_cast(self, insn, values):
+        value = values_of(insn.value, values)
+        to_type = insn.type
+        if isinstance(value, Pointer):
+            if to_type.is_pointer():
+                return value.retype(to_type.pointee)
+            raise InterpError("pointer-to-scalar casts are not supported")
+        if to_type.is_pointer():
+            raise InterpError("scalar-to-pointer casts are not supported")
+        return arith.eval_cast(value, to_type)
+
+    def _do_call(self, insn, values, item, stats):
+        args = [values_of(op, values) for op in insn.operands]
+        if insn.is_intrinsic():
+            return self._do_intrinsic(insn.callee, args, item)
+        callee = insn.callee
+        frame = _WorkItemFrame(callee)
+        for formal, actual in zip(callee.arguments, args):
+            frame.values[formal] = actual
+        result = yield from self._run_function(callee, frame, item, stats)
+        return result
+
+    def _do_intrinsic(self, name, args, item):
+        global_size, local_size, num_groups, work_dim = self._launch_geometry
+        if name == "get_work_dim":
+            return work_dim
+        if name in B.WORKITEM_BUILTINS:
+            d = int(args[0]) if args else 0
+            if not 0 <= d < 3:
+                return 0 if name != "get_global_size" else 1
+            return {
+                "get_global_id": lambda: item.global_id[d],
+                "get_local_id": lambda: item.local_id[d],
+                "get_group_id": lambda: item.group.group_id[d],
+                "get_global_size": lambda: global_size[d],
+                "get_local_size": lambda: local_size[d],
+                "get_num_groups": lambda: num_groups[d],
+                "get_global_offset": lambda: 0,
+            }[name]()
+        if name in B.MATH_BUILTINS:
+            return B.evaluate_math(name, args)
+        raise InterpError("unknown intrinsic {!r}".format(name))
+
+    def _do_atomic(self, insn, values, stats):
+        stats.atomic_ops += 1
+        pointer = values_of(insn.pointer, values)
+        old = pointer.load()
+        op = insn.op
+        ty = insn.type
+        if op == "add":
+            new = arith.eval_binop("add", old, values_of(insn.operands[1], values), ty)
+        elif op == "sub":
+            new = arith.eval_binop("sub", old, values_of(insn.operands[1], values), ty)
+        elif op == "min":
+            new = min(old, values_of(insn.operands[1], values))
+        elif op == "max":
+            new = max(old, values_of(insn.operands[1], values))
+        elif op == "xchg":
+            new = values_of(insn.operands[1], values)
+        elif op == "inc":
+            new = arith.eval_binop("add", old, 1, ty)
+        elif op == "dec":
+            new = arith.eval_binop("sub", old, 1, ty)
+        elif op == "cmpxchg":
+            comparand = values_of(insn.operands[1], values)
+            new_value = values_of(insn.operands[2], values)
+            new = new_value if old == comparand else old
+        else:
+            raise InterpError("unknown atomic {}".format(op))
+        pointer.store(new)
+        return old
+
+
+def values_of(operand, values):
+    """Resolve an IR operand to its runtime value."""
+    if isinstance(operand, Constant):
+        return operand.value
+    if isinstance(operand, Undef):
+        return 0
+    value = values.get(operand)
+    if value is None and operand not in values:
+        raise InterpError("operand {!r} has no value (verifier should have "
+                          "caught this)".format(operand))
+    return value
+
+
+def _normalize(size):
+    if isinstance(size, int):
+        size = (size,)
+    size = tuple(int(s) for s in size)
+    return size + (1,) * (3 - len(size))
+
+
+def len_nonone(size):
+    """Dimensionality of a normalised size tuple."""
+    dims = 3
+    while dims > 1 and size[dims - 1] == 1:
+        dims -= 1
+    return dims

@@ -1,0 +1,180 @@
+"""Simulated device memory: typed regions and fat pointers.
+
+A :class:`MemoryRegion` owns raw bytes (numpy ``uint8``) and hands out typed
+views, so reinterpreting casts (``(global int*)float_buffer``) behave like
+they do on hardware.  Pointer-typed private slots (a register holding a
+pointer) use object storage instead, since fat pointers are Python objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryFault
+from repro.kernelc import types as T
+
+_DTYPES = {
+    "bool": np.uint8,
+    "int": np.int32,
+    "uint": np.uint32,
+    "long": np.int64,
+    "ulong": np.uint64,
+    "float": np.float32,
+}
+
+
+def dtype_for(ty):
+    """numpy dtype used to store scalar type ``ty``."""
+    return np.dtype(_DTYPES[ty.kind])
+
+
+def scalar_size(ty):
+    if ty.is_pointer():
+        return 8
+    return dtype_for(ty).itemsize
+
+
+class MemoryRegion:
+    """A contiguous allocation in some address space.
+
+    ``kind`` is ``raw`` (scalar data, reinterpretable) or ``object`` (slots
+    holding Python values such as fat pointers).
+    """
+
+    __slots__ = ("name", "space", "kind", "data", "_views", "size_bytes")
+
+    def __init__(self, size_bytes, space, name="", kind="raw", object_slots=0):
+        self.name = name
+        self.space = space
+        self.kind = kind
+        if kind == "raw":
+            self.data = np.zeros(int(size_bytes), dtype=np.uint8)
+            self.size_bytes = int(size_bytes)
+        else:
+            self.data = [None] * object_slots
+            self.size_bytes = object_slots * 8
+        self._views = {}
+
+    def view(self, ty):
+        """Typed numpy view of the raw bytes for scalar type ``ty``."""
+        if self.kind != "raw":
+            raise MemoryFault("typed view of an object region {!r}".format(self.name))
+        key = ty.kind
+        out = self._views.get(key)
+        if out is None:
+            dt = dtype_for(ty)
+            usable = (self.size_bytes // dt.itemsize) * dt.itemsize
+            out = self.data[:usable].view(dt)
+            self._views[key] = out
+        return out
+
+    def fill_from(self, array):
+        """Copy a numpy array's bytes into the region (host -> device)."""
+        raw = np.ascontiguousarray(array).view(np.uint8).reshape(-1)
+        if raw.size > self.size_bytes:
+            raise MemoryFault("host array larger than region {!r}".format(self.name))
+        self.data[:raw.size] = raw
+
+    def to_array(self, dtype, count=None):
+        """Read the region back as a typed numpy array (device -> host)."""
+        dt = np.dtype(dtype)
+        view = self.data.view(dt)
+        return np.array(view if count is None else view[:count])
+
+
+class Pointer:
+    """Fat pointer: region + element type + element offset."""
+
+    __slots__ = ("region", "elem_type", "offset")
+
+    def __init__(self, region, elem_type, offset=0):
+        self.region = region
+        self.elem_type = elem_type
+        self.offset = int(offset)
+
+    def add(self, delta):
+        return Pointer(self.region, self.elem_type, self.offset + int(delta))
+
+    def retype(self, elem_type):
+        """Reinterpret cast: same byte address, new element type."""
+        if elem_type == self.elem_type:
+            return self
+        if self.region.kind == "object":
+            return Pointer(self.region, elem_type, self.offset)
+        old_size = scalar_size(self.elem_type)
+        new_size = scalar_size(elem_type)
+        byte_offset = self.offset * old_size
+        if byte_offset % new_size:
+            raise MemoryFault("misaligned pointer reinterpretation")
+        return Pointer(self.region, elem_type, byte_offset // new_size)
+
+    # -- access ---------------------------------------------------------------
+
+    def _check(self, index):
+        if self.region.kind == "object":
+            if not (0 <= index < len(self.region.data)):
+                raise MemoryFault(
+                    "object slot {} out of range in {!r}".format(
+                        index, self.region.name))
+            return
+        size = scalar_size(self.elem_type)
+        if not (0 <= index * size and (index + 1) * size <= self.region.size_bytes):
+            raise MemoryFault(
+                "access at element {} ({}B) outside region {!r} of {}B".format(
+                    index, size, self.region.name, self.region.size_bytes))
+
+    def load(self):
+        self._check(self.offset)
+        if self.region.kind == "object":
+            value = self.region.data[self.offset]
+            if value is None:
+                raise MemoryFault("load of uninitialised pointer slot")
+            return value
+        raw = self.region.view(self.elem_type)[self.offset]
+        if self.elem_type.is_float():
+            return float(raw)
+        if self.elem_type.is_bool():
+            return bool(raw)
+        return int(raw)
+
+    def store(self, value):
+        self._check(self.offset)
+        if self.region.kind == "object":
+            self.region.data[self.offset] = value
+            return
+        self.region.view(self.elem_type)[self.offset] = value
+
+    def __eq__(self, other):
+        return (isinstance(other, Pointer) and other.region is self.region
+                and other.offset == self.offset
+                and other.elem_type == self.elem_type)
+
+    def __hash__(self):
+        return hash((id(self.region), self.offset, self.elem_type))
+
+    def __repr__(self):
+        return "Pointer({}[{}] {})".format(
+            self.region.name or "anon", self.offset, self.elem_type)
+
+
+class LocalArg:
+    """Placeholder for a kernel ``local`` pointer argument.
+
+    The host passes only a *size* for local arguments (``clSetKernelArg``
+    with a NULL pointer); the executor materialises a fresh region per
+    work-group.
+    """
+
+    __slots__ = ("size_bytes",)
+
+    def __init__(self, size_bytes):
+        self.size_bytes = int(size_bytes)
+
+    def __repr__(self):
+        return "LocalArg({}B)".format(self.size_bytes)
+
+
+def alloc_buffer(ty, count, space=T.GLOBAL, name=""):
+    """Allocate a region of ``count`` elements of scalar type ``ty``."""
+    region = MemoryRegion(count * scalar_size(ty), space, name)
+    return Pointer(region, ty, 0)

@@ -1,0 +1,46 @@
+"""Typed intermediate representation and pass infrastructure.
+
+The IR plays the role LLVM plays in the paper: the accelOS JIT transformation
+(:mod:`repro.accelos.transform`) is implemented as IR-to-IR rewrites, and the
+functional device (:mod:`repro.interp`) executes IR directly (our "native
+code generation").
+
+Design notes
+------------
+* Types are shared with the frontend (:mod:`repro.kernelc.types`) — they are
+  structural value objects carrying OpenCL address spaces, which is exactly
+  what the IR needs.
+* The IR is *not* in SSA form: locals live in ``alloca`` slots accessed by
+  ``load``/``store`` (LLVM-before-mem2reg style).  The accelOS transformation
+  only rewrites calls, extends interfaces and injects control flow, none of
+  which needs phi nodes, and the interpreter and inliner stay simple.
+* ``local``-address-space allocas in kernels denote *work-group shared*
+  arrays (OpenCL semantics); the executor materialises them once per group.
+"""
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.module import Module
+from repro.ir.builder import IRBuilder
+from repro.ir.lowering import lower_program
+from repro.ir.printer import print_module, print_function
+from repro.ir.verifier import verify_module
+
+__all__ = [
+    "BasicBlock", "Function", "Module", "IRBuilder",
+    "lower_program", "print_module", "print_function", "verify_module",
+    "compile_source",
+]
+
+
+def compile_source(source, options=None, name="program", optimize=True):
+    """Compile mini OpenCL-C source into a verified (optionally optimized) Module."""
+    from repro.kernelc import frontend
+    from repro.ir.passes import standard_pipeline
+
+    program = frontend(source, options)
+    module = lower_program(program, name=name)
+    verify_module(module)
+    if optimize:
+        standard_pipeline().run(module)
+        verify_module(module)
+    return module

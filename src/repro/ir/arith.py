@@ -1,0 +1,118 @@
+"""Evaluation semantics for IR scalar operations.
+
+Shared by the constant folder and the interpreter so compile-time folding
+can never disagree with run-time evaluation (a classic source of
+miscompiles).  Integer arithmetic wraps to the type width with C signedness;
+division truncates toward zero; shifts mask the shift amount.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InterpError
+from repro.kernelc import types as T
+
+
+def wrap_int(value, ty):
+    """Wrap an unbounded Python int to scalar type ``ty``."""
+    if ty.is_bool():
+        return bool(value)
+    bits, signed = T.SCALAR_INFO[ty.kind]
+    mask = (1 << bits) - 1
+    value = int(value) & mask
+    if signed and value >= (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def eval_binop(op, a, b, ty):
+    """Evaluate a binop on Python scalars with ``ty`` result semantics.
+
+    Raises :class:`InterpError` on integer division by zero (the run-time
+    trap); float division by zero follows IEEE (inf/nan).
+    """
+    if ty.is_float():
+        a = float(a)
+        b = float(b)
+        if op == "add":
+            return a + b
+        if op == "sub":
+            return a - b
+        if op == "mul":
+            return a * b
+        if op == "div":
+            if b == 0.0:
+                if a == 0.0:
+                    return float("nan")
+                return float("inf") if a > 0 else float("-inf")
+            return a / b
+        if op == "rem":
+            import math
+            return math.fmod(a, b) if b != 0.0 else float("nan")
+        raise InterpError("float {} is not defined".format(op))
+
+    a = int(a)
+    b = int(b)
+    if op == "add":
+        result = a + b
+    elif op == "sub":
+        result = a - b
+    elif op == "mul":
+        result = a * b
+    elif op == "div":
+        if b == 0:
+            raise InterpError("integer division by zero")
+        result = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            result = -result
+    elif op == "rem":
+        if b == 0:
+            raise InterpError("integer remainder by zero")
+        quotient = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            quotient = -quotient
+        result = a - quotient * b
+    elif op == "and":
+        result = a & b
+    elif op == "or":
+        result = a | b
+    elif op == "xor":
+        result = a ^ b
+    elif op == "shl":
+        result = a << (b & 63)
+    elif op == "shr":
+        bits, signed = T.SCALAR_INFO[ty.kind]
+        shift = b & 63
+        if signed:
+            result = a >> shift
+        else:
+            result = (a & ((1 << bits) - 1)) >> shift
+    else:
+        raise InterpError("unknown binop {}".format(op))
+    return wrap_int(result, ty)
+
+
+def eval_cmp(op, a, b):
+    if op == "eq":
+        return a == b
+    if op == "ne":
+        return a != b
+    if op == "lt":
+        return a < b
+    if op == "le":
+        return a <= b
+    if op == "gt":
+        return a > b
+    if op == "ge":
+        return a >= b
+    raise InterpError("unknown cmp {}".format(op))
+
+
+def eval_cast(value, to_type):
+    """Scalar conversion with C truncation semantics."""
+    if to_type.is_float():
+        # Intermediate float values are kept in double precision; rounding to
+        # 32 bits happens at stores, matching how we compare results.
+        return float(value)
+    if to_type.is_bool():
+        return bool(value)
+    return wrap_int(int(value), to_type)

@@ -1,0 +1,149 @@
+"""Convenience builder for emitting IR with automatic type handling.
+
+The builder inserts at the end of a *current block* and provides typed
+helpers that apply the implicit conversions of the source language (so the
+lowering code and the accelOS transformation stay readable).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir import instructions as I
+from repro.ir.values import Constant
+from repro.kernelc import types as T
+
+
+class IRBuilder:
+    def __init__(self, function, block=None):
+        self.function = function
+        self.block = block
+
+    def position_at_end(self, block):
+        self.block = block
+        return self
+
+    def _insert(self, insn, name_hint=""):
+        if self.block is None:
+            raise IRError("builder has no insertion block")
+        if name_hint and not insn.name:
+            insn.name = self.function.unique_name(name_hint)
+        self.block.append(insn)
+        return insn
+
+    # -- conversions --------------------------------------------------------
+
+    def convert(self, value, to_type):
+        """Emit a cast if ``value`` is not already of ``to_type``."""
+        if value.type == to_type:
+            return value
+        if isinstance(value, Constant) and to_type.is_scalar():
+            return Constant(to_type, value.value)
+        return self._insert(I.Cast(value, to_type), "cv")
+
+    def coerce_pair(self, lhs, rhs):
+        """Apply usual arithmetic conversions to a scalar operand pair."""
+        if not (lhs.type.is_scalar() and rhs.type.is_scalar()):
+            raise IRError("coerce_pair on non-scalars {} / {}".format(
+                lhs.type, rhs.type))
+        common = T.common_type(lhs.type, rhs.type)
+        return self.convert(lhs, common), self.convert(rhs, common), common
+
+    # -- memory --------------------------------------------------------------
+
+    def alloca(self, allocated_type, count=1, address_space=T.PRIVATE, name="slot"):
+        # Allocas conventionally live in the entry block so they execute once.
+        insn = I.Alloca(allocated_type, count, address_space)
+        insn.name = self.function.unique_name(name)
+        entry = self.function.entry
+        insertion = 0
+        for i, existing in enumerate(entry.instructions):
+            if existing.opcode == "alloca":
+                insertion = i + 1
+            else:
+                break
+        insn.parent = entry
+        entry.instructions.insert(insertion, insn)
+        return insn
+
+    def load(self, pointer, name="ld"):
+        return self._insert(I.Load(pointer), name)
+
+    def store(self, pointer, value):
+        value = self.convert(value, pointer.type.pointee)
+        return self._insert(I.Store(pointer, value))
+
+    def ptradd(self, base, index, name="ptr"):
+        index = self.convert(index, T.LONG)
+        return self._insert(I.PtrAdd(base, index), name)
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def binop(self, op, lhs, rhs, name="t"):
+        if lhs.type.is_pointer():
+            # pointer +/- integer displacement
+            index = self.convert(rhs, T.LONG)
+            if op == "sub":
+                index = self.binop("sub", Constant(T.LONG, 0), index)
+            return self.ptradd(lhs, index, name)
+        lhs, rhs, common = self.coerce_pair(lhs, rhs)
+        return self._insert(I.BinOp(op, lhs, rhs, common), name)
+
+    def cmp(self, op, lhs, rhs, name="c"):
+        if lhs.type.is_pointer() and rhs.type.is_pointer():
+            return self._insert(I.Cmp(op, lhs, rhs), name)
+        lhs, rhs, _ = self.coerce_pair(lhs, rhs)
+        return self._insert(I.Cmp(op, lhs, rhs), name)
+
+    def select(self, cond, then, otherwise, name="sel"):
+        cond = self.to_bool(cond)
+        if then.type.is_scalar() and otherwise.type.is_scalar():
+            then, otherwise, _ = self.coerce_pair(then, otherwise)
+        return self._insert(I.Select(cond, then, otherwise), name)
+
+    def to_bool(self, value):
+        """Truth-test a scalar or pointer value (C semantics)."""
+        if value.type.is_bool():
+            return value
+        if value.type.is_pointer():
+            raise IRError("pointer truth tests are not supported; compare explicitly")
+        zero = Constant(value.type, 0)
+        return self.cmp("ne", value, zero, "tobool")
+
+    # -- calls, atomics, sync ---------------------------------------------------
+
+    def call(self, callee, args, return_type=None, name="call"):
+        if return_type is None:
+            if isinstance(callee, str):
+                raise IRError("intrinsic calls must state their return type")
+            return_type = callee.return_type
+        insn = I.Call(callee, args, return_type)
+        hint = name if not return_type.is_void() else ""
+        return self._insert(insn, hint)
+
+    def atomic(self, op, pointer, value=None, comparand=None, name="old"):
+        if value is not None:
+            value = self.convert(value, pointer.type.pointee)
+        if comparand is not None:
+            comparand = self.convert(comparand, pointer.type.pointee)
+        return self._insert(I.AtomicRMW(op, pointer, value, comparand), name)
+
+    def barrier(self, flags=None):
+        flags = flags if flags is not None else Constant(T.INT, 1)
+        return self._insert(I.Barrier(flags))
+
+    # -- control flow ---------------------------------------------------------
+
+    def br(self, target):
+        return self._insert(I.Br(target))
+
+    def condbr(self, cond, then_block, else_block):
+        cond = self.to_bool(cond)
+        return self._insert(I.CondBr(cond, then_block, else_block))
+
+    def ret(self, value=None):
+        if value is not None:
+            value = self.convert(value, self.function.return_type)
+        return self._insert(I.Ret(value))
+
+    def is_terminated(self):
+        return self.block is not None and self.block.terminator is not None

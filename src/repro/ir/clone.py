@@ -1,0 +1,112 @@
+"""Deep-cloning of IR functions and modules.
+
+Used by the accelOS transformation (which clones the original kernel before
+rewriting it into a plain computation function) and by the inliner.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir import instructions as I
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import Argument, Constant, Undef
+
+
+def clone_function(func, new_name=None, extra_param_types=(), extra_param_names=()):
+    """Clone ``func``; optionally append extra trailing parameters.
+
+    Returns ``(clone, value_map)`` where ``value_map`` maps original values
+    (arguments and instructions) to their clones, so callers can keep
+    rewriting the clone.
+    """
+    param_types = [a.type for a in func.arguments] + list(extra_param_types)
+    param_names = [a.name for a in func.arguments] + list(extra_param_names)
+    clone = Function(new_name or func.name, func.return_type, param_types,
+                     param_names, is_kernel=func.is_kernel)
+    clone.metadata = dict(func.metadata)
+
+    value_map = {}
+    for old_arg, new_arg in zip(func.arguments, clone.arguments):
+        value_map[old_arg] = new_arg
+
+    block_map = {}
+    for block in func.blocks:
+        new_block = clone.add_block(block.name.rsplit(".", 1)[0])
+        block_map[block] = new_block
+
+    for block in func.blocks:
+        new_block = block_map[block]
+        for insn in block.instructions:
+            cloned = _clone_instruction(insn, value_map, block_map)
+            cloned.parent = new_block
+            new_block.instructions.append(cloned)
+            value_map[insn] = cloned
+    return clone, value_map
+
+
+def _map_value(value, value_map):
+    if value is None:
+        return None
+    if isinstance(value, (Constant, Undef)):
+        return value
+    mapped = value_map.get(value)
+    if mapped is None:
+        raise IRError("clone: operand {!r} not yet mapped (use before def?)"
+                      .format(value))
+    return mapped
+
+
+def _clone_instruction(insn, value_map, block_map):
+    ops = [_map_value(op, value_map) for op in insn.operands]
+    if isinstance(insn, I.Alloca):
+        out = I.Alloca(insn.allocated_type, insn.count, insn.address_space)
+    elif isinstance(insn, I.Load):
+        out = I.Load(ops[0])
+    elif isinstance(insn, I.Store):
+        out = I.Store(ops[0], ops[1])
+    elif isinstance(insn, I.PtrAdd):
+        out = I.PtrAdd(ops[0], ops[1])
+    elif isinstance(insn, I.BinOp):
+        out = I.BinOp(insn.op, ops[0], ops[1], insn.type)
+    elif isinstance(insn, I.Cmp):
+        out = I.Cmp(insn.op, ops[0], ops[1])
+    elif isinstance(insn, I.Cast):
+        out = I.Cast(ops[0], insn.type)
+    elif isinstance(insn, I.Select):
+        out = I.Select(ops[0], ops[1], ops[2])
+    elif isinstance(insn, I.Call):
+        out = I.Call(insn.callee, ops, insn.type)
+    elif isinstance(insn, I.AtomicRMW):
+        pointer = ops[0]
+        value = ops[1] if len(ops) > 1 else None
+        comparand = ops[2] if len(ops) > 2 else None
+        out = I.AtomicRMW(insn.op, pointer, value, comparand)
+    elif isinstance(insn, I.Barrier):
+        out = I.Barrier(ops[0])
+    elif isinstance(insn, I.Br):
+        out = I.Br(block_map[insn.target])
+    elif isinstance(insn, I.CondBr):
+        out = I.CondBr(ops[0], block_map[insn.then_block], block_map[insn.else_block])
+    elif isinstance(insn, I.Ret):
+        out = I.Ret(ops[0] if ops else None)
+    else:
+        raise IRError("clone: unhandled instruction {!r}".format(insn))
+    out.name = insn.name
+    return out
+
+
+def clone_module(module):
+    """Deep-copy a module, re-targeting direct calls to the cloned functions."""
+    out = Module(module.name)
+    clones = {}
+    for name, func in module.functions.items():
+        cloned, _ = clone_function(func)
+        clones[name] = cloned
+        out.add_function(cloned)
+    # Redirect call sites from old Function objects to the new ones.
+    for func in out.functions.values():
+        for insn in func.instructions():
+            if isinstance(insn, I.Call) and not insn.is_intrinsic():
+                insn.callee = clones[insn.callee.name]
+    return out

@@ -1,0 +1,143 @@
+"""Functions, basic blocks and the CFG utilities used by passes."""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir import instructions as I
+from repro.ir.values import Argument
+
+
+class BasicBlock:
+    """A straight-line instruction sequence ending in a terminator."""
+
+    __slots__ = ("name", "instructions", "parent")
+
+    def __init__(self, name, parent=None):
+        self.name = name
+        self.instructions = []
+        self.parent = parent
+
+    @property
+    def terminator(self):
+        if self.instructions and self.instructions[-1].is_terminator():
+            return self.instructions[-1]
+        return None
+
+    def append(self, instruction):
+        if self.terminator is not None:
+            raise IRError("appending after terminator in block {}".format(self.name))
+        instruction.parent = self
+        self.instructions.append(instruction)
+        return instruction
+
+    def successors(self):
+        term = self.terminator
+        if isinstance(term, I.Br):
+            return [term.target]
+        if isinstance(term, I.CondBr):
+            return [term.then_block, term.else_block]
+        return []
+
+    def __repr__(self):
+        return "<block {} ({} insns)>".format(self.name, len(self.instructions))
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+
+class Function:
+    """An IR function: arguments, ordered blocks, and kernel metadata.
+
+    ``metadata`` is a free-form dict; the accelOS transformation records
+    transformation provenance there (e.g. ``original_kernel``, ``chunk``).
+    """
+
+    def __init__(self, name, return_type, param_types, param_names=None,
+                 is_kernel=False):
+        self.name = name
+        self.return_type = return_type
+        param_names = param_names or ["arg{}".format(i) for i in range(len(param_types))]
+        if len(param_names) != len(param_types):
+            raise IRError("parameter name/type arity mismatch")
+        self.arguments = [Argument(ty, nm) for ty, nm in zip(param_types, param_names)]
+        self.blocks = []
+        self.is_kernel = is_kernel
+        self.metadata = {}
+        self._name_counter = 0
+
+    @property
+    def entry(self):
+        if not self.blocks:
+            raise IRError("function {} has no blocks".format(self.name))
+        return self.blocks[0]
+
+    def add_block(self, name_hint="bb"):
+        block = BasicBlock(self.unique_name(name_hint), self)
+        self.blocks.append(block)
+        return block
+
+    def unique_name(self, hint):
+        self._name_counter += 1
+        return "{}.{}".format(hint, self._name_counter)
+
+    def instructions(self):
+        for block in self.blocks:
+            for insn in block.instructions:
+                yield insn
+
+    def instruction_count(self):
+        """Number of IR instructions — the paper's §6.4 adaptive-chunking key."""
+        return sum(len(b.instructions) for b in self.blocks)
+
+    def block_index(self):
+        return {block: i for i, block in enumerate(self.blocks)}
+
+    # -- CFG analyses used by the verifier and simplifycfg -------------------
+
+    def predecessors(self):
+        preds = {block: [] for block in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors():
+                preds[succ].append(block)
+        return preds
+
+    def reachable_blocks(self):
+        seen = set()
+        work = [self.entry]
+        while work:
+            block = work.pop()
+            if block in seen:
+                continue
+            seen.add(block)
+            work.extend(block.successors())
+        return seen
+
+    def dominators(self):
+        """Classic iterative dominator sets over reachable blocks."""
+        reachable = [b for b in self.blocks if b in self.reachable_blocks()]
+        if not reachable:
+            return {}
+        entry = self.entry
+        all_blocks = set(reachable)
+        dom = {block: set(all_blocks) for block in reachable}
+        dom[entry] = {entry}
+        preds = self.predecessors()
+        changed = True
+        while changed:
+            changed = False
+            for block in reachable:
+                if block is entry:
+                    continue
+                block_preds = [p for p in preds[block] if p in all_blocks]
+                if not block_preds:
+                    continue
+                new = set.intersection(*(dom[p] for p in block_preds))
+                new.add(block)
+                if new != dom[block]:
+                    dom[block] = new
+                    changed = True
+        return dom
+
+    def __repr__(self):
+        kind = "kernel" if self.is_kernel else "func"
+        return "<{} {} ({} blocks)>".format(kind, self.name, len(self.blocks))

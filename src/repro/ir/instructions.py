@@ -1,0 +1,246 @@
+"""IR instruction set.
+
+A deliberately small, fully typed instruction set sufficient for the OpenCL-C
+subset and the accelOS transformation:
+
+==============  ============================================================
+opcode          meaning
+==============  ============================================================
+``alloca``      reserve ``count`` elements of ``allocated_type``; private
+                allocas are per work-item, ``local`` allocas are per
+                work-group (OpenCL shared arrays)
+``load``        read through a pointer
+``store``       write through a pointer
+``ptradd``      pointer displacement by an element index (flat GEP)
+``binop``       arithmetic/bitwise op, semantics chosen by operand type
+``cmp``         comparison producing ``bool``
+``cast``        scalar conversions and pointer bitcasts
+``select``      ternary select (no control flow)
+``call``        direct call to a :class:`Function` or named intrinsic
+``atomicrmw``   atomic read-modify-write through a pointer
+``barrier``     work-group barrier
+``br``          unconditional branch
+``condbr``      conditional branch
+``ret``         function return
+==============  ============================================================
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.values import Value
+from repro.kernelc import types as T
+
+TERMINATORS = ("br", "condbr", "ret")
+
+BINOPS = ("add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr")
+CMPOPS = ("eq", "ne", "lt", "le", "gt", "ge")
+ATOMIC_OPS = ("add", "sub", "min", "max", "xchg", "inc", "dec", "cmpxchg")
+
+
+class Instruction(Value):
+    """Base class: an operation that is also a value (its result)."""
+
+    __slots__ = ("opcode", "operands", "parent")
+
+    def __init__(self, opcode, type_, operands, name=""):
+        super().__init__(type_, name)
+        self.opcode = opcode
+        self.operands = list(operands)
+        self.parent = None  # owning BasicBlock, set on insertion
+
+    def is_terminator(self):
+        return self.opcode in TERMINATORS
+
+    def has_side_effects(self):
+        """Conservative: may this instruction affect observable state?"""
+        return self.opcode in ("store", "call", "atomicrmw", "barrier",
+                               "br", "condbr", "ret")
+
+    def replace_operand(self, old, new):
+        self.operands = [new if op is old else op for op in self.operands]
+
+    def __repr__(self):
+        return "<{} {}>".format(self.opcode, self.name or hex(id(self)))
+
+
+class Alloca(Instruction):
+    __slots__ = ("allocated_type", "count", "address_space")
+
+    def __init__(self, allocated_type, count=1, address_space=T.PRIVATE, name=""):
+        ptr = T.PointerType(allocated_type, address_space)
+        super().__init__("alloca", ptr, [], name)
+        self.allocated_type = allocated_type
+        self.count = count
+        self.address_space = address_space
+
+
+class Load(Instruction):
+    def __init__(self, pointer, name=""):
+        if not pointer.type.is_pointer():
+            raise IRError("load requires a pointer, got {}".format(pointer.type))
+        super().__init__("load", pointer.type.pointee, [pointer], name)
+
+    @property
+    def pointer(self):
+        return self.operands[0]
+
+
+class Store(Instruction):
+    def __init__(self, pointer, value):
+        if not pointer.type.is_pointer():
+            raise IRError("store requires a pointer, got {}".format(pointer.type))
+        super().__init__("store", T.VOID, [pointer, value])
+
+    @property
+    def pointer(self):
+        return self.operands[0]
+
+    @property
+    def value(self):
+        return self.operands[1]
+
+
+class PtrAdd(Instruction):
+    """``result = base + index`` in units of the pointee type."""
+
+    def __init__(self, base, index, name=""):
+        if not base.type.is_pointer():
+            raise IRError("ptradd requires a pointer base")
+        super().__init__("ptradd", base.type, [base, index], name)
+
+    @property
+    def base(self):
+        return self.operands[0]
+
+    @property
+    def index(self):
+        return self.operands[1]
+
+
+class BinOp(Instruction):
+    __slots__ = ("op",)
+
+    def __init__(self, op, lhs, rhs, type_, name=""):
+        if op not in BINOPS:
+            raise IRError("unknown binop {!r}".format(op))
+        super().__init__("binop", type_, [lhs, rhs], name)
+        self.op = op
+
+    @property
+    def lhs(self):
+        return self.operands[0]
+
+    @property
+    def rhs(self):
+        return self.operands[1]
+
+
+class Cmp(Instruction):
+    __slots__ = ("op",)
+
+    def __init__(self, op, lhs, rhs, name=""):
+        if op not in CMPOPS:
+            raise IRError("unknown cmp {!r}".format(op))
+        super().__init__("cmp", T.BOOL, [lhs, rhs], name)
+        self.op = op
+
+    @property
+    def lhs(self):
+        return self.operands[0]
+
+    @property
+    def rhs(self):
+        return self.operands[1]
+
+
+class Cast(Instruction):
+    def __init__(self, value, to_type, name=""):
+        super().__init__("cast", to_type, [value], name)
+
+    @property
+    def value(self):
+        return self.operands[0]
+
+
+class Select(Instruction):
+    def __init__(self, cond, then, otherwise, name=""):
+        super().__init__("select", then.type, [cond, then, otherwise], name)
+
+
+class Call(Instruction):
+    """Direct call. ``callee`` is a Function or an intrinsic name string.
+
+    Intrinsics cover work-item queries (``get_global_id``...), math builtins
+    and anything else resolved by the execution backend rather than by
+    linkage.
+    """
+
+    __slots__ = ("callee",)
+
+    def __init__(self, callee, args, return_type, name=""):
+        super().__init__("call", return_type, list(args), name)
+        self.callee = callee
+
+    @property
+    def callee_name(self):
+        return self.callee if isinstance(self.callee, str) else self.callee.name
+
+    def is_intrinsic(self):
+        return isinstance(self.callee, str)
+
+
+class AtomicRMW(Instruction):
+    __slots__ = ("op",)
+
+    def __init__(self, op, pointer, value=None, comparand=None, name=""):
+        if op not in ATOMIC_OPS:
+            raise IRError("unknown atomic op {!r}".format(op))
+        if not pointer.type.is_pointer():
+            raise IRError("atomicrmw requires a pointer")
+        operands = [pointer]
+        if value is not None:
+            operands.append(value)
+        if comparand is not None:
+            operands.append(comparand)
+        super().__init__("atomicrmw", pointer.type.pointee, operands, name)
+        self.op = op
+
+    @property
+    def pointer(self):
+        return self.operands[0]
+
+
+class Barrier(Instruction):
+    def __init__(self, flags):
+        super().__init__("barrier", T.VOID, [flags])
+
+
+class Br(Instruction):
+    __slots__ = ("target",)
+
+    def __init__(self, target):
+        super().__init__("br", T.VOID, [])
+        self.target = target
+
+
+class CondBr(Instruction):
+    __slots__ = ("then_block", "else_block")
+
+    def __init__(self, cond, then_block, else_block):
+        super().__init__("condbr", T.VOID, [cond], "")
+        self.then_block = then_block
+        self.else_block = else_block
+
+    @property
+    def cond(self):
+        return self.operands[0]
+
+
+class Ret(Instruction):
+    def __init__(self, value=None):
+        super().__init__("ret", T.VOID, [value] if value is not None else [])
+
+    @property
+    def value(self):
+        return self.operands[0] if self.operands else None

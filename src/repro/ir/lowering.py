@@ -1,0 +1,421 @@
+"""Lowering from the typed AST to IR.
+
+Strategy (LLVM-before-mem2reg style):
+
+* every local variable and parameter gets an ``alloca`` slot; reads load it,
+  writes store it — no SSA construction needed;
+* lvalues lower to *addresses* (``ptradd`` chains), rvalues to loaded values;
+* ``&&``/``||`` lower to control flow with a result slot (short-circuit);
+* ``local`` arrays lower to ``alloca`` in the local address space, which the
+  executor materialises once per work-group (OpenCL shared semantics).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError, SemanticError
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import Constant
+from repro.kernelc import ast_nodes as ast
+from repro.kernelc import builtins as B
+from repro.kernelc import types as T
+
+_BINOP_MAP = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+}
+_CMP_MAP = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+_ATOMIC_MAP = {
+    "atomic_add": "add", "atomic_sub": "sub", "atomic_min": "min",
+    "atomic_max": "max", "atomic_xchg": "xchg", "atomic_inc": "inc",
+    "atomic_dec": "dec", "atomic_cmpxchg": "cmpxchg",
+}
+
+
+class _FunctionLowering:
+    def __init__(self, module, func_map, func_def):
+        self.module = module
+        self.func_map = func_map          # name -> IR Function (pre-declared)
+        self.func_def = func_def
+        self.ir_func = func_map[func_def.name]
+        self.builder = IRBuilder(self.ir_func)
+        self.slots = {}                   # AST decl object -> alloca/argument
+        self.loop_stack = []              # (continue_block, break_block)
+
+    # -- entry ---------------------------------------------------------------
+
+    def run(self):
+        entry = self.ir_func.add_block("entry")
+        self.builder.position_at_end(entry)
+
+        for param, argument in zip(self.func_def.params, self.ir_func.arguments):
+            if param.type.is_pointer():
+                # Pointer params are read-only handles in our corpus; binding
+                # the argument directly keeps pointer provenance obvious.
+                self.slots[param] = ("value", argument)
+            else:
+                slot = self.builder.alloca(param.type, name=param.name)
+                self.builder.store(slot, argument)
+                self.slots[param] = ("slot", slot)
+
+        self.lower_compound(self.func_def.body)
+
+        if not self.builder.is_terminated():
+            if self.ir_func.return_type.is_void():
+                self.builder.ret()
+            else:
+                # Falling off the end of a value-returning function: return 0,
+                # mirroring the undefined-but-tolerated C behaviour.
+                self.builder.ret(Constant(self.ir_func.return_type, 0))
+        return self.ir_func
+
+    # -- statements ------------------------------------------------------------
+
+    def lower_statement(self, stmt):
+        if self.builder.is_terminated():
+            # unreachable code after return/break: skip, keep CFG clean
+            return
+        if isinstance(stmt, ast.Compound):
+            self.lower_compound(stmt)
+        elif isinstance(stmt, ast.DeclStmt):
+            self.lower_decl(stmt)
+        elif isinstance(stmt, ast.If):
+            self.lower_if(stmt)
+        elif isinstance(stmt, ast.For):
+            self.lower_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self.lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self.lower_do(stmt)
+        elif isinstance(stmt, ast.Return):
+            value = self.rvalue(stmt.value) if stmt.value is not None else None
+            self.builder.ret(value)
+        elif isinstance(stmt, ast.Break):
+            self.builder.br(self.loop_stack[-1][1])
+        elif isinstance(stmt, ast.Continue):
+            self.builder.br(self.loop_stack[-1][0])
+        elif isinstance(stmt, ast.ExprStmt):
+            self.rvalue(stmt.expr)
+        else:
+            raise IRError("cannot lower statement {!r}".format(stmt))
+
+    def lower_compound(self, block):
+        for stmt in block.statements:
+            self.lower_statement(stmt)
+
+    def lower_decl(self, stmt):
+        for decl in stmt.decls:
+            ty = decl.type
+            if ty.is_array():
+                slot = self.builder.alloca(ty.element, count=ty.size,
+                                           address_space=ty.address_space,
+                                           name=decl.name)
+            else:
+                slot = self.builder.alloca(ty, name=decl.name)
+            self.slots[decl] = ("slot", slot)
+            if decl.init is not None:
+                self.builder.store(slot, self.rvalue(decl.init))
+
+    def lower_if(self, stmt):
+        then_block = self.ir_func.add_block("if.then")
+        merge_block = self.ir_func.add_block("if.end")
+        else_block = merge_block
+        if stmt.otherwise is not None:
+            else_block = self.ir_func.add_block("if.else")
+        self.builder.condbr(self.rvalue(stmt.cond), then_block, else_block)
+
+        self.builder.position_at_end(then_block)
+        self.lower_statement(stmt.then)
+        if not self.builder.is_terminated():
+            self.builder.br(merge_block)
+
+        if stmt.otherwise is not None:
+            self.builder.position_at_end(else_block)
+            self.lower_statement(stmt.otherwise)
+            if not self.builder.is_terminated():
+                self.builder.br(merge_block)
+
+        self.builder.position_at_end(merge_block)
+
+    def lower_for(self, stmt):
+        if stmt.init is not None:
+            self.lower_statement(stmt.init)
+        cond_block = self.ir_func.add_block("for.cond")
+        body_block = self.ir_func.add_block("for.body")
+        step_block = self.ir_func.add_block("for.step")
+        exit_block = self.ir_func.add_block("for.end")
+
+        self.builder.br(cond_block)
+        self.builder.position_at_end(cond_block)
+        if stmt.cond is not None:
+            self.builder.condbr(self.rvalue(stmt.cond), body_block, exit_block)
+        else:
+            self.builder.br(body_block)
+
+        self.builder.position_at_end(body_block)
+        self.loop_stack.append((step_block, exit_block))
+        self.lower_statement(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.is_terminated():
+            self.builder.br(step_block)
+
+        self.builder.position_at_end(step_block)
+        if stmt.step is not None:
+            self.rvalue(stmt.step)
+        self.builder.br(cond_block)
+
+        self.builder.position_at_end(exit_block)
+
+    def lower_while(self, stmt):
+        cond_block = self.ir_func.add_block("while.cond")
+        body_block = self.ir_func.add_block("while.body")
+        exit_block = self.ir_func.add_block("while.end")
+
+        self.builder.br(cond_block)
+        self.builder.position_at_end(cond_block)
+        self.builder.condbr(self.rvalue(stmt.cond), body_block, exit_block)
+
+        self.builder.position_at_end(body_block)
+        self.loop_stack.append((cond_block, exit_block))
+        self.lower_statement(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.is_terminated():
+            self.builder.br(cond_block)
+
+        self.builder.position_at_end(exit_block)
+
+    def lower_do(self, stmt):
+        body_block = self.ir_func.add_block("do.body")
+        cond_block = self.ir_func.add_block("do.cond")
+        exit_block = self.ir_func.add_block("do.end")
+
+        self.builder.br(body_block)
+        self.builder.position_at_end(body_block)
+        self.loop_stack.append((cond_block, exit_block))
+        self.lower_statement(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.is_terminated():
+            self.builder.br(cond_block)
+
+        self.builder.position_at_end(cond_block)
+        self.builder.condbr(self.rvalue(stmt.cond), body_block, exit_block)
+
+        self.builder.position_at_end(exit_block)
+
+    # -- lvalues ---------------------------------------------------------------
+
+    def lvalue(self, expr):
+        """Lower an lvalue expression to an address (pointer value)."""
+        if isinstance(expr, ast.Ident):
+            kind, value = self.slots[expr.decl]
+            if kind == "slot":
+                return value
+            raise SemanticError(
+                "cannot take an lvalue of pointer parameter {!r}".format(expr.name),
+                expr.line)
+        if isinstance(expr, ast.Index):
+            base = self.pointer_value(expr.base)
+            index = self.rvalue(expr.index)
+            return self.builder.ptradd(base, index, "elem")
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return self.rvalue(expr.operand)
+        raise IRError("cannot lower lvalue {!r}".format(expr))
+
+    def pointer_value(self, expr):
+        """Lower an expression used as a pointer base (arrays decay)."""
+        ty = expr.type
+        if ty.is_array():
+            if isinstance(expr, ast.Ident):
+                kind, value = self.slots[expr.decl]
+                if kind != "slot":
+                    raise IRError("array parameter without slot")
+                return value  # alloca pointer: already the decayed pointer
+            raise IRError("cannot decay array expression {!r}".format(expr))
+        return self.rvalue(expr)
+
+    # -- rvalues ---------------------------------------------------------------
+
+    def rvalue(self, expr):
+        if isinstance(expr, ast.IntLit):
+            return Constant(expr.type, expr.value)
+        if isinstance(expr, ast.FloatLit):
+            return Constant(T.FLOAT, expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return Constant(T.BOOL, expr.value)
+        if isinstance(expr, ast.Ident):
+            kind, value = self.slots[expr.decl]
+            if kind == "value":
+                return value
+            if expr.type.is_array():
+                return value  # decay to pointer
+            return self.builder.load(value, expr.name)
+        if isinstance(expr, ast.Binary):
+            return self.lower_binary(expr)
+        if isinstance(expr, ast.Unary):
+            return self.lower_unary(expr)
+        if isinstance(expr, ast.PostIncDec):
+            address = self.lvalue(expr.operand)
+            old = self.builder.load(address, "old")
+            op = "add" if expr.op == "++" else "sub"
+            new = self.builder.binop(op, old, Constant(T.INT, 1))
+            self.builder.store(address, new)
+            return old
+        if isinstance(expr, ast.Assign):
+            return self.lower_assign(expr)
+        if isinstance(expr, ast.Ternary):
+            return self.lower_ternary(expr)
+        if isinstance(expr, ast.Call):
+            return self.lower_call(expr)
+        if isinstance(expr, ast.Index):
+            address = self.lvalue(expr)
+            return self.builder.load(address, "val")
+        if isinstance(expr, ast.Cast):
+            value = self.rvalue(expr.operand)
+            return self.builder.convert(value, expr.target_type)
+        raise IRError("cannot lower expression {!r}".format(expr))
+
+    def lower_binary(self, expr):
+        op = expr.op
+        if op == ",":
+            self.rvalue(expr.lhs)
+            return self.rvalue(expr.rhs)
+        if op in ("&&", "||"):
+            return self.lower_short_circuit(expr)
+        lhs = self.rvalue(expr.lhs)
+        rhs = self.rvalue(expr.rhs)
+        if op in _CMP_MAP:
+            return self.builder.cmp(_CMP_MAP[op], lhs, rhs)
+        if op in _BINOP_MAP:
+            if op == "+" and rhs.type.is_pointer() and not lhs.type.is_pointer():
+                lhs, rhs = rhs, lhs
+            if op == "-" and lhs.type.is_pointer() and rhs.type.is_pointer():
+                raise IRError("pointer difference is not supported")
+            return self.builder.binop(_BINOP_MAP[op], lhs, rhs)
+        raise IRError("unknown binary operator {!r}".format(op))
+
+    def lower_short_circuit(self, expr):
+        result = self.builder.alloca(T.BOOL, name="sc")
+        rhs_block = self.ir_func.add_block("sc.rhs")
+        end_block = self.ir_func.add_block("sc.end")
+
+        lhs = self.builder.to_bool(self.rvalue(expr.lhs))
+        self.builder.store(result, lhs)
+        if expr.op == "&&":
+            self.builder.condbr(lhs, rhs_block, end_block)
+        else:
+            self.builder.condbr(lhs, end_block, rhs_block)
+
+        self.builder.position_at_end(rhs_block)
+        rhs = self.builder.to_bool(self.rvalue(expr.rhs))
+        self.builder.store(result, rhs)
+        self.builder.br(end_block)
+
+        self.builder.position_at_end(end_block)
+        return self.builder.load(result, "scv")
+
+    def lower_unary(self, expr):
+        op = expr.op
+        if op == "-":
+            operand = self.rvalue(expr.operand)
+            zero = Constant(operand.type if not operand.type.is_bool() else T.INT, 0)
+            return self.builder.binop("sub", zero, operand)
+        if op == "!":
+            operand = self.builder.to_bool(self.rvalue(expr.operand))
+            return self.builder.cmp("eq", operand, Constant(T.BOOL, 0))
+        if op == "~":
+            operand = self.rvalue(expr.operand)
+            return self.builder.binop("xor", operand, Constant(operand.type, -1))
+        if op == "*":
+            address = self.rvalue(expr.operand)
+            return self.builder.load(address, "deref")
+        if op == "&":
+            return self.lvalue(expr.operand)
+        if op in ("++", "--"):
+            address = self.lvalue(expr.operand)
+            old = self.builder.load(address, "old")
+            binop = "add" if op == "++" else "sub"
+            new = self.builder.binop(binop, old, Constant(T.INT, 1))
+            self.builder.store(address, new)
+            return new
+        raise IRError("unknown unary operator {!r}".format(op))
+
+    def lower_assign(self, expr):
+        address = self.lvalue(expr.target)
+        value = self.rvalue(expr.value)
+        if expr.op != "=":
+            current = self.builder.load(address, "cur")
+            base_op = expr.op[:-1]
+            if base_op in _BINOP_MAP:
+                value = self.builder.binop(_BINOP_MAP[base_op], current, value)
+            else:
+                raise IRError("unknown compound assignment {!r}".format(expr.op))
+        self.builder.store(address, value)
+        return self.builder.load(address, "asg")
+
+    def lower_ternary(self, expr):
+        result_ty = expr.type
+        result = self.builder.alloca(result_ty, name="tern")
+        then_block = self.ir_func.add_block("tern.then")
+        else_block = self.ir_func.add_block("tern.else")
+        end_block = self.ir_func.add_block("tern.end")
+
+        self.builder.condbr(self.rvalue(expr.cond), then_block, else_block)
+
+        self.builder.position_at_end(then_block)
+        self.builder.store(result, self.rvalue(expr.then))
+        self.builder.br(end_block)
+
+        self.builder.position_at_end(else_block)
+        self.builder.store(result, self.rvalue(expr.otherwise))
+        self.builder.br(end_block)
+
+        self.builder.position_at_end(end_block)
+        return self.builder.load(result, "ternv")
+
+    def lower_call(self, expr):
+        args = []
+        for i, arg in enumerate(expr.args):
+            if isinstance(arg.type, T.ArrayType):
+                args.append(self.pointer_value(arg))
+            else:
+                args.append(self.rvalue(arg))
+
+        if B.is_builtin(expr.name):
+            builtin = B.lookup(expr.name)
+            if expr.name == "barrier" or expr.name == "mem_fence":
+                return self.builder.barrier(args[0])
+            if builtin.category == "atomic":
+                op = _ATOMIC_MAP[expr.name]
+                pointer = args[0]
+                value = args[1] if len(args) > 1 else None
+                comparand = args[2] if len(args) > 2 else None
+                return self.builder.atomic(op, pointer, value, comparand)
+            result_ty = builtin.result_type([a.type for a in args])
+            if builtin.category == "workitem" and builtin.arg_count == 1:
+                args[0] = self.builder.convert(args[0], T.UINT)
+            return self.builder.call(expr.name, args, result_ty, expr.name)
+
+        callee = self.func_map[expr.callee.name]
+        coerced = [self.builder.convert(a, p.type)
+                   for a, p in zip(args, callee.arguments)]
+        return self.builder.call(callee, coerced, name=expr.name)
+
+
+def lower_program(program, name="program"):
+    """Lower a type-checked AST :class:`Program` into an IR :class:`Module`."""
+    module = Module(name)
+    func_map = {}
+    for func_def in program.functions:
+        ir_func = Function(
+            func_def.name,
+            func_def.return_type,
+            [p.type for p in func_def.params],
+            [p.name for p in func_def.params],
+            is_kernel=func_def.is_kernel,
+        )
+        func_map[func_def.name] = ir_func
+        module.add_function(ir_func)
+    for func_def in program.functions:
+        _FunctionLowering(module, func_map, func_def).run()
+    return module

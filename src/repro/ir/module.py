@@ -1,0 +1,63 @@
+"""IR modules: a named collection of functions (one per translation unit)."""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+
+
+class Module:
+    """A compilation unit holding IR functions.
+
+    Functions keep insertion order; kernels are just functions with
+    ``is_kernel`` set.  ``link`` merges another module in, which is how the
+    accelOS transformation statically links the GPU scheduling runtime
+    library into every kernel module (paper §6, fig. 7b).
+    """
+
+    def __init__(self, name="module"):
+        self.name = name
+        self.functions = {}
+
+    def add_function(self, function):
+        if function.name in self.functions:
+            raise IRError("duplicate function {!r} in module".format(function.name))
+        self.functions[function.name] = function
+        return function
+
+    def get(self, name):
+        func = self.functions.get(name)
+        if func is None:
+            raise IRError("no function {!r} in module {}".format(name, self.name))
+        return func
+
+    def __contains__(self, name):
+        return name in self.functions
+
+    def kernels(self):
+        return [f for f in self.functions.values() if f.is_kernel]
+
+    def plain_functions(self):
+        return [f for f in self.functions.values() if not f.is_kernel]
+
+    def link(self, other, allow_duplicates=False):
+        """Merge ``other``'s functions into this module.
+
+        With ``allow_duplicates`` a function already present is kept (first
+        definition wins), mirroring static-library link semantics.
+        """
+        for name, func in other.functions.items():
+            if name in self.functions:
+                if allow_duplicates:
+                    continue
+                raise IRError("link collision on function {!r}".format(name))
+            self.functions[name] = func
+        return self
+
+    def clone(self):
+        """Deep-copy the module (used before destructive transformations)."""
+        from repro.ir.clone import clone_module
+        return clone_module(self)
+
+    def __repr__(self):
+        return "<Module {} ({} functions, {} kernels)>".format(
+            self.name, len(self.functions), len(self.kernels()))

@@ -1,0 +1,33 @@
+"""Optimisation and analysis passes over the IR.
+
+The accelOS JIT (paper fig. 7b) instantiates "an LLVM Pass Manager" and loads
+its compiler passes; :func:`standard_pipeline` is our equivalent of the
+always-on pipeline (constant folding, CFG simplification, DCE), and the
+transformation-specific passes (inlining after the scheduling rewrite,
+resource analysis for §3) are composed by :mod:`repro.accelos`.
+"""
+
+from repro.ir.passes.manager import FunctionPass, ModulePass, PassManager
+from repro.ir.passes.constfold import ConstantFoldPass
+from repro.ir.passes.dce import DeadCodeEliminationPass
+from repro.ir.passes.simplifycfg import SimplifyCFGPass
+from repro.ir.passes.inliner import InlinePass
+from repro.ir.passes.resources import ResourceAnalysis, ResourceUsage
+from repro.ir.passes.count import count_instructions, count_kernel_instructions
+
+__all__ = [
+    "FunctionPass", "ModulePass", "PassManager",
+    "ConstantFoldPass", "DeadCodeEliminationPass", "SimplifyCFGPass",
+    "InlinePass", "ResourceAnalysis", "ResourceUsage",
+    "count_instructions", "count_kernel_instructions",
+    "standard_pipeline",
+]
+
+
+def standard_pipeline():
+    """The default optimisation pipeline applied to every compiled module."""
+    pm = PassManager()
+    pm.add(ConstantFoldPass())
+    pm.add(SimplifyCFGPass())
+    pm.add(DeadCodeEliminationPass())
+    return pm

@@ -1,0 +1,131 @@
+"""Constant folding over binops, comparisons, casts and selects.
+
+Folding is semantics-preserving with respect to the interpreter: integer
+arithmetic wraps to the operand width and division by zero is left unfolded
+(it must trap at run time, not compile time).
+"""
+
+from __future__ import annotations
+
+from repro.ir import instructions as I
+from repro.ir.passes.manager import FunctionPass
+from repro.ir.values import Constant
+from repro.kernelc import types as T
+
+
+def _wrap_int(value, ty):
+    bits, signed = T.SCALAR_INFO[ty.kind]
+    if ty.is_bool():
+        return bool(value)
+    mask = (1 << bits) - 1
+    value &= mask
+    if signed and value >= (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def fold_binop(op, lhs, rhs, ty):
+    """Fold constants; returns a Constant or None when not foldable."""
+    a, b = lhs.value, rhs.value
+    if ty.is_float():
+        try:
+            result = {
+                "add": lambda: a + b, "sub": lambda: a - b,
+                "mul": lambda: a * b,
+                "div": lambda: a / b if b != 0.0 else None,
+                "rem": lambda: None,
+                "and": lambda: None, "or": lambda: None, "xor": lambda: None,
+                "shl": lambda: None, "shr": lambda: None,
+            }[op]()
+        except OverflowError:
+            return None
+        if result is None:
+            return None
+        return Constant(ty, result)
+    a, b = int(a), int(b)
+    if op in ("div", "rem") and b == 0:
+        return None  # must trap at run time
+    if op == "div":
+        # C semantics: truncate toward zero.
+        result = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            result = -result
+    elif op == "rem":
+        quotient = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            quotient = -quotient
+        result = a - quotient * b
+    elif op == "add":
+        result = a + b
+    elif op == "sub":
+        result = a - b
+    elif op == "mul":
+        result = a * b
+    elif op == "and":
+        result = a & b
+    elif op == "or":
+        result = a | b
+    elif op == "xor":
+        result = a ^ b
+    elif op == "shl":
+        result = a << (b & 63)
+    elif op == "shr":
+        result = a >> (b & 63)
+    else:
+        return None
+    return Constant(ty, _wrap_int(result, ty))
+
+
+def fold_cmp(op, lhs, rhs):
+    a, b = lhs.value, rhs.value
+    result = {
+        "eq": a == b, "ne": a != b, "lt": a < b,
+        "le": a <= b, "gt": a > b, "ge": a >= b,
+    }[op]
+    return Constant(T.BOOL, result)
+
+
+def fold_cast(value, to_type):
+    if not to_type.is_scalar():
+        return None
+    v = value.value
+    if to_type.is_float():
+        return Constant(to_type, float(v))
+    return Constant(to_type, _wrap_int(int(v), to_type))
+
+
+class ConstantFoldPass(FunctionPass):
+    name = "constfold"
+
+    def run_on_function(self, func, module):
+        changed = False
+        replacements = {}
+        for block in func.blocks:
+            new_instructions = []
+            for insn in block.instructions:
+                # Rewrite operands through earlier replacements first.
+                insn.operands = [replacements.get(op, op) for op in insn.operands]
+                folded = self._try_fold(insn)
+                if folded is not None:
+                    replacements[insn] = folded
+                    changed = True
+                else:
+                    new_instructions.append(insn)
+            block.instructions = new_instructions
+        if replacements:
+            for block in func.blocks:
+                for insn in block.instructions:
+                    insn.operands = [replacements.get(op, op) for op in insn.operands]
+        return changed
+
+    def _try_fold(self, insn):
+        ops = insn.operands
+        if isinstance(insn, I.BinOp) and all(isinstance(o, Constant) for o in ops):
+            return fold_binop(insn.op, ops[0], ops[1], insn.type)
+        if isinstance(insn, I.Cmp) and all(isinstance(o, Constant) for o in ops):
+            return fold_cmp(insn.op, ops[0], ops[1])
+        if isinstance(insn, I.Cast) and isinstance(ops[0], Constant):
+            return fold_cast(ops[0], insn.type)
+        if isinstance(insn, I.Select) and isinstance(ops[0], Constant):
+            return ops[1] if ops[0].value else ops[2]
+        return None

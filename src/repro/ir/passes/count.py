@@ -1,0 +1,36 @@
+"""Instruction counting — the key for §6.4 adaptive scheduling.
+
+The paper keys its dequeue chunk size on "the number of kernel instructions
+in LLVM IR"; this is our equivalent measure, counted on the *computation*
+function (the original kernel body), excluding allocas which are not
+executed work.
+"""
+
+from __future__ import annotations
+
+
+def count_instructions(func, include_allocas=False):
+    """Count IR instructions in ``func``."""
+    total = 0
+    for insn in func.instructions():
+        if insn.opcode == "alloca" and not include_allocas:
+            continue
+        total += 1
+    return total
+
+
+def count_kernel_instructions(module, kernel_name):
+    """Instruction count of a kernel plus everything it (transitively) calls."""
+    seen = set()
+
+    def visit(func):
+        if func.name in seen:
+            return 0
+        seen.add(func.name)
+        total = count_instructions(func)
+        for insn in func.instructions():
+            if insn.opcode == "call" and not insn.is_intrinsic():
+                total += visit(insn.callee)
+        return total
+
+    return visit(module.get(kernel_name))

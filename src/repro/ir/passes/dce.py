@@ -1,0 +1,40 @@
+"""Dead code elimination: drop unused side-effect-free instructions.
+
+Loads are removed when unused (they have no observable effect in our memory
+model); allocas are removed once nothing references them.  Iterates to a
+fixed point within the pass.
+"""
+
+from __future__ import annotations
+
+from repro.ir.passes.manager import FunctionPass
+
+
+class DeadCodeEliminationPass(FunctionPass):
+    name = "dce"
+
+    def run_on_function(self, func, module):
+        changed = False
+        while True:
+            used = set()
+            for insn in func.instructions():
+                for op in insn.operands:
+                    used.add(op)
+            removed = False
+            for block in func.blocks:
+                kept = []
+                for insn in block.instructions:
+                    dead = (
+                        not insn.has_side_effects()
+                        and insn not in used
+                        and not insn.is_terminator()
+                    )
+                    if dead:
+                        removed = True
+                    else:
+                        kept.append(insn)
+                block.instructions = kept
+            if not removed:
+                break
+            changed = True
+        return changed

@@ -1,0 +1,162 @@
+"""Function inlining.
+
+The paper relies on the vendor GPU compilers' default inlining to erase the
+register overhead of the scheduling rewrite (§6.5).  We provide the same
+behaviour: :class:`InlinePass` inlines every direct call to a non-kernel
+function (GPU toolchains inline everything by default since device code has
+no call stack guarantees).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir import instructions as I
+from repro.ir.clone import clone_function
+from repro.ir.passes.manager import ModulePass
+from repro.ir.values import Constant
+from repro.kernelc import types as T
+
+
+def inline_call(func, block, call_index, module=None):
+    """Inline the call at ``block.instructions[call_index]`` into ``func``.
+
+    Returns the continuation block (useful for chained inlining).
+    """
+    call = block.instructions[call_index]
+    if not isinstance(call, I.Call) or call.is_intrinsic():
+        raise IRError("inline_call target is not a direct call")
+    callee = call.callee
+
+    # Clone the callee so we can splice its blocks into the caller.
+    cloned, _ = clone_function(callee, new_name="{}.inl".format(callee.name))
+
+    # Rebind cloned arguments: store actual arguments into fresh slots (or
+    # substitute directly — arguments are read through allocas already, and
+    # pointer args were bound by value during lowering, so substitution is
+    # always safe here).
+    substitution = {}
+    for cloned_arg, actual in zip(cloned.arguments, call.operands):
+        substitution[cloned_arg] = actual
+    for insn in cloned.instructions():
+        insn.operands = [substitution.get(op, op) for op in insn.operands]
+
+    # Result slot for non-void callees.
+    result_slot = None
+    if not callee.return_type.is_void():
+        result_slot = I.Alloca(callee.return_type, 1, T.PRIVATE)
+        result_slot.name = func.unique_name("inlret")
+        entry = func.entry
+        pos = 0
+        for i, existing in enumerate(entry.instructions):
+            if existing.opcode == "alloca":
+                pos = i + 1
+            else:
+                break
+        result_slot.parent = entry
+        entry.instructions.insert(pos, result_slot)
+        if entry is block:
+            call_index = block.instructions.index(call)
+
+    # Split the caller block after the call.
+    continuation = func.add_block("{}.cont".format(block.name.rsplit(".", 1)[0]))
+    continuation.instructions = block.instructions[call_index + 1:]
+    for insn in continuation.instructions:
+        insn.parent = continuation
+    block.instructions = block.instructions[:call_index]
+
+    # Hoist the callee's allocas into the caller entry (private slots must
+    # execute once; local allocas keep work-group shared semantics).
+    callee_blocks = list(cloned.blocks)
+    entry_allocas = []
+    for cblock in callee_blocks:
+        remaining = []
+        for insn in cblock.instructions:
+            if insn.opcode == "alloca":
+                entry_allocas.append(insn)
+            else:
+                remaining.append(insn)
+        cblock.instructions = remaining
+    entry = func.entry
+    pos = 0
+    for i, existing in enumerate(entry.instructions):
+        if existing.opcode == "alloca":
+            pos = i + 1
+        else:
+            break
+    for alloca in entry_allocas:
+        alloca.parent = entry
+        entry.instructions.insert(pos, alloca)
+        pos += 1
+    if entry is block:
+        pass  # indexes no longer needed; block already truncated
+
+    # Rewrite rets in the cloned body: store result, branch to continuation.
+    for cblock in callee_blocks:
+        term = cblock.terminator
+        if isinstance(term, I.Ret):
+            cblock.instructions.pop()
+            if term.value is not None and result_slot is not None:
+                store = I.Store(result_slot, term.value)
+                store.parent = cblock
+                cblock.instructions.append(store)
+            br = I.Br(continuation)
+            br.parent = cblock
+            cblock.instructions.append(br)
+
+    # Splice callee blocks into the caller after ``block``.
+    insert_at = func.blocks.index(block) + 1
+    for offset, cblock in enumerate(callee_blocks):
+        cblock.parent = func
+        cblock.name = func.unique_name("inl")
+        func.blocks.insert(insert_at + offset, cblock)
+    func.blocks.remove(continuation)
+    func.blocks.insert(insert_at + len(callee_blocks), continuation)
+
+    # Branch from the split point into the inlined entry.
+    br = I.Br(callee_blocks[0])
+    br.parent = block
+    block.instructions.append(br)
+
+    # Replace uses of the call's value with a load of the result slot.
+    if result_slot is not None:
+        load = I.Load(result_slot)
+        load.name = func.unique_name("inlval")
+        load.parent = continuation
+        continuation.instructions.insert(0, load)
+        for other in func.instructions():
+            if other is not load:
+                other.replace_operand(call, load)
+    return continuation
+
+
+class InlinePass(ModulePass):
+    """Inline all direct calls to non-kernel functions, bottom-up."""
+
+    name = "inline"
+
+    def __init__(self, max_rounds=32):
+        self.max_rounds = max_rounds
+
+    def run_on_module(self, module):
+        changed = False
+        for _ in range(self.max_rounds):
+            site = self._find_site(module)
+            if site is None:
+                return changed
+            func, block, index = site
+            inline_call(func, block, index, module)
+            changed = True
+        return changed
+
+    def _find_site(self, module):
+        for func in module.functions.values():
+            for block in func.blocks:
+                for i, insn in enumerate(block.instructions):
+                    if isinstance(insn, I.Call) and not insn.is_intrinsic():
+                        # Only inline calls whose callee is leaf-resolvable;
+                        # recursion is rejected (OpenCL forbids it anyway).
+                        if insn.callee is func:
+                            raise IRError("recursive call to {} cannot be inlined"
+                                          .format(func.name))
+                        return func, block, i
+        return None

@@ -1,0 +1,49 @@
+"""Pass manager mirroring the paper's use of the LLVM PassManager."""
+
+from __future__ import annotations
+
+
+class FunctionPass:
+    """A pass run once per function; returns True if it changed anything."""
+
+    name = "function-pass"
+
+    def run_on_function(self, func, module):
+        raise NotImplementedError
+
+
+class ModulePass:
+    """A pass run once per module; returns True if it changed anything."""
+
+    name = "module-pass"
+
+    def run_on_module(self, module):
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a pass sequence, optionally iterating to a fixed point."""
+
+    def __init__(self, max_iterations=4):
+        self.passes = []
+        self.max_iterations = max_iterations
+
+    def add(self, pass_):
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module):
+        """Run all passes over ``module``; repeat while anything changes."""
+        any_change = False
+        for _ in range(self.max_iterations):
+            changed = False
+            for pass_ in self.passes:
+                if isinstance(pass_, ModulePass):
+                    changed |= bool(pass_.run_on_module(module))
+                else:
+                    for func in list(module.functions.values()):
+                        changed |= bool(pass_.run_on_function(func, module))
+            any_change |= changed
+            if not changed:
+                break
+        return any_change

@@ -1,0 +1,125 @@
+"""Static resource-usage analysis (paper §3 inputs).
+
+The sharing algorithm needs, per kernel:
+
+* ``registers`` — registers per work-item.  Estimated as the maximum number
+  of simultaneously-live IR values (linear-scan liveness over a reverse
+  traversal, block-local plus cross-block live sets) plus an ABI baseline.
+  This mirrors what vendor compilers report per kernel.
+* ``local_memory`` — bytes of work-group local memory: sized ``local``
+  allocas plus a host-supplied size for ``local`` pointer parameters.
+* work-group ``threads`` come from the launch configuration, not the code.
+"""
+
+from __future__ import annotations
+
+from repro.ir import instructions as I
+from repro.kernelc import types as T
+
+# Registers every work-item consumes regardless of the kernel body
+# (ids, stack pointer equivalents); matches typical SASS/GCN baselines.
+ABI_BASELINE_REGISTERS = 4
+
+
+class ResourceUsage:
+    """Static resource summary of one kernel."""
+
+    __slots__ = ("registers", "local_memory_bytes", "instruction_count")
+
+    def __init__(self, registers, local_memory_bytes, instruction_count):
+        self.registers = registers
+        self.local_memory_bytes = local_memory_bytes
+        self.instruction_count = instruction_count
+
+    def __repr__(self):
+        return ("ResourceUsage(regs={}, lmem={}B, insns={})"
+                .format(self.registers, self.local_memory_bytes,
+                        self.instruction_count))
+
+
+def _type_size(ty):
+    """Storage size in bytes of a scalar or pointer type."""
+    if ty.is_pointer():
+        return 8
+    return max(1, ty.bits // 8)
+
+
+def _registers_for_type(ty):
+    """32-bit register slots a value of ``ty`` occupies."""
+    if ty.is_pointer():
+        return 2
+    if ty.is_void():
+        return 0
+    return max(1, ty.bits // 32)
+
+
+def estimate_registers(func):
+    """Max-live-values estimate of per-work-item register usage."""
+    # Cross-block liveness: values used in a different block than their
+    # definition are conservatively live for the whole function.
+    def_block = {}
+    for block in func.blocks:
+        for insn in block.instructions:
+            def_block[insn] = block
+
+    global_live = set()
+    for block in func.blocks:
+        for insn in block.instructions:
+            for op in insn.operands:
+                if isinstance(op, I.Instruction) and def_block.get(op) is not block:
+                    global_live.add(op)
+
+    global_regs = sum(_registers_for_type(v.type) for v in global_live)
+
+    max_block_live = 0
+    for block in func.blocks:
+        last_use = {}
+        for i, insn in enumerate(block.instructions):
+            for op in insn.operands:
+                if isinstance(op, I.Instruction) and def_block.get(op) is block:
+                    last_use[op] = i
+        live = 0
+        peak = 0
+        ends_at = {}
+        for i, insn in enumerate(block.instructions):
+            if insn in last_use and not insn.type.is_void():
+                live += _registers_for_type(insn.type)
+                ends_at.setdefault(last_use[insn], []).append(insn)
+            peak = max(peak, live)
+            for dead in ends_at.get(i, []):
+                live -= _registers_for_type(dead.type)
+        max_block_live = max(max_block_live, peak)
+
+    return ABI_BASELINE_REGISTERS + global_regs + max_block_live
+
+
+def estimate_local_memory(func, local_arg_sizes=None):
+    """Bytes of work-group local memory used by ``func``.
+
+    ``local_arg_sizes`` maps parameter names to the byte sizes the host
+    passed via ``clSetKernelArg`` (local pointer arguments have host-decided
+    sizes — the compiler cannot know them).
+    """
+    local_arg_sizes = local_arg_sizes or {}
+    total = 0
+    for insn in func.instructions():
+        if isinstance(insn, I.Alloca) and insn.address_space == T.LOCAL:
+            total += insn.count * _type_size(insn.allocated_type)
+    for arg in func.arguments:
+        if arg.type.is_pointer() and arg.type.address_space == T.LOCAL:
+            total += local_arg_sizes.get(arg.name, 0)
+    return total
+
+
+class ResourceAnalysis:
+    """Analysis facade producing :class:`ResourceUsage` per kernel."""
+
+    def __init__(self, local_arg_sizes=None):
+        self.local_arg_sizes = local_arg_sizes or {}
+
+    def analyze(self, func):
+        return ResourceUsage(
+            registers=estimate_registers(func),
+            local_memory_bytes=estimate_local_memory(func, self.local_arg_sizes),
+            instruction_count=func.instruction_count(),
+        )

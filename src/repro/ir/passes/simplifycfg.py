@@ -1,0 +1,69 @@
+"""CFG simplification: fold constant branches, drop unreachable blocks,
+merge single-predecessor/single-successor block pairs."""
+
+from __future__ import annotations
+
+from repro.ir import instructions as I
+from repro.ir.passes.manager import FunctionPass
+from repro.ir.values import Constant
+
+
+class SimplifyCFGPass(FunctionPass):
+    name = "simplifycfg"
+
+    def run_on_function(self, func, module):
+        changed = False
+        changed |= self._fold_constant_branches(func)
+        changed |= self._remove_unreachable(func)
+        changed |= self._merge_blocks(func)
+        return changed
+
+    def _fold_constant_branches(self, func):
+        changed = False
+        for block in func.blocks:
+            term = block.terminator
+            if isinstance(term, I.CondBr) and isinstance(term.cond, Constant):
+                target = term.then_block if term.cond.value else term.else_block
+                block.instructions[-1] = I.Br(target)
+                block.instructions[-1].parent = block
+                changed = True
+            elif isinstance(term, I.CondBr) and term.then_block is term.else_block:
+                block.instructions[-1] = I.Br(term.then_block)
+                block.instructions[-1].parent = block
+                changed = True
+        return changed
+
+    def _remove_unreachable(self, func):
+        reachable = func.reachable_blocks()
+        if len(reachable) == len(func.blocks):
+            return False
+        func.blocks = [b for b in func.blocks if b in reachable]
+        return True
+
+    def _merge_blocks(self, func):
+        """Merge ``a -> b`` when a ends in an unconditional br and b has a as
+        its only predecessor."""
+        changed = False
+        while True:
+            preds = func.predecessors()
+            merged = False
+            for block in func.blocks:
+                term = block.terminator
+                if not isinstance(term, I.Br):
+                    continue
+                succ = term.target
+                if succ is block or succ is func.entry:
+                    continue
+                if len(preds[succ]) != 1:
+                    continue
+                # splice: drop the br, absorb succ's instructions
+                block.instructions.pop()
+                for insn in succ.instructions:
+                    insn.parent = block
+                    block.instructions.append(insn)
+                func.blocks.remove(succ)
+                merged = True
+                changed = True
+                break
+            if not merged:
+                return changed

@@ -1,0 +1,94 @@
+"""Textual IR printer (SPIR-like assembly for humans, tests and examples)."""
+
+from __future__ import annotations
+
+from repro.ir import instructions as I
+from repro.ir.values import Argument, Constant, Undef
+
+
+class _Namer:
+    """Assigns stable %N names to unnamed values for printing."""
+
+    def __init__(self):
+        self.names = {}
+        self.counter = 0
+
+    def name(self, value):
+        if isinstance(value, Constant):
+            return value.short()
+        if isinstance(value, Undef):
+            return value.short()
+        if value not in self.names:
+            if value.name:
+                self.names[value] = "%{}".format(value.name)
+            else:
+                self.names[value] = "%{}".format(self.counter)
+                self.counter += 1
+        return self.names[value]
+
+
+def _format_instruction(insn, namer):
+    n = namer.name
+    if isinstance(insn, I.Alloca):
+        out = "{} = alloca {} x {} [{}]".format(
+            n(insn), insn.count, insn.allocated_type, insn.address_space)
+    elif isinstance(insn, I.Load):
+        out = "{} = load {}".format(n(insn), n(insn.pointer))
+    elif isinstance(insn, I.Store):
+        out = "store {} -> {}".format(n(insn.value), n(insn.pointer))
+    elif isinstance(insn, I.PtrAdd):
+        out = "{} = ptradd {}, {}".format(n(insn), n(insn.base), n(insn.index))
+    elif isinstance(insn, I.BinOp):
+        out = "{} = {} {} {}, {}".format(n(insn), insn.op, insn.type,
+                                         n(insn.lhs), n(insn.rhs))
+    elif isinstance(insn, I.Cmp):
+        out = "{} = cmp {} {}, {}".format(n(insn), insn.op, n(insn.lhs), n(insn.rhs))
+    elif isinstance(insn, I.Cast):
+        out = "{} = cast {} to {}".format(n(insn), n(insn.value), insn.type)
+    elif isinstance(insn, I.Select):
+        out = "{} = select {}, {}, {}".format(
+            n(insn), n(insn.operands[0]), n(insn.operands[1]), n(insn.operands[2]))
+    elif isinstance(insn, I.Call):
+        args = ", ".join(n(a) for a in insn.operands)
+        target = insn.callee_name
+        if insn.type.is_void():
+            out = "call @{}({})".format(target, args)
+        else:
+            out = "{} = call {} @{}({})".format(n(insn), insn.type, target, args)
+    elif isinstance(insn, I.AtomicRMW):
+        args = ", ".join(n(op) for op in insn.operands)
+        out = "{} = atomicrmw {} {}".format(n(insn), insn.op, args)
+    elif isinstance(insn, I.Barrier):
+        out = "barrier {}".format(n(insn.operands[0]))
+    elif isinstance(insn, I.Br):
+        out = "br {}".format(insn.target.name)
+    elif isinstance(insn, I.CondBr):
+        out = "condbr {}, {}, {}".format(
+            n(insn.cond), insn.then_block.name, insn.else_block.name)
+    elif isinstance(insn, I.Ret):
+        out = "ret" if insn.value is None else "ret {}".format(n(insn.value))
+    else:
+        out = "<unknown {}>".format(insn.opcode)
+    return out
+
+
+def print_function(func):
+    """Render one function as SPIR-like text."""
+    namer = _Namer()
+    kind = "kernel" if func.is_kernel else "func"
+    params = ", ".join("{} %{}".format(a.type, a.name) for a in func.arguments)
+    lines = ["{} {} @{}({}) {{".format(kind, func.return_type, func.name, params)]
+    for block in func.blocks:
+        lines.append("{}:".format(block.name))
+        for insn in block.instructions:
+            lines.append("  " + _format_instruction(insn, namer))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module):
+    """Render a whole module as SPIR-like text."""
+    parts = ["; module {}".format(module.name)]
+    for func in module.functions.values():
+        parts.append(print_function(func))
+    return "\n\n".join(parts)

@@ -1,0 +1,84 @@
+"""IR value hierarchy: constants, arguments and instruction results.
+
+Every :class:`Value` has a ``type`` drawn from :mod:`repro.kernelc.types`.
+Instructions (which are themselves values) live in
+:mod:`repro.ir.instructions`.
+"""
+
+from __future__ import annotations
+
+from repro.kernelc import types as T
+
+
+class Value:
+    """Base class of everything that can appear as an operand."""
+
+    __slots__ = ("type", "name")
+
+    def __init__(self, type_, name=""):
+        self.type = type_
+        self.name = name
+
+    def short(self):
+        """Compact printable form used by the IR printer."""
+        return "%{}".format(self.name or id(self))
+
+
+class Constant(Value):
+    """A typed scalar constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, type_, value):
+        super().__init__(type_, "")
+        if type_.is_float():
+            value = float(value)
+        elif type_.is_bool():
+            value = bool(value)
+        else:
+            value = int(value)
+        self.value = value
+
+    def short(self):
+        if self.type.is_float():
+            return "{} {!r}".format(self.type, self.value)
+        return "{} {}".format(self.type, self.value)
+
+    def __repr__(self):
+        return "Constant({}, {})".format(self.type, self.value)
+
+
+class Undef(Value):
+    """An undefined value (used for uninitialised loads in tests)."""
+
+    def short(self):
+        return "{} undef".format(self.type)
+
+
+class Argument(Value):
+    """A formal parameter of a :class:`~repro.ir.function.Function`."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "Argument({} %{})".format(self.type, self.name)
+
+
+def const_int(value, type_=T.INT):
+    return Constant(type_, value)
+
+
+def const_long(value):
+    return Constant(T.LONG, value)
+
+
+def const_size(value):
+    return Constant(T.SIZE_T, value)
+
+
+def const_float(value):
+    return Constant(T.FLOAT, value)
+
+
+def const_bool(value):
+    return Constant(T.BOOL, value)

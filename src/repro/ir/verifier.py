@@ -1,0 +1,132 @@
+"""IR verifier: structural and dominance checks.
+
+Run after lowering, after each transformation and after linking; it is the
+safety net that keeps the accelOS rewrites honest.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir import instructions as I
+from repro.ir.values import Argument, Constant, Undef
+
+
+def verify_function(func, module=None):
+    """Raise :class:`IRError` if ``func`` is malformed."""
+    if not func.blocks:
+        raise IRError("function {} has no blocks".format(func.name))
+
+    block_set = set(func.blocks)
+    defined = set(func.arguments)
+    for block in func.blocks:
+        for insn in block.instructions:
+            defined.add(insn)
+
+    for block in func.blocks:
+        if block.terminator is None:
+            raise IRError("block {} in {} lacks a terminator".format(
+                block.name, func.name))
+        for i, insn in enumerate(block.instructions):
+            if insn.is_terminator() and i != len(block.instructions) - 1:
+                raise IRError("terminator mid-block in {}:{}".format(
+                    func.name, block.name))
+            if insn.parent is not block:
+                raise IRError("instruction parent link broken in {}:{}".format(
+                    func.name, block.name))
+            _verify_instruction(insn, func, module, defined)
+        for succ in block.successors():
+            if succ not in block_set:
+                raise IRError("branch to foreign block {} from {}:{}".format(
+                    succ.name, func.name, block.name))
+
+    _verify_dominance(func)
+    return True
+
+
+def _verify_instruction(insn, func, module, defined):
+    for op in insn.operands:
+        if op is None:
+            raise IRError("null operand in {} ({})".format(func.name, insn.opcode))
+        if isinstance(op, (Constant, Undef, Argument)):
+            if isinstance(op, Argument) and op not in defined:
+                raise IRError("foreign argument {} used in {}".format(
+                    op.name, func.name))
+            continue
+        if op not in defined:
+            raise IRError("operand {!r} not defined in {}".format(op, func.name))
+
+    if isinstance(insn, I.Load) and not insn.pointer.type.is_pointer():
+        raise IRError("load from non-pointer in {}".format(func.name))
+    if isinstance(insn, I.Store):
+        if not insn.pointer.type.is_pointer():
+            raise IRError("store to non-pointer in {}".format(func.name))
+        if insn.value.type != insn.pointer.type.pointee:
+            raise IRError("store type mismatch in {}: {} into {}".format(
+                func.name, insn.value.type, insn.pointer.type))
+    if isinstance(insn, I.BinOp):
+        if insn.lhs.type != insn.rhs.type:
+            raise IRError("binop operand mismatch in {}: {} vs {}".format(
+                func.name, insn.lhs.type, insn.rhs.type))
+    if isinstance(insn, I.Cmp):
+        if insn.lhs.type != insn.rhs.type:
+            raise IRError("cmp operand mismatch in {}: {} vs {}".format(
+                func.name, insn.lhs.type, insn.rhs.type))
+    if isinstance(insn, I.Ret):
+        expected = func.return_type
+        if insn.value is None:
+            if not expected.is_void():
+                raise IRError("ret void in non-void function {}".format(func.name))
+        elif insn.value.type != expected:
+            raise IRError("ret type mismatch in {}: {} vs {}".format(
+                func.name, insn.value.type, expected))
+    if isinstance(insn, I.Call) and not insn.is_intrinsic():
+        callee = insn.callee
+        if module is not None and callee.name in module.functions \
+                and module.functions[callee.name] is not callee:
+            raise IRError("call in {} targets a stale clone of {!r}".format(
+                func.name, callee.name))
+        if len(insn.operands) != len(callee.arguments):
+            raise IRError("call arity mismatch to {} in {}".format(
+                callee.name, func.name))
+        for arg, param in zip(insn.operands, callee.arguments):
+            if arg.type != param.type and not (
+                    arg.type.is_pointer() and param.type.is_pointer()):
+                raise IRError("call argument type mismatch to {} in {}: {} vs {}"
+                              .format(callee.name, func.name, arg.type, param.type))
+
+
+def _verify_dominance(func):
+    """Every use must be dominated by its definition."""
+    dom = func.dominators()
+    reachable = func.reachable_blocks()
+    positions = {}
+    for block in func.blocks:
+        for i, insn in enumerate(block.instructions):
+            positions[insn] = (block, i)
+
+    for block in func.blocks:
+        if block not in reachable:
+            continue
+        for i, insn in enumerate(block.instructions):
+            for op in insn.operands:
+                if not isinstance(op, I.Instruction):
+                    continue
+                def_block, def_pos = positions[op]
+                if def_block not in reachable:
+                    raise IRError(
+                        "use of value from unreachable block in {}".format(func.name))
+                if def_block is block:
+                    if def_pos >= i:
+                        raise IRError("use before def in {}:{}".format(
+                            func.name, block.name))
+                elif def_block not in dom.get(block, set()):
+                    raise IRError(
+                        "def of {!r} does not dominate use in {}:{}".format(
+                            op.name or op.opcode, func.name, block.name))
+
+
+def verify_module(module):
+    """Verify every function in ``module``."""
+    for func in module.functions.values():
+        verify_function(func, module)
+    return True

@@ -1,0 +1,46 @@
+"""Mini OpenCL-C compiler frontend.
+
+Implements the subset of OpenCL C 1.2 needed by the Parboil-style kernels in
+:mod:`repro.workloads.parboil` and by the accelOS runtime library:
+
+* scalar types (``bool``/``int``/``uint``/``long``/``ulong``/``float``/``size_t``),
+* pointers qualified by OpenCL address spaces (``global``/``local``/``constant``/
+  ``private``), local array declarations in kernel scope,
+* full statement set (``if``/``for``/``while``/``do``/``break``/``continue``/
+  ``return``), compound assignment, ternary, short-circuit logic,
+* work-item builtins, ``barrier``, atomics and a math builtin library,
+* a tiny preprocessor handling object-like ``#define`` plus ``-D`` build options.
+
+The pipeline is ``source -> preprocess -> lex -> parse -> sema`` producing a
+typed AST which :mod:`repro.ir.lowering` turns into IR.
+"""
+
+from repro.kernelc.lexer import tokenize
+from repro.kernelc.parser import parse
+from repro.kernelc.preprocessor import preprocess
+from repro.kernelc.sema import analyze
+
+__all__ = ["tokenize", "parse", "preprocess", "analyze", "frontend"]
+
+
+def frontend(source, options=None):
+    """Run the full frontend: preprocess, lex, parse and type-check.
+
+    Parameters
+    ----------
+    source:
+        OpenCL-C subset source text.
+    options:
+        Optional build-options string, e.g. ``"-D N=128 -D USE_FAST"``
+        (mirrors ``clBuildProgram`` options).
+
+    Returns
+    -------
+    repro.kernelc.ast_nodes.Program
+        The type-annotated translation unit.
+    """
+    text = preprocess(source, options)
+    tokens = tokenize(text)
+    program = parse(tokens)
+    analyze(program)
+    return program

@@ -1,0 +1,292 @@
+"""AST node definitions for the mini OpenCL-C frontend.
+
+Nodes carry their source line for diagnostics.  Expression nodes gain a
+``.type`` attribute during semantic analysis (:mod:`repro.kernelc.sema`).
+"""
+
+from __future__ import annotations
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line=None):
+        self.line = line
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+class Program(Node):
+    """A translation unit: an ordered list of function definitions."""
+
+    __slots__ = ("functions",)
+
+    def __init__(self, functions, line=None):
+        super().__init__(line)
+        self.functions = functions
+
+    def kernel_functions(self):
+        return [f for f in self.functions if f.is_kernel]
+
+    def function(self, name):
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+
+class Param(Node):
+    """A function parameter with its fully-qualified type."""
+
+    __slots__ = ("name", "type")
+
+    def __init__(self, name, type_, line=None):
+        super().__init__(line)
+        self.name = name
+        self.type = type_
+
+
+class FunctionDef(Node):
+    """A function definition; ``is_kernel`` marks ``kernel void`` entries."""
+
+    __slots__ = ("name", "return_type", "params", "body", "is_kernel")
+
+    def __init__(self, name, return_type, params, body, is_kernel, line=None):
+        super().__init__(line)
+        self.name = name
+        self.return_type = return_type
+        self.params = params
+        self.body = body
+        self.is_kernel = is_kernel
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+class Compound(Node):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements, line=None):
+        super().__init__(line)
+        self.statements = statements
+
+
+class DeclStmt(Node):
+    """One or more variable declarations sharing a base type."""
+
+    __slots__ = ("decls",)
+
+    def __init__(self, decls, line=None):
+        super().__init__(line)
+        self.decls = decls
+
+
+class VarDecl(Node):
+    """A single declared variable.
+
+    ``type`` is the complete type (scalar, pointer or array, including the
+    address space for arrays declared ``local``).  ``init`` may be None.
+    """
+
+    __slots__ = ("name", "type", "init")
+
+    def __init__(self, name, type_, init, line=None):
+        super().__init__(line)
+        self.name = name
+        self.type = type_
+        self.init = init
+
+
+class If(Node):
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond, then, otherwise, line=None):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class For(Node):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init, cond, step, body, line=None):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class While(Node):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, line=None):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Node):
+    __slots__ = ("body", "cond")
+
+    def __init__(self, body, cond, line=None):
+        super().__init__(line)
+        self.body = body
+        self.cond = cond
+
+
+class Return(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=None):
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Node):
+    __slots__ = ()
+
+
+class Continue(Node):
+    __slots__ = ()
+
+
+class ExprStmt(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line=None):
+        super().__init__(line)
+        self.expr = expr
+
+
+# --------------------------------------------------------------------------
+# Expressions (all carry ``.type`` after sema)
+# --------------------------------------------------------------------------
+
+class Expr(Node):
+    __slots__ = ("type",)
+
+    def __init__(self, line=None):
+        super().__init__(line)
+        self.type = None
+
+
+class IntLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=None):
+        super().__init__(line)
+        self.value = value
+
+
+class FloatLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=None):
+        super().__init__(line)
+        self.value = value
+
+
+class BoolLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=None):
+        super().__init__(line)
+        self.value = value
+
+
+class Ident(Expr):
+    __slots__ = ("name", "decl")
+
+    def __init__(self, name, line=None):
+        super().__init__(line)
+        self.name = name
+        self.decl = None  # resolved by sema to Param or VarDecl
+
+
+class Binary(Expr):
+    """Arithmetic/relational/logical binary operation (no assignment)."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op, lhs, rhs, line=None):
+        super().__init__(line)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class Unary(Expr):
+    """Prefix unary: ``- ! ~ * & ++ --`` (``*``/``&`` are deref/address-of)."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand, line=None):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class PostIncDec(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand, line=None):
+        super().__init__(line)
+        self.op = op  # '++' or '--'
+        self.operand = operand
+
+
+class Assign(Expr):
+    """Assignment, possibly compound (``op`` is '=' or '+=' etc.)."""
+
+    __slots__ = ("op", "target", "value")
+
+    def __init__(self, op, target, value, line=None):
+        super().__init__(line)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class Ternary(Expr):
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond, then, otherwise, line=None):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class Call(Expr):
+    __slots__ = ("name", "args", "callee")
+
+    def __init__(self, name, args, line=None):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+        self.callee = None  # FunctionDef for user calls, None for builtins
+
+
+class Index(Expr):
+    __slots__ = ("base", "index")
+
+    def __init__(self, base, index, line=None):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class Cast(Expr):
+    __slots__ = ("target_type", "operand")
+
+    def __init__(self, target_type, operand, line=None):
+        super().__init__(line)
+        self.target_type = target_type
+        self.operand = operand

@@ -1,0 +1,145 @@
+"""Builtin function signatures shared by sema, lowering and the interpreter.
+
+Three families:
+
+* **work-item** builtins (``get_global_id`` etc.) — the functions the accelOS
+  transformation replaces with runtime-library calls (paper §6.2 step 3),
+* **synchronisation/atomics** (``barrier``, ``atomic_*``),
+* **math** builtins mapped to numpy scalar operations by the interpreter.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.kernelc import types as T
+
+
+class Builtin:
+    """Signature record for a builtin function."""
+
+    __slots__ = ("name", "category", "arg_count", "result")
+
+    def __init__(self, name, category, arg_count, result):
+        self.name = name
+        self.category = category  # 'workitem' | 'sync' | 'atomic' | 'math'
+        self.arg_count = arg_count
+        self.result = result  # Type, or callable(arg_types) -> Type
+
+    def result_type(self, arg_types):
+        if callable(self.result):
+            return self.result(arg_types)
+        return self.result
+
+
+def _numeric_result(arg_types):
+    """Result type of polymorphic math builtins: common type of args."""
+    ty = arg_types[0]
+    for other in arg_types[1:]:
+        ty = T.common_type(ty, other)
+    return ty
+
+
+def _float_result(_arg_types):
+    return T.FLOAT
+
+
+def _atomic_result(arg_types):
+    return arg_types[0].pointee
+
+
+# Work-item query builtins.  All take one uint dimension argument except
+# get_work_dim.  They are exactly the set the paper's JIT transform rewrites.
+WORKITEM_BUILTINS = {}
+for _name in ("get_global_id", "get_local_id", "get_group_id",
+              "get_global_size", "get_local_size", "get_num_groups",
+              "get_global_offset"):
+    WORKITEM_BUILTINS[_name] = Builtin(_name, "workitem", 1, T.SIZE_T)
+WORKITEM_BUILTINS["get_work_dim"] = Builtin("get_work_dim", "workitem", 0, T.UINT)
+
+SYNC_BUILTINS = {
+    "barrier": Builtin("barrier", "sync", 1, T.VOID),
+    "mem_fence": Builtin("mem_fence", "sync", 1, T.VOID),
+}
+
+ATOMIC_BUILTINS = {
+    "atomic_add": Builtin("atomic_add", "atomic", 2, _atomic_result),
+    "atomic_sub": Builtin("atomic_sub", "atomic", 2, _atomic_result),
+    "atomic_min": Builtin("atomic_min", "atomic", 2, _atomic_result),
+    "atomic_max": Builtin("atomic_max", "atomic", 2, _atomic_result),
+    "atomic_xchg": Builtin("atomic_xchg", "atomic", 2, _atomic_result),
+    "atomic_cmpxchg": Builtin("atomic_cmpxchg", "atomic", 3, _atomic_result),
+    "atomic_inc": Builtin("atomic_inc", "atomic", 1, _atomic_result),
+    "atomic_dec": Builtin("atomic_dec", "atomic", 1, _atomic_result),
+}
+
+# Math builtins and their scalar implementations (used by the interpreter).
+# Unary float ops always return float; min/max/abs are type-polymorphic.
+_UNARY_FLOAT = {
+    "sqrt": math.sqrt,
+    "rsqrt": lambda x: 1.0 / math.sqrt(x) if x > 0 else float("inf"),
+    "fabs": abs,
+    "exp": math.exp,
+    "log": lambda x: math.log(x) if x > 0 else float("-inf"),
+    "log2": lambda x: math.log2(x) if x > 0 else float("-inf"),
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "native_exp": math.exp,
+    "native_sqrt": math.sqrt,
+}
+
+_BINARY_FLOAT = {
+    "pow": lambda a, b: math.pow(a, b),
+    "fmin": min,
+    "fmax": max,
+    "atan2": math.atan2,
+    "fmod": math.fmod,
+}
+
+MATH_BUILTINS = {}
+for _name in _UNARY_FLOAT:
+    MATH_BUILTINS[_name] = Builtin(_name, "math", 1, _float_result)
+for _name in _BINARY_FLOAT:
+    MATH_BUILTINS[_name] = Builtin(_name, "math", 2, _float_result)
+MATH_BUILTINS["min"] = Builtin("min", "math", 2, _numeric_result)
+MATH_BUILTINS["max"] = Builtin("max", "math", 2, _numeric_result)
+MATH_BUILTINS["abs"] = Builtin("abs", "math", 1, _numeric_result)
+MATH_BUILTINS["clamp"] = Builtin("clamp", "math", 3, _numeric_result)
+MATH_BUILTINS["mad"] = Builtin("mad", "math", 3, _numeric_result)
+MATH_BUILTINS["fma"] = Builtin("fma", "math", 3, _float_result)
+
+ALL_BUILTINS = {}
+ALL_BUILTINS.update(WORKITEM_BUILTINS)
+ALL_BUILTINS.update(SYNC_BUILTINS)
+ALL_BUILTINS.update(ATOMIC_BUILTINS)
+ALL_BUILTINS.update(MATH_BUILTINS)
+
+
+def is_builtin(name):
+    return name in ALL_BUILTINS
+
+
+def lookup(name):
+    return ALL_BUILTINS[name]
+
+
+def evaluate_math(name, args):
+    """Evaluate a math builtin on Python scalars (interpreter hook)."""
+    if name in _UNARY_FLOAT:
+        return _UNARY_FLOAT[name](float(args[0]))
+    if name in _BINARY_FLOAT:
+        return _BINARY_FLOAT[name](float(args[0]), float(args[1]))
+    if name == "min":
+        return min(args[0], args[1])
+    if name == "max":
+        return max(args[0], args[1])
+    if name == "abs":
+        return abs(args[0])
+    if name == "clamp":
+        return min(max(args[0], args[1]), args[2])
+    if name in ("mad", "fma"):
+        return args[0] * args[1] + args[2]
+    raise KeyError(name)

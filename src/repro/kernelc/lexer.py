@@ -1,0 +1,164 @@
+"""Tokenizer for the mini OpenCL-C frontend."""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+
+KEYWORDS = {
+    "kernel", "__kernel",
+    "void", "bool", "int", "uint", "unsigned", "long", "ulong", "float",
+    "size_t", "char",
+    "const", "volatile", "restrict",
+    "global", "__global", "local", "__local",
+    "constant", "__constant", "private", "__private",
+    "if", "else", "for", "while", "do", "break", "continue", "return",
+    "true", "false",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "?", ":", ";", ",", "(", ")", "[", "]", "{", "}", ".",
+]
+
+
+class Token:
+    """A lexical token with source position (1-based line/column)."""
+
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind, value, line, column):
+        self.kind = kind          # 'ident' | 'keyword' | 'int' | 'float' | 'op' | 'eof'
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return "Token({}, {!r}, {}:{})".format(self.kind, self.value, self.line, self.column)
+
+    def is_op(self, *ops):
+        return self.kind == "op" and self.value in ops
+
+    def is_keyword(self, *kws):
+        return self.kind == "keyword" and self.value in kws
+
+
+def _is_ident_start(ch):
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch):
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(source):
+    """Tokenize preprocessed source text into a list of :class:`Token`.
+
+    The final element is always an ``eof`` token, which simplifies the parser's
+    lookahead logic.
+    """
+    tokens = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message):
+        raise LexError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        # Comments should already be stripped by the preprocessor, but accept
+        # raw source being tokenized directly (e.g. in tests).
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                error("unterminated block comment")
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+
+        start_line, start_col = line, col
+
+        if _is_ident_start(ch):
+            j = i
+            while j < n and _is_ident_char(source[j]):
+                j += 1
+            word = source[i:j]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and (source[j].isdigit() or source[j].lower() in "abcdef"):
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                if j < n and source[j] == ".":
+                    is_float = True
+                    j += 1
+                    while j < n and source[j].isdigit():
+                        j += 1
+                if j < n and source[j] in "eE":
+                    k = j + 1
+                    if k < n and source[k] in "+-":
+                        k += 1
+                    if k < n and source[k].isdigit():
+                        is_float = True
+                        j = k
+                        while j < n and source[j].isdigit():
+                            j += 1
+                value = float(source[i:j]) if is_float else int(source[i:j])
+            # Suffixes: f/F marks float, u/U/l/L integer width markers.
+            while j < n and source[j] in "fFuUlL":
+                if source[j] in "fF":
+                    is_float = True
+                    value = float(value)
+                j += 1
+            tokens.append(Token("float" if is_float else "int", value, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, start_line, start_col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            error("unexpected character {!r}".format(ch))
+
+    tokens.append(Token("eof", None, line, col))
+    return tokens

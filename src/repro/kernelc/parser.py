@@ -1,0 +1,400 @@
+"""Recursive-descent parser for the mini OpenCL-C frontend."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.kernelc import ast_nodes as ast
+from repro.kernelc import types as T
+
+ADDRESS_SPACE_KEYWORDS = {
+    "global": T.GLOBAL, "__global": T.GLOBAL,
+    "local": T.LOCAL, "__local": T.LOCAL,
+    "constant": T.CONSTANT, "__constant": T.CONSTANT,
+    "private": T.PRIVATE, "__private": T.PRIVATE,
+}
+
+ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self, offset=0):
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self):
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def error(self, message, tok=None):
+        tok = tok or self.peek()
+        raise ParseError(message + " (got {!r})".format(tok.value), tok.line, tok.column)
+
+    def expect_op(self, op):
+        tok = self.peek()
+        if not tok.is_op(op):
+            self.error("expected {!r}".format(op))
+        return self.advance()
+
+    def accept_op(self, op):
+        if self.peek().is_op(op):
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self):
+        tok = self.peek()
+        if tok.kind != "ident":
+            self.error("expected identifier")
+        return self.advance()
+
+    # -- types ------------------------------------------------------------
+
+    def at_type_start(self, offset=0):
+        tok = self.peek(offset)
+        return tok.kind == "keyword" and (
+            tok.value in T.TYPE_KEYWORDS
+            or tok.value in ADDRESS_SPACE_KEYWORDS
+            or tok.value in ("const", "volatile", "restrict")
+        )
+
+    def parse_qualifiers(self):
+        """Consume address space / const / volatile qualifiers in any order."""
+        space = None
+        is_const = False
+        while True:
+            tok = self.peek()
+            if tok.kind != "keyword":
+                break
+            if tok.value in ADDRESS_SPACE_KEYWORDS:
+                space = ADDRESS_SPACE_KEYWORDS[tok.value]
+                self.advance()
+            elif tok.value == "const":
+                is_const = True
+                self.advance()
+            elif tok.value in ("volatile", "restrict"):
+                self.advance()
+            else:
+                break
+        return space, is_const
+
+    def parse_base_type(self):
+        tok = self.peek()
+        if tok.kind == "keyword" and tok.value in T.TYPE_KEYWORDS:
+            self.advance()
+            base = T.TYPE_KEYWORDS[tok.value]
+            # 'unsigned int' / 'unsigned long'
+            if tok.value == "unsigned" and self.peek().is_keyword("int", "long"):
+                follow = self.advance().value
+                base = T.UINT if follow == "int" else T.ULONG
+            return base
+        self.error("expected type name")
+
+    def parse_full_type(self):
+        """Parse ``[qualifiers] base [*]...`` returning (type, address_space)."""
+        space, is_const = self.parse_qualifiers()
+        base = self.parse_base_type()
+        # const may also follow the base type (``global const float *``)
+        space2, is_const2 = self.parse_qualifiers()
+        space = space2 or space
+        is_const = is_const or is_const2
+        ty = base
+        while self.peek().is_op("*"):
+            self.advance()
+            ty = T.PointerType(ty, space or T.PRIVATE, is_const)
+            # qualifiers may trail the '*' (``float * const restrict``)
+            self.parse_qualifiers()
+        return ty, space
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_program(self):
+        functions = []
+        while self.peek().kind != "eof":
+            functions.append(self.parse_function())
+        return ast.Program(functions)
+
+    def parse_function(self):
+        tok = self.peek()
+        is_kernel = False
+        if tok.is_keyword("kernel", "__kernel"):
+            is_kernel = True
+            self.advance()
+        ret_type, _ = self.parse_full_type()
+        name_tok = self.expect_ident()
+        self.expect_op("(")
+        params = []
+        if not self.peek().is_op(")"):
+            while True:
+                params.append(self.parse_param())
+                if not self.accept_op(","):
+                    break
+        self.expect_op(")")
+        body = self.parse_compound()
+        return ast.FunctionDef(name_tok.value, ret_type, params, body, is_kernel,
+                               line=name_tok.line)
+
+    def parse_param(self):
+        ty, _space = self.parse_full_type()
+        name_tok = self.expect_ident()
+        return ast.Param(name_tok.value, ty, line=name_tok.line)
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_compound(self):
+        open_tok = self.expect_op("{")
+        statements = []
+        while not self.peek().is_op("}"):
+            if self.peek().kind == "eof":
+                self.error("unterminated block", open_tok)
+            statements.append(self.parse_statement())
+        self.expect_op("}")
+        return ast.Compound(statements, line=open_tok.line)
+
+    def parse_statement(self):
+        tok = self.peek()
+        if tok.is_op("{"):
+            return self.parse_compound()
+        if tok.is_op(";"):
+            self.advance()
+            return ast.Compound([], line=tok.line)
+        if tok.is_keyword("if"):
+            return self.parse_if()
+        if tok.is_keyword("for"):
+            return self.parse_for()
+        if tok.is_keyword("while"):
+            return self.parse_while()
+        if tok.is_keyword("do"):
+            return self.parse_do()
+        if tok.is_keyword("return"):
+            self.advance()
+            value = None
+            if not self.peek().is_op(";"):
+                value = self.parse_expression()
+            self.expect_op(";")
+            return ast.Return(value, line=tok.line)
+        if tok.is_keyword("break"):
+            self.advance()
+            self.expect_op(";")
+            return ast.Break(line=tok.line)
+        if tok.is_keyword("continue"):
+            self.advance()
+            self.expect_op(";")
+            return ast.Continue(line=tok.line)
+        if self.at_type_start():
+            stmt = self.parse_declaration()
+            self.expect_op(";")
+            return stmt
+        expr = self.parse_expression()
+        self.expect_op(";")
+        return ast.ExprStmt(expr, line=tok.line)
+
+    def parse_declaration(self):
+        """Parse ``type declarator (',' declarator)*`` without the ';'."""
+        line = self.peek().line
+        space, is_const = self.parse_qualifiers()
+        base = self.parse_base_type()
+        space2, is_const2 = self.parse_qualifiers()
+        space = space or space2
+        is_const = is_const or is_const2
+        decls = []
+        while True:
+            ty = base
+            while self.accept_op("*"):
+                ty = T.PointerType(ty, space or T.PRIVATE, is_const)
+            name_tok = self.expect_ident()
+            if self.accept_op("["):
+                size_expr = self.parse_expression()
+                self.expect_op("]")
+                if not isinstance(size_expr, ast.IntLit):
+                    self.error("array sizes must be integer constants", name_tok)
+                ty = T.ArrayType(ty, size_expr.value, space or T.PRIVATE)
+            init = None
+            if self.accept_op("="):
+                init = self.parse_assignment()
+            decls.append(ast.VarDecl(name_tok.value, ty, init, line=name_tok.line))
+            if not self.accept_op(","):
+                break
+        return ast.DeclStmt(decls, line=line)
+
+    def parse_if(self):
+        tok = self.advance()
+        self.expect_op("(")
+        cond = self.parse_expression()
+        self.expect_op(")")
+        then = self.parse_statement()
+        otherwise = None
+        if self.peek().is_keyword("else"):
+            self.advance()
+            otherwise = self.parse_statement()
+        return ast.If(cond, then, otherwise, line=tok.line)
+
+    def parse_for(self):
+        tok = self.advance()
+        self.expect_op("(")
+        init = None
+        if not self.peek().is_op(";"):
+            if self.at_type_start():
+                init = self.parse_declaration()
+            else:
+                init = ast.ExprStmt(self.parse_expression(), line=tok.line)
+        self.expect_op(";")
+        cond = None
+        if not self.peek().is_op(";"):
+            cond = self.parse_expression()
+        self.expect_op(";")
+        step = None
+        if not self.peek().is_op(")"):
+            step = self.parse_expression()
+        self.expect_op(")")
+        body = self.parse_statement()
+        return ast.For(init, cond, step, body, line=tok.line)
+
+    def parse_while(self):
+        tok = self.advance()
+        self.expect_op("(")
+        cond = self.parse_expression()
+        self.expect_op(")")
+        body = self.parse_statement()
+        return ast.While(cond, body, line=tok.line)
+
+    def parse_do(self):
+        tok = self.advance()
+        body = self.parse_statement()
+        if not self.peek().is_keyword("while"):
+            self.error("expected 'while' after do-body")
+        self.advance()
+        self.expect_op("(")
+        cond = self.parse_expression()
+        self.expect_op(")")
+        self.expect_op(";")
+        return ast.DoWhile(body, cond, line=tok.line)
+
+    # -- expressions ----------------------------------------------------------
+    # Standard C precedence ladder.
+
+    def parse_expression(self):
+        expr = self.parse_assignment()
+        while self.peek().is_op(","):
+            # Comma expressions appear in for-steps: evaluate both, keep right.
+            self.advance()
+            rhs = self.parse_assignment()
+            expr = ast.Binary(",", expr, rhs, line=expr.line)
+        return expr
+
+    def parse_assignment(self):
+        lhs = self.parse_ternary()
+        tok = self.peek()
+        if tok.kind == "op" and tok.value in ASSIGN_OPS:
+            self.advance()
+            value = self.parse_assignment()
+            return ast.Assign(tok.value, lhs, value, line=tok.line)
+        return lhs
+
+    def parse_ternary(self):
+        cond = self.parse_binary(0)
+        if self.peek().is_op("?"):
+            tok = self.advance()
+            then = self.parse_assignment()
+            self.expect_op(":")
+            otherwise = self.parse_assignment()
+            return ast.Ternary(cond, then, otherwise, line=tok.line)
+        return cond
+
+    _PRECEDENCE = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", ">", "<=", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse_binary(self, level):
+        if level >= len(self._PRECEDENCE):
+            return self.parse_unary()
+        ops = self._PRECEDENCE[level]
+        expr = self.parse_binary(level + 1)
+        while self.peek().is_op(*ops):
+            tok = self.advance()
+            rhs = self.parse_binary(level + 1)
+            expr = ast.Binary(tok.value, expr, rhs, line=tok.line)
+        return expr
+
+    def parse_unary(self):
+        tok = self.peek()
+        if tok.is_op("-", "+", "!", "~", "*", "&", "++", "--"):
+            self.advance()
+            operand = self.parse_unary()
+            if tok.value == "+":
+                return operand
+            return ast.Unary(tok.value, operand, line=tok.line)
+        if tok.is_op("(") and self.at_type_start(1):
+            # cast expression: '(' type ')' unary
+            self.advance()
+            ty, _space = self.parse_full_type()
+            self.expect_op(")")
+            operand = self.parse_unary()
+            return ast.Cast(ty, operand, line=tok.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self):
+        expr = self.parse_primary()
+        while True:
+            tok = self.peek()
+            if tok.is_op("["):
+                self.advance()
+                index = self.parse_expression()
+                self.expect_op("]")
+                expr = ast.Index(expr, index, line=tok.line)
+            elif tok.is_op("(") and isinstance(expr, ast.Ident):
+                self.advance()
+                args = []
+                if not self.peek().is_op(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept_op(","):
+                            break
+                self.expect_op(")")
+                expr = ast.Call(expr.name, args, line=tok.line)
+            elif tok.is_op("++", "--"):
+                self.advance()
+                expr = ast.PostIncDec(tok.value, expr, line=tok.line)
+            else:
+                return expr
+
+    def parse_primary(self):
+        tok = self.peek()
+        if tok.kind == "int":
+            self.advance()
+            return ast.IntLit(tok.value, line=tok.line)
+        if tok.kind == "float":
+            self.advance()
+            return ast.FloatLit(tok.value, line=tok.line)
+        if tok.is_keyword("true", "false"):
+            self.advance()
+            return ast.BoolLit(tok.value == "true", line=tok.line)
+        if tok.kind == "ident":
+            self.advance()
+            return ast.Ident(tok.value, line=tok.line)
+        if tok.is_op("("):
+            self.advance()
+            expr = self.parse_expression()
+            self.expect_op(")")
+            return expr
+        self.error("expected expression")
+
+
+def parse(tokens):
+    """Parse a token list (from :func:`repro.kernelc.lexer.tokenize`)."""
+    return _Parser(tokens).parse_program()

@@ -1,0 +1,124 @@
+"""Minimal preprocessor: comments, object-like ``#define`` and ``-D`` options.
+
+OpenCL programs receive macros both from ``#define`` lines in the source and
+from build options passed to ``clBuildProgram`` (``-D NAME=VALUE``).  Both are
+supported; function-like macros and conditionals are not needed by our kernel
+corpus and are rejected loudly rather than mis-expanded.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_DEFINE = re.compile(r"^\s*#\s*define\s+([A-Za-z_][A-Za-z0-9_]*)(\(?)\s*(.*)$")
+_OTHER_DIRECTIVE = re.compile(r"^\s*#\s*(\w+)")
+
+# Macros every translation unit sees, mirroring OpenCL's barrier flags.
+PREDEFINED = {
+    "CLK_LOCAL_MEM_FENCE": "1",
+    "CLK_GLOBAL_MEM_FENCE": "2",
+}
+
+
+def parse_options(options):
+    """Parse a ``clBuildProgram``-style options string into a macro dict."""
+    macros = {}
+    if not options:
+        return macros
+    parts = options.split()
+    i = 0
+    while i < len(parts):
+        part = parts[i]
+        if part == "-D":
+            i += 1
+            if i >= len(parts):
+                raise ParseError("-D requires an argument")
+            part = "-D" + parts[i]
+        if part.startswith("-D"):
+            body = part[2:]
+            name, _, value = body.partition("=")
+            if not _IDENT.fullmatch(name):
+                raise ParseError("bad macro name in options: {!r}".format(name))
+            macros[name] = value if value else "1"
+        elif part.startswith("-"):
+            pass  # unknown flags are ignored, as real drivers do
+        else:
+            raise ParseError("unexpected build option: {!r}".format(part))
+        i += 1
+    return macros
+
+
+def _strip_comments(source):
+    """Remove // and /* */ comments, preserving newlines for line numbers."""
+    out = []
+    i = 0
+    n = len(source)
+    while i < n:
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+        elif source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise ParseError("unterminated block comment")
+            out.append("\n" * source.count("\n", i, end + 2))
+            i = end + 2
+        else:
+            out.append(source[i])
+            i += 1
+    return "".join(out)
+
+
+def _substitute(line, macros):
+    """Replace whole-identifier occurrences of macro names in ``line``."""
+    # Iterate to a fixed point so macros may reference earlier macros; bound
+    # the depth to catch accidental recursion.
+    for _ in range(16):
+        changed = False
+
+        def repl(match):
+            nonlocal changed
+            name = match.group(0)
+            if name in macros:
+                changed = True
+                return macros[name]
+            return name
+
+        line = _IDENT.sub(repl, line)
+        if not changed:
+            return line
+    raise ParseError("macro expansion did not terminate (recursive #define?)")
+
+
+def preprocess(source, options=None):
+    """Return preprocessed source text with macros expanded.
+
+    Line structure is preserved exactly (each ``#define`` line becomes a blank
+    line) so lexer positions refer to the original source.
+    """
+    macros = dict(PREDEFINED)
+    macros.update(parse_options(options))
+
+    source = _strip_comments(source)
+    out_lines = []
+    for lineno, line in enumerate(source.split("\n"), start=1):
+        match = _DEFINE.match(line)
+        if match:
+            name, paren, value = match.groups()
+            if paren == "(":
+                raise ParseError("function-like macros are not supported", lineno)
+            macros[name] = _substitute(value.strip(), macros)
+            out_lines.append("")
+            continue
+        other = _OTHER_DIRECTIVE.match(line)
+        if other:
+            directive = other.group(1)
+            if directive == "pragma":
+                out_lines.append("")  # pragmas are accepted and ignored
+                continue
+            raise ParseError("unsupported preprocessor directive #%s" % directive, lineno)
+        out_lines.append(_substitute(line, macros))
+    return "\n".join(out_lines)

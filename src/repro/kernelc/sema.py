@@ -1,0 +1,345 @@
+"""Semantic analysis: name resolution, type checking, OpenCL-specific rules.
+
+Annotates every expression node with ``.type``, resolves identifiers to their
+declarations and calls to their callees, and enforces the OpenCL constraints
+the accelOS transformation cares about — most importantly that ``local``
+variables may only be declared at kernel-function scope (paper §6.2, "Local
+Data Hoisting" exists precisely because of this rule).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemanticError
+from repro.kernelc import ast_nodes as ast
+from repro.kernelc import builtins as B
+from repro.kernelc import types as T
+
+
+class Scope:
+    """Lexical scope mapping names to Param/VarDecl nodes."""
+
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.symbols = {}
+
+    def define(self, name, decl, line=None):
+        if name in self.symbols:
+            raise SemanticError("redefinition of {!r}".format(name), line)
+        self.symbols[name] = decl
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class _Analyzer:
+    def __init__(self, program):
+        self.program = program
+        self.functions = {}
+        self.current = None
+        self.loop_depth = 0
+
+    def error(self, message, node=None):
+        line = getattr(node, "line", None)
+        raise SemanticError(message, line)
+
+    # -- entry --------------------------------------------------------------
+
+    def run(self):
+        for func in self.program.functions:
+            if func.name in self.functions:
+                self.error("redefinition of function {!r}".format(func.name), func)
+            if B.is_builtin(func.name):
+                self.error("{!r} shadows a builtin".format(func.name), func)
+            self.functions[func.name] = func
+        for func in self.program.functions:
+            self.check_function(func)
+        return self.program
+
+    def check_function(self, func):
+        self.current = func
+        if func.is_kernel and not func.return_type.is_void():
+            self.error("kernel functions must return void", func)
+        scope = Scope()
+        for param in func.params:
+            if func.is_kernel and param.type.is_pointer() \
+                    and param.type.address_space == T.PRIVATE:
+                self.error(
+                    "kernel pointer arguments must be global, local or constant",
+                    param)
+            scope.define(param.name, param, param.line)
+        self.check_compound(func.body, Scope(scope))
+        self.current = None
+
+    # -- statements -----------------------------------------------------------
+
+    def check_statement(self, stmt, scope):
+        if isinstance(stmt, ast.Compound):
+            self.check_compound(stmt, Scope(scope))
+        elif isinstance(stmt, ast.DeclStmt):
+            self.check_decl(stmt, scope)
+        elif isinstance(stmt, ast.If):
+            self.check_condition(stmt.cond, scope)
+            self.check_statement(stmt.then, scope)
+            if stmt.otherwise is not None:
+                self.check_statement(stmt.otherwise, scope)
+        elif isinstance(stmt, ast.For):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                self.check_statement(stmt.init, inner)
+            if stmt.cond is not None:
+                self.check_condition(stmt.cond, inner)
+            if stmt.step is not None:
+                self.check_expr(stmt.step, inner)
+            self.loop_depth += 1
+            self.check_statement(stmt.body, inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.While):
+            self.check_condition(stmt.cond, scope)
+            self.loop_depth += 1
+            self.check_statement(stmt.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.DoWhile):
+            self.loop_depth += 1
+            self.check_statement(stmt.body, scope)
+            self.loop_depth -= 1
+            self.check_condition(stmt.cond, scope)
+        elif isinstance(stmt, ast.Return):
+            ret = self.current.return_type
+            if stmt.value is None:
+                if not ret.is_void():
+                    self.error("non-void function must return a value", stmt)
+            else:
+                if ret.is_void():
+                    self.error("void function cannot return a value", stmt)
+                value_ty = self.check_expr(stmt.value, scope)
+                if not T.can_implicitly_convert(value_ty, ret):
+                    self.error("cannot convert return value {} to {}".format(
+                        value_ty, ret), stmt)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                self.error("break/continue outside a loop", stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.check_expr(stmt.expr, scope)
+        else:
+            self.error("unknown statement {!r}".format(stmt), stmt)
+
+    def check_compound(self, block, scope):
+        for stmt in block.statements:
+            self.check_statement(stmt, scope)
+
+    def check_decl(self, stmt, scope):
+        for decl in stmt.decls:
+            ty = decl.type
+            if ty.is_array() and ty.address_space == T.LOCAL \
+                    and not self.current.is_kernel:
+                self.error(
+                    "local arrays may only be declared in kernel functions "
+                    "(OpenCL 1.2 s6.5.2)", decl)
+            if ty.is_void():
+                self.error("cannot declare variable of type void", decl)
+            if decl.init is not None:
+                init_ty = self.check_expr(decl.init, scope)
+                target = ty.element if ty.is_array() else ty
+                if not T.can_implicitly_convert(init_ty, target):
+                    self.error("cannot initialise {} {!r} with {}".format(
+                        ty, decl.name, init_ty), decl)
+                if ty.is_array():
+                    self.error("array initialisers are not supported", decl)
+            scope.define(decl.name, decl, decl.line)
+
+    def check_condition(self, expr, scope):
+        ty = self.check_expr(expr, scope)
+        if not (ty.is_scalar() or ty.is_pointer()):
+            self.error("condition must be scalar", expr)
+
+    # -- expressions ----------------------------------------------------------
+
+    def check_expr(self, expr, scope):
+        ty = self._expr_type(expr, scope)
+        expr.type = ty
+        return ty
+
+    def _expr_type(self, expr, scope):
+        if isinstance(expr, ast.IntLit):
+            return T.LONG if expr.value > 2**31 - 1 else T.INT
+        if isinstance(expr, ast.FloatLit):
+            return T.FLOAT
+        if isinstance(expr, ast.BoolLit):
+            return T.BOOL
+        if isinstance(expr, ast.Ident):
+            decl = scope.lookup(expr.name)
+            if decl is None:
+                self.error("use of undeclared identifier {!r}".format(expr.name), expr)
+            expr.decl = decl
+            return decl.type
+        if isinstance(expr, ast.Binary):
+            return self._binary_type(expr, scope)
+        if isinstance(expr, ast.Unary):
+            return self._unary_type(expr, scope)
+        if isinstance(expr, ast.PostIncDec):
+            ty = self.check_expr(expr.operand, scope)
+            self._require_lvalue(expr.operand)
+            if not (ty.is_integer() or ty.is_float() or ty.is_pointer()):
+                self.error("cannot increment {}".format(ty), expr)
+            return ty
+        if isinstance(expr, ast.Assign):
+            return self._assign_type(expr, scope)
+        if isinstance(expr, ast.Ternary):
+            self.check_condition(expr.cond, scope)
+            then_ty = self.check_expr(expr.then, scope)
+            else_ty = self.check_expr(expr.otherwise, scope)
+            if then_ty.is_pointer() and else_ty.is_pointer():
+                return then_ty
+            if then_ty.is_scalar() and else_ty.is_scalar():
+                return T.common_type(then_ty, else_ty)
+            self.error("incompatible ternary arms {} / {}".format(then_ty, else_ty), expr)
+        if isinstance(expr, ast.Call):
+            return self._call_type(expr, scope)
+        if isinstance(expr, ast.Index):
+            base_ty = self.check_expr(expr.base, scope)
+            index_ty = self.check_expr(expr.index, scope)
+            if not index_ty.is_integer():
+                self.error("array index must be an integer", expr)
+            if base_ty.is_pointer():
+                return base_ty.pointee
+            if base_ty.is_array():
+                return base_ty.element
+            self.error("cannot index non-pointer type {}".format(base_ty), expr)
+        if isinstance(expr, ast.Cast):
+            self.check_expr(expr.operand, scope)
+            return expr.target_type
+        self.error("unknown expression {!r}".format(expr), expr)
+
+    def _binary_type(self, expr, scope):
+        lhs = self.check_expr(expr.lhs, scope)
+        rhs = self.check_expr(expr.rhs, scope)
+        op = expr.op
+        if op == ",":
+            return rhs
+        if op in ("&&", "||"):
+            return T.BOOL
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if lhs.is_pointer() and rhs.is_pointer():
+                return T.BOOL
+            if lhs.is_scalar() and rhs.is_scalar():
+                return T.BOOL
+            self.error("cannot compare {} with {}".format(lhs, rhs), expr)
+        if op in ("+", "-"):
+            # pointer arithmetic
+            if lhs.is_pointer() and rhs.is_integer():
+                return lhs
+            if op == "+" and lhs.is_integer() and rhs.is_pointer():
+                return rhs
+            if op == "-" and lhs.is_pointer() and rhs.is_pointer():
+                return T.LONG
+        if op in ("%", "&", "|", "^", "<<", ">>"):
+            if not (lhs.is_integer() and rhs.is_integer()):
+                self.error("operator {!r} requires integers".format(op), expr)
+            return T.common_type(lhs, rhs)
+        if lhs.is_scalar() and rhs.is_scalar():
+            return T.common_type(lhs, rhs)
+        self.error("invalid operands to {!r}: {} and {}".format(op, lhs, rhs), expr)
+
+    def _unary_type(self, expr, scope):
+        ty = self.check_expr(expr.operand, scope)
+        op = expr.op
+        if op == "-":
+            if not ty.is_scalar():
+                self.error("cannot negate {}".format(ty), expr)
+            return ty if not ty.is_bool() else T.INT
+        if op == "!":
+            return T.BOOL
+        if op == "~":
+            if not ty.is_integer():
+                self.error("~ requires an integer", expr)
+            return ty
+        if op == "*":
+            if not ty.is_pointer():
+                self.error("cannot dereference {}".format(ty), expr)
+            return ty.pointee
+        if op == "&":
+            self._require_lvalue(expr.operand)
+            inner = expr.operand
+            if isinstance(inner, ast.Index):
+                base_ty = inner.base.type
+                space = base_ty.address_space
+            elif isinstance(inner, ast.Ident) and inner.type.is_array():
+                space = inner.type.address_space
+            else:
+                space = T.PRIVATE
+            return T.PointerType(ty, space)
+        if op in ("++", "--"):
+            self._require_lvalue(expr.operand)
+            return ty
+        self.error("unknown unary operator {!r}".format(op), expr)
+
+    def _assign_type(self, expr, scope):
+        target_ty = self.check_expr(expr.target, scope)
+        self._require_lvalue(expr.target)
+        value_ty = self.check_expr(expr.value, scope)
+        if expr.op != "=":
+            base_op = expr.op[:-1]
+            if base_op in ("%", "&", "|", "^", "<<", ">>") and not (
+                    target_ty.is_integer() and value_ty.is_integer()):
+                self.error("compound operator {!r} requires integers".format(expr.op),
+                           expr)
+        if target_ty.is_pointer() and value_ty.is_integer() and expr.op in ("+=", "-="):
+            return target_ty
+        if not T.can_implicitly_convert(value_ty, target_ty):
+            self.error("cannot assign {} to {}".format(value_ty, target_ty), expr)
+        return target_ty
+
+    def _require_lvalue(self, expr):
+        if isinstance(expr, ast.Ident):
+            if expr.type is not None and expr.type.is_array():
+                self.error("arrays are not assignable", expr)
+            return
+        if isinstance(expr, ast.Index):
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return
+        self.error("expression is not assignable", expr)
+
+    def _call_type(self, expr, scope):
+        arg_types = [self.check_expr(arg, scope) for arg in expr.args]
+        if B.is_builtin(expr.name):
+            builtin = B.lookup(expr.name)
+            if len(arg_types) != builtin.arg_count:
+                self.error("{} expects {} arguments, got {}".format(
+                    expr.name, builtin.arg_count, len(arg_types)), expr)
+            if builtin.category == "atomic":
+                ptr = arg_types[0]
+                if not ptr.is_pointer() or not ptr.pointee.is_integer():
+                    self.error("{} requires a pointer to an integer".format(
+                        expr.name), expr)
+                if ptr.address_space not in (T.GLOBAL, T.LOCAL):
+                    self.error("atomics require global or local pointers", expr)
+            if builtin.category == "workitem" and builtin.arg_count == 1:
+                if not arg_types[0].is_integer():
+                    self.error("{} dimension must be an integer".format(expr.name),
+                               expr)
+            return builtin.result_type(arg_types)
+        callee = self.functions.get(expr.name)
+        if callee is None:
+            self.error("call to undeclared function {!r}".format(expr.name), expr)
+        if callee.is_kernel:
+            self.error("kernel functions cannot be called from device code", expr)
+        if len(arg_types) != len(callee.params):
+            self.error("{} expects {} arguments, got {}".format(
+                expr.name, len(callee.params), len(arg_types)), expr)
+        for arg_ty, param in zip(arg_types, callee.params):
+            if not T.can_implicitly_convert(arg_ty, param.type):
+                self.error("cannot pass {} as {} parameter {!r}".format(
+                    arg_ty, param.type, param.name), expr)
+        expr.callee = callee
+        return callee.return_type
+
+
+def analyze(program):
+    """Type-check ``program`` in place and return it."""
+    return _Analyzer(program).run()

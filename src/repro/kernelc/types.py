@@ -1,0 +1,194 @@
+"""Type system for the mini OpenCL-C frontend.
+
+Types are immutable value objects compared structurally.  Address spaces
+follow OpenCL: ``global``, ``local``, ``constant`` and ``private`` (the
+default for automatic variables).
+"""
+
+from __future__ import annotations
+
+
+GLOBAL = "global"
+LOCAL = "local"
+CONSTANT = "constant"
+PRIVATE = "private"
+
+ADDRESS_SPACES = (GLOBAL, LOCAL, CONSTANT, PRIVATE)
+
+
+class Type:
+    """Base class for all frontend types."""
+
+    def is_scalar(self):
+        return isinstance(self, ScalarType) and self.kind != "void"
+
+    def is_integer(self):
+        return isinstance(self, ScalarType) and self.kind in INTEGER_KINDS
+
+    def is_float(self):
+        return isinstance(self, ScalarType) and self.kind == "float"
+
+    def is_bool(self):
+        return isinstance(self, ScalarType) and self.kind == "bool"
+
+    def is_void(self):
+        return isinstance(self, ScalarType) and self.kind == "void"
+
+    def is_pointer(self):
+        return isinstance(self, PointerType)
+
+    def is_array(self):
+        return isinstance(self, ArrayType)
+
+
+INTEGER_KINDS = ("bool", "int", "uint", "long", "ulong")
+
+# Bit widths and signedness per scalar kind.
+SCALAR_INFO = {
+    "void": (0, False),
+    "bool": (1, False),
+    "int": (32, True),
+    "uint": (32, False),
+    "long": (64, True),
+    "ulong": (64, False),
+    "float": (32, True),
+}
+
+
+class ScalarType(Type):
+    """A scalar type: ``void``, ``bool``, integers or ``float``."""
+
+    __slots__ = ("kind",)
+    _cache = {}
+
+    def __new__(cls, kind):
+        if kind not in SCALAR_INFO:
+            raise ValueError("unknown scalar kind: {!r}".format(kind))
+        cached = cls._cache.get(kind)
+        if cached is None:
+            cached = super().__new__(cls)
+            cached.kind = kind
+            cls._cache[kind] = cached
+        return cached
+
+    @property
+    def bits(self):
+        return SCALAR_INFO[self.kind][0]
+
+    @property
+    def signed(self):
+        return SCALAR_INFO[self.kind][1]
+
+    def __repr__(self):
+        return self.kind
+
+    def __eq__(self, other):
+        return isinstance(other, ScalarType) and other.kind == self.kind
+
+    def __hash__(self):
+        return hash(("scalar", self.kind))
+
+
+class PointerType(Type):
+    """Pointer to ``pointee`` in a given address space."""
+
+    __slots__ = ("pointee", "address_space", "is_const")
+
+    def __init__(self, pointee, address_space=PRIVATE, is_const=False):
+        if address_space not in ADDRESS_SPACES:
+            raise ValueError("bad address space: {!r}".format(address_space))
+        self.pointee = pointee
+        self.address_space = address_space
+        self.is_const = is_const
+
+    def __repr__(self):
+        const = "const " if self.is_const else ""
+        return "{} {}{}*".format(self.address_space, const, self.pointee)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, PointerType)
+            and other.pointee == self.pointee
+            and other.address_space == self.address_space
+        )
+
+    def __hash__(self):
+        return hash(("ptr", self.pointee, self.address_space))
+
+
+class ArrayType(Type):
+    """Fixed-size array (used for ``local`` arrays declared in kernels)."""
+
+    __slots__ = ("element", "size", "address_space")
+
+    def __init__(self, element, size, address_space=PRIVATE):
+        self.element = element
+        self.size = size
+        self.address_space = address_space
+
+    def __repr__(self):
+        return "{} {}[{}]".format(self.address_space, self.element, self.size)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ArrayType)
+            and other.element == self.element
+            and other.size == self.size
+            and other.address_space == self.address_space
+        )
+
+    def __hash__(self):
+        return hash(("arr", self.element, self.size, self.address_space))
+
+
+VOID = ScalarType("void")
+BOOL = ScalarType("bool")
+INT = ScalarType("int")
+UINT = ScalarType("uint")
+LONG = ScalarType("long")
+ULONG = ScalarType("ulong")
+FLOAT = ScalarType("float")
+
+# ``size_t`` maps to the 64-bit unsigned integer type, as on real devices.
+SIZE_T = ULONG
+
+TYPE_KEYWORDS = {
+    "void": VOID,
+    "bool": BOOL,
+    "int": INT,
+    "uint": UINT,
+    "unsigned": UINT,
+    "long": LONG,
+    "ulong": ULONG,
+    "float": FLOAT,
+    "size_t": SIZE_T,
+    "char": INT,  # tolerated alias; we do not model sub-word storage
+}
+
+
+def integer_rank(ty):
+    """Conversion rank used for usual arithmetic conversions."""
+    order = {"bool": 0, "int": 1, "uint": 2, "long": 3, "ulong": 4}
+    return order[ty.kind]
+
+
+def common_type(a, b):
+    """The usual arithmetic conversion result of scalar types ``a``/``b``."""
+    if a.is_float() or b.is_float():
+        return FLOAT
+    return a if integer_rank(a) >= integer_rank(b) else b
+
+
+def can_implicitly_convert(src, dst):
+    """True when ``src`` silently converts to ``dst`` (C-style laxness)."""
+    if src == dst:
+        return True
+    if src.is_scalar() and dst.is_scalar():
+        return True
+    if src.is_pointer() and dst.is_pointer():
+        # Allow pointee-compatible pointers in the same address space, plus
+        # conversions to void-like untyped use; OpenCL C is forgiving here.
+        return src.address_space == dst.address_space
+    if src.is_array() and dst.is_pointer():
+        return src.element == dst.pointee and src.address_space == dst.address_space
+    return False

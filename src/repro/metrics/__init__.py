@@ -1,0 +1,18 @@
+"""Evaluation metrics (paper §7.4).
+
+Fairness: individual slowdown, system unfairness [9], fairness improvement.
+Throughput: system throughput speedup, STP [10].
+Turnaround: ANTT and worst-case ANTT [31].
+Sharing: kernel execution overlap.
+"""
+
+from repro.metrics.fairness import (
+    individual_slowdowns, system_unfairness, fairness_improvement)
+from repro.metrics.throughput import throughput_speedup, stp
+from repro.metrics.antt import antt, worst_antt
+from repro.metrics.overlap import execution_overlap
+
+__all__ = [
+    "individual_slowdowns", "system_unfairness", "fairness_improvement",
+    "throughput_speedup", "stp", "antt", "worst_antt", "execution_overlap",
+]

@@ -1,0 +1,17 @@
+"""Average normalised turnaround time (paper §7.4/§8.4, after [31][10])."""
+
+from __future__ import annotations
+
+
+def antt(slowdowns):
+    """``ANTT = (1/K) * sum(IS_i)`` — lower is better, 1.0 is ideal."""
+    if not slowdowns:
+        raise ValueError("need at least one slowdown")
+    return sum(slowdowns) / len(slowdowns)
+
+
+def worst_antt(antt_values):
+    """Worst ANTT across a set of workloads (the paper's W. ANTT column)."""
+    if not antt_values:
+        raise ValueError("need at least one ANTT value")
+    return max(antt_values)

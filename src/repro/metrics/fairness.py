@@ -1,0 +1,40 @@
+"""Fairness metrics for accelerator sharing (paper §7.4, after [9]).
+
+A heterogeneous system is fair if concurrent kernel executions are slowed
+down equally relative to running in isolation.
+"""
+
+from __future__ import annotations
+
+
+def individual_slowdowns(shared_times, isolated_times):
+    """``IS_i = T(s)_i / T(a)_i`` per kernel execution.
+
+    ``shared_times`` are turnaround times in the shared run; ``isolated``
+    the same kernels run alone on the standard stack.
+    """
+    if len(shared_times) != len(isolated_times):
+        raise ValueError("time lists must have the same length")
+    slowdowns = []
+    for shared, isolated in zip(shared_times, isolated_times):
+        if isolated <= 0:
+            raise ValueError("isolated time must be positive")
+        slowdowns.append(shared / isolated)
+    return slowdowns
+
+
+def system_unfairness(slowdowns):
+    """``U = max(IS) / min(IS)``; 1.0 is perfectly fair, larger is worse."""
+    if not slowdowns:
+        raise ValueError("need at least one slowdown")
+    low = min(slowdowns)
+    if low <= 0:
+        raise ValueError("slowdowns must be positive")
+    return max(slowdowns) / low
+
+
+def fairness_improvement(baseline_unfairness, scheme_unfairness):
+    """``U_baseline / U_X`` — >1 means the scheme is fairer than baseline."""
+    if scheme_unfairness <= 0:
+        raise ValueError("unfairness must be positive")
+    return baseline_unfairness / scheme_unfairness

@@ -1,0 +1,35 @@
+"""Kernel execution overlap (paper §7.4): ``O = T(c) / T(t)``."""
+
+from __future__ import annotations
+
+
+def execution_overlap(intervals):
+    """Overlap of a set of ``(start, finish)`` kernel intervals.
+
+    ``T(t)``: total time at least one kernel executes (union measure);
+    ``T(c)``: time all kernels co-execute (intersection measure).
+    """
+    if not intervals:
+        raise ValueError("need at least one interval")
+    for start, finish in intervals:
+        if finish < start:
+            raise ValueError("interval ends before it starts")
+    total = _union_measure(intervals)
+    if total <= 0:
+        return 0.0
+    co_start = max(start for start, _ in intervals)
+    co_finish = min(finish for _, finish in intervals)
+    return max(0.0, co_finish - co_start) / total
+
+
+def _union_measure(intervals):
+    measure = 0.0
+    cursor = None
+    for start, end in sorted(intervals):
+        if cursor is None or start > cursor:
+            measure += end - start
+            cursor = end
+        elif end > cursor:
+            measure += end - cursor
+            cursor = end
+    return measure

@@ -1,0 +1,23 @@
+"""Throughput metrics (paper §7.4)."""
+
+from __future__ import annotations
+
+
+def throughput_speedup(baseline_time, scheme_time):
+    """``T_baseline / T_X`` where T is the time for *all* kernels to finish."""
+    if scheme_time <= 0:
+        raise ValueError("scheme time must be positive")
+    return baseline_time / scheme_time
+
+
+def stp(slowdowns):
+    """System throughput (Eyerman & Eeckhout [10]): ``STP = sum(1/IS_i)``.
+
+    Equals K for a perfectly-shared machine with no interference and 1 for
+    full serialisation of identical jobs.
+    """
+    if not slowdowns:
+        raise ValueError("need at least one slowdown")
+    if any(s <= 0 for s in slowdowns):
+        raise ValueError("slowdowns must be positive")
+    return sum(1.0 / s for s in slowdowns)

@@ -1,0 +1,37 @@
+"""Minimal discrete-event engine: a time-ordered event queue."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.errors import SimulationError
+
+
+class EventQueue:
+    """Priority queue of (time, payload) events with stable FIFO ties."""
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def push(self, time, payload):
+        if time < self.now - 1e-12:
+            raise SimulationError(
+                "event scheduled in the past ({} < {})".format(time, self.now))
+        heapq.heappush(self._heap, (time, next(self._counter), payload))
+
+    def pop(self):
+        """Advance to and return the next event as ``(time, payload)``."""
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        time, _seq, payload = heapq.heappop(self._heap)
+        self.now = max(self.now, time)
+        return time, payload
+
+    def __len__(self):
+        return len(self._heap)
+
+    def __bool__(self):
+        return bool(self._heap)

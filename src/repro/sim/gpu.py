@@ -1,0 +1,426 @@
+"""The GPU timing simulator.
+
+Three execution modes over one event-driven core:
+
+* **hardware** — unmodified kernels under the firmware scheduler.  Work
+  groups are statically assigned round-robin to compute units (paper
+  fig. 3a) and dispatch in strict kernel order subject to the device's
+  policy (FIFO drain-overlap or exclusive).
+* **accelos** — each kernel launches its reduced set of physical work
+  groups; every physical group loops, atomically drawing chunks of virtual
+  groups from the kernel's shared Virtual NDRange (fig. 3b).  Each dequeue
+  costs :data:`~repro.sim.spec.SCHED_OP_OVERHEAD`, amortised by §6.4
+  chunking.  Resources stay bound to the kernel until it finishes (§2.5).
+* **elastic** — Elastic Kernels: physical groups receive a *static*
+  pre-assignment of virtual groups (strided), so load imbalance is frozen
+  at launch; no dequeue overhead, no adaptation.
+
+Two pieces of hardware physics the evaluation depends on:
+
+* **Sub-linear occupancy scaling.**  WG costs are expressed at full per-CU
+  residency; with ``k`` co-resident WGs of the same kernel on a CU, each WG
+  runs at ``occ = max(k, sat*k_max) / k_max`` of its full-occupancy cost
+  (saturating throughput at ``sat`` of maximum occupancy).  This is why
+  space sharing pays off: a kernel at 1/K residency is *not* K times
+  slower.
+* **Bandwidth roofline.**  Every resident WG demands memory bandwidth at
+  its occupancy-corrected rate; oversubscription stretches in-flight WG
+  costs proportionally (applied at dispatch).
+
+WG costs in specs are for the reference device (K20m CU); other devices
+scale them by relative per-CU throughput.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sim.contention import BandwidthTracker
+from repro.sim.engine import EventQueue
+from repro.sim.hw_sched import scheduler_for
+from repro.sim.resources import CUState
+from repro.sim.spec import ExecutionMode
+from repro.sim.trace import ExecutionTrace, KernelInterval
+
+# K20m per-CU throughput; spec costs are expressed against this.
+_REFERENCE_CU_RATE = 384 * 706.0
+
+# Firmware/driver handoff latency between consecutive kernels' dispatch
+# windows (grid setup, channel switch).  This is why even two small kernels
+# that would fit together mostly serialise on the standard stack.
+KERNEL_HANDOFF_LATENCY = 90e-6
+
+
+def device_cost_scale(device):
+    """Multiplier turning reference WG costs into this device's costs."""
+    rate = device.flops_per_cycle_per_cu * device.clock_mhz
+    return _REFERENCE_CU_RATE / rate
+
+
+def per_cu_residency_cap(spec, device):
+    """Maximum WGs of ``spec`` resident on one CU."""
+    cap = min(
+        device.max_wgs_per_cu,
+        device.max_threads_per_cu // spec.wg_threads if spec.wg_threads else 0,
+        (device.registers_per_cu // spec.registers_per_group
+         if spec.registers_per_group else device.max_wgs_per_cu),
+        (device.local_mem_per_cu // spec.local_mem_per_wg
+         if spec.local_mem_per_wg else device.max_wgs_per_cu),
+    )
+    return max(1, cap)
+
+
+class _KernelRun:
+    """Mutable per-kernel simulation state."""
+
+    def __init__(self, index, spec, device, cost_scale):
+        self.index = index
+        self.spec = spec
+        self.costs = spec.wg_costs * cost_scale
+        self.total = spec.total_groups
+        self.k_max = per_cu_residency_cap(spec, device)
+        self.completed = 0
+        self.resident = 0
+        self.start_time = None
+        self.finish_time = None
+        self.dispatch_done_time = None
+        # hardware mode: static round-robin CU queues of WG indices
+        self.cu_queues = None
+        self.pending_count = self.total
+        self.cu_resident = {}
+        # software modes
+        self.next_vgroup = 0
+        self.slots_to_place = 0
+        self.live_slots = 0
+        self.slot_assignments = None   # elastic: per-slot deques
+        self.slot_occ = {}             # slot index -> occupancy factor
+        self.slot_rate = {}            # slot index -> bandwidth demand
+
+    @property
+    def finished(self):
+        return self.completed >= self.total
+
+    def mode_done(self):
+        """For accelOS runs: is the shared virtual-group queue drained?
+        (A pending slot whose queue is empty never needs placement.)"""
+        if self.spec.mode == ExecutionMode.ACCELOS:
+            return self.next_vgroup >= self.total
+        return False
+
+    def occupancy_factor(self, k):
+        """Per-WG cost factor with ``k`` co-resident WGs on a CU."""
+        k_sat = self.spec.sat_occupancy * self.k_max
+        return max(k, k_sat) / self.k_max
+
+    def mark_start(self, now):
+        if self.start_time is None:
+            self.start_time = now
+
+    def mark_dispatch_done(self, now):
+        if self.dispatch_done_time is None:
+            self.dispatch_done_time = now
+
+
+class GPUSimulator:
+    """Simulates one batch of kernel execution requests on one device.
+
+    ``rebalance`` enables the extension the paper lists as future work
+    (§2.5 admits a kernel "cannot leverage additional resources that may be
+    released if other kernel executions terminate first"): when a software-
+    scheduled slot retires, the freed capacity is re-granted as extra slots
+    to co-scheduled kernels that still have undrained virtual-group queues.
+    Off by default — the paper's accelOS binds allocations for a kernel's
+    lifetime, and the evaluation benches quantify what that costs.
+    """
+
+    def __init__(self, device, hardware_scheduler=None, rebalance=False):
+        self.device = device
+        self.hardware_scheduler = hardware_scheduler or scheduler_for(device)
+        self.rebalance = rebalance
+
+    # -- public -----------------------------------------------------------
+
+    def run(self, specs, cost_jitter=None):
+        """Simulate the batch; all specs must share one execution mode.
+
+        ``cost_jitter`` optionally scales each kernel's costs by a per-run
+        factor (array of len(specs)), modelling run-to-run system noise for
+        the paper's 20-repetition averaging.
+        """
+        if not specs:
+            raise SimulationError("empty batch")
+        modes = {s.mode for s in specs}
+        if len(modes) > 1:
+            raise SimulationError("mixed execution modes in one batch")
+        mode = modes.pop()
+
+        scale = device_cost_scale(self.device)
+        runs = []
+        for i, spec in enumerate(specs):
+            jitter = 1.0 if cost_jitter is None else float(cost_jitter[i])
+            runs.append(_KernelRun(i, spec, self.device, scale * jitter))
+
+        self.events = EventQueue()
+        self.cus = [CUState(i, self.device) for i in range(self.device.num_cus)]
+        self.bandwidth = BandwidthTracker(self.device)
+        self.runs = runs
+
+        if mode == ExecutionMode.HARDWARE:
+            self._run_hardware()
+        else:
+            self._run_software(mode)
+
+        intervals = []
+        for run in runs:
+            if run.finish_time is None:
+                raise SimulationError(
+                    "kernel {} never finished (resources too small?)".format(
+                        run.spec.name))
+            intervals.append(KernelInterval(
+                run.spec.name, run.start_time, run.finish_time,
+                run.dispatch_done_time, float(run.costs.sum())))
+        return ExecutionTrace(intervals, self.device.name, mode)
+
+    # -- hardware mode --------------------------------------------------------
+
+    def _run_hardware(self):
+        num_cus = self.device.num_cus
+        for run in self.runs:
+            run.cu_queues = [deque() for _ in range(num_cus)]
+            for wg in range(run.total):
+                run.cu_queues[wg % num_cus].append(wg)
+
+        for index, run in enumerate(self.runs):
+            run.dispatch_ready_time = 0.0 if index == 0 else None
+
+        self._hw_dispatch()
+        while self.events:
+            _, payload = self.events.pop()
+            if payload is not None:
+                run, cu, wg, rate = payload
+                self._complete_hw_wg(run, cu, rate)
+            self._hw_dispatch()
+
+    def _hw_dispatch(self):
+        now = self.events.now
+        for index, run in enumerate(self.runs):
+            if run.pending_count == 0:
+                continue
+            if not self.hardware_scheduler.eligible(index, self.runs):
+                break  # kernel order is strict; later kernels are blocked too
+            if run.dispatch_ready_time is None:
+                # this kernel just became eligible: the firmware needs a
+                # handoff window before its grid starts dispatching
+                run.dispatch_ready_time = now + KERNEL_HANDOFF_LATENCY
+                self.events.push(run.dispatch_ready_time, None)
+                break
+            if now + 1e-15 < run.dispatch_ready_time:
+                break
+            for cu in self.cus:
+                queue = run.cu_queues[cu.index]
+                while queue and cu.fits(run.spec):
+                    wg = queue.popleft()
+                    self._start_hw_wg(run, cu, wg, now)
+            if run.pending_count > 0:
+                break  # this kernel still owns the dispatch window
+
+    def _start_hw_wg(self, run, cu, wg, now):
+        cu.admit(run.spec)
+        k = run.cu_resident.get(cu.index, 0) + 1
+        run.cu_resident[cu.index] = k
+        # Rate the WG at the kernel's steady-state residency (bounded by how
+        # much work the kernel has at all): WG durations in this model are
+        # lifetime averages, so neither ramp-up nor drain-tail instants get
+        # a transient speed boost — the software-scheduled modes rate their
+        # slots the same way, keeping the comparison symmetric.
+        k_steady = min(run.k_max, -(-run.total // len(self.cus)))
+        occ = run.occupancy_factor(max(k, k_steady))
+        rate = run.spec.mem_rate_per_wg / occ
+        stretch = self.bandwidth.stretch(rate)
+        self.bandwidth.add_rate(rate)
+        run.resident += 1
+        run.pending_count -= 1
+        run.mark_start(now)
+        if run.pending_count == 0:
+            run.mark_dispatch_done(now)
+        cost = float(run.costs[wg]) * occ * stretch
+        self.events.push(now + cost, (run, cu, wg, rate))
+
+    def _complete_hw_wg(self, run, cu, rate):
+        cu.release(run.spec)
+        self.bandwidth.remove_rate(rate)
+        run.cu_resident[cu.index] -= 1
+        run.resident -= 1
+        run.completed += 1
+        if run.finished:
+            run.finish_time = self.events.now
+
+    # -- software-scheduled modes (accelOS / Elastic Kernels) ---------------------
+
+    def _run_software(self, mode):
+        # All kernels are admitted together: the sharing algorithm (or EK's
+        # static merge) guarantees the combined allocation fits the device.
+        for run in self.runs:
+            run.slots_to_place = run.spec.physical_groups
+            run.mark_start(0.0)
+            if mode == ExecutionMode.ELASTIC:
+                slots = run.spec.physical_groups
+                run.slot_assignments = [deque(range(s, run.total, slots))
+                                        for s in range(slots)]
+
+        self._pending_slots = deque()
+        self._software_mode = mode
+        self._place_software_slots(mode)
+        while self.events:
+            _, (run, cu, slot_index, done) = self.events.pop()
+            run.completed += done
+            self._draw_chunk(run, cu, mode, slot_index)
+
+        for run in self.runs:
+            if run.finish_time is None and run.total == 0:
+                run.finish_time = 0.0
+        if any(run.finish_time is None for run in self.runs):
+            raise SimulationError(
+                "software-scheduled batch deadlocked: slots could never be "
+                "placed (allocation exceeds per-CU packing)")
+
+    def _place_software_slots(self, mode):
+        """Place physical WGs on CUs, interleaved across kernels.
+
+        The device-level allocation is feasible by construction, but per-CU
+        packing can fragment; slots that do not fit immediately queue and
+        are placed as other slots retire — the same waiting non-resident
+        work groups experience on hardware.  Round-robin interleaving makes
+        sure every kernel gets resident slots from the start.
+
+        Placement is two-phase: admit everything first, then compute each
+        slot's occupancy factor from the final per-CU residency, then draw
+        the first chunks — so co-placed slots of one kernel see a
+        consistent occupancy.
+        """
+        placements = []  # (run, slot_index, cu)
+        max_slots = max((run.slots_to_place for run in self.runs), default=0)
+        for slot_index in range(max_slots):
+            for run in self.runs:
+                if slot_index >= run.slots_to_place:
+                    continue
+                cu = self._freest_cu(run.spec)
+                if cu is None:
+                    self._pending_slots.append((run, slot_index))
+                    continue
+                cu.admit(run.spec)
+                run.cu_resident[cu.index] = run.cu_resident.get(cu.index, 0) + 1
+                run.resident += 1
+                run.live_slots += 1
+                placements.append((run, slot_index, cu))
+        for run in self.runs:
+            run.slots_to_place = 0
+
+        for run, slot_index, cu in placements:
+            self._activate_slot(run, slot_index, cu)
+        for run, slot_index, cu in placements:
+            self._draw_chunk(run, cu, mode, slot_index)
+
+    def _activate_slot(self, run, slot_index, cu):
+        occ = run.occupancy_factor(run.cu_resident[cu.index])
+        rate = run.spec.mem_rate_per_wg / occ
+        run.slot_occ[slot_index] = occ
+        run.slot_rate[slot_index] = rate
+        self.bandwidth.add_rate(rate)
+
+    def _try_place_slot(self, run, slot_index, mode):
+        cu = self._freest_cu(run.spec)
+        if cu is None:
+            return False
+        cu.admit(run.spec)
+        run.cu_resident[cu.index] = run.cu_resident.get(cu.index, 0) + 1
+        run.resident += 1
+        run.live_slots += 1
+        self._activate_slot(run, slot_index, cu)
+        self._draw_chunk(run, cu, mode, slot_index)
+        return True
+
+    def _place_pending_slots(self):
+        if not self._pending_slots:
+            return
+        still_pending = deque()
+        while self._pending_slots:
+            run, slot_index = self._pending_slots.popleft()
+            if run.mode_done():
+                continue
+            if not self._try_place_slot(run, slot_index, self._software_mode):
+                still_pending.append((run, slot_index))
+        self._pending_slots = still_pending
+
+    def _freest_cu(self, spec):
+        best = None
+        for cu in self.cus:
+            if cu.fits(spec):
+                if best is None or cu.threads_free > best.threads_free:
+                    best = cu
+        return best
+
+    def _draw_chunk(self, run, cu, mode, slot_index):
+        """A slot is idle: pull its next chunk of virtual groups (or retire)."""
+        now = self.events.now
+        if mode == ExecutionMode.ACCELOS:
+            base = run.next_vgroup
+            if base >= run.total:
+                self._retire_slot(run, cu, slot_index)
+                return
+            end = min(base + run.spec.chunk, run.total)
+            run.next_vgroup = end
+            work = float(run.costs[base:end].sum())
+            overhead = run.spec.sched_overhead
+            done = end - base
+        else:  # ELASTIC: frozen per-slot assignment, no dequeue cost
+            queue = run.slot_assignments[slot_index]
+            if not queue:
+                self._retire_slot(run, cu, slot_index)
+                return
+            wg = queue.popleft()
+            work = float(run.costs[wg])
+            overhead = 0.0
+            done = 1
+        occ = run.slot_occ[slot_index]
+        stretch = self.bandwidth.stretch_resident(run.slot_rate[slot_index])
+        cost = work * occ * stretch + overhead
+        self.events.push(now + cost, (run, cu, slot_index, done))
+
+    def _retire_slot(self, run, cu, slot_index):
+        cu.release(run.spec)
+        self.bandwidth.remove_rate(run.slot_rate[slot_index])
+        run.cu_resident[cu.index] -= 1
+        run.resident -= 1
+        run.live_slots -= 1
+        self._place_pending_slots()
+        if self.rebalance:
+            self._grant_freed_capacity()
+        if run.live_slots == 0 and not self._has_pending_work(run):
+            run.finish_time = self.events.now
+            run.mark_dispatch_done(self.events.now)
+
+    def _grant_freed_capacity(self):
+        """Future-work extension: hand freed capacity to unfinished kernels.
+
+        Grants one extra slot per call to the co-scheduled accelOS kernel
+        with the most remaining virtual groups that still fits — a minimal
+        dynamic re-allocation policy on top of the paper's design.
+        """
+        candidates = [
+            run for run in self.runs
+            if run.spec.mode == ExecutionMode.ACCELOS and not run.mode_done()
+            and run.next_vgroup + run.live_slots * run.spec.chunk
+            < run.total
+        ]
+        if not candidates:
+            return
+        starved = max(candidates,
+                      key=lambda r: r.total - r.next_vgroup)
+        slot_index = len(starved.slot_occ)
+        self._try_place_slot(starved, slot_index, self._software_mode)
+
+    def _has_pending_work(self, run):
+        return any(pending_run is run and not pending_run.mode_done()
+                   for pending_run, _ in self._pending_slots)

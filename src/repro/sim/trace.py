@@ -1,0 +1,83 @@
+"""Execution traces: per-kernel intervals and overlap computation."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class KernelInterval:
+    """One kernel execution's lifetime within a simulated batch."""
+
+    __slots__ = ("name", "start", "finish", "dispatch_done", "total_work")
+
+    def __init__(self, name, start, finish, dispatch_done, total_work):
+        self.name = name
+        self.start = start
+        self.finish = finish
+        self.dispatch_done = dispatch_done
+        self.total_work = total_work
+
+    @property
+    def turnaround(self):
+        """Completion time measured from batch submission (t=0)."""
+        return self.finish
+
+    @property
+    def duration(self):
+        return self.finish - self.start
+
+    def __repr__(self):
+        return "<KernelInterval {} [{:.6f}, {:.6f}]>".format(
+            self.name, self.start, self.finish)
+
+
+class ExecutionTrace:
+    """Result of simulating one batch of kernel execution requests."""
+
+    def __init__(self, intervals, device_name, mode):
+        if not intervals:
+            raise SimulationError("empty execution trace")
+        self.intervals = intervals
+        self.device_name = device_name
+        self.mode = mode
+
+    @property
+    def makespan(self):
+        """Time for all kernels to execute (the throughput denominator)."""
+        return max(iv.finish for iv in self.intervals)
+
+    @property
+    def turnarounds(self):
+        return [iv.turnaround for iv in self.intervals]
+
+    def execution_overlap(self):
+        """Paper §7.4: ``O = T(c) / T(t)``.
+
+        ``T(t)`` is the total time the accelerator executes at least one
+        kernel; ``T(c)`` the time during which *all* kernels co-execute.
+        """
+        total = _union_measure([(iv.start, iv.finish) for iv in self.intervals])
+        if total <= 0:
+            return 0.0
+        co_start = max(iv.start for iv in self.intervals)
+        co_finish = min(iv.finish for iv in self.intervals)
+        co = max(0.0, co_finish - co_start)
+        return co / total
+
+    def __repr__(self):
+        return "<ExecutionTrace {} kernels on {} ({})>".format(
+            len(self.intervals), self.device_name, self.mode)
+
+
+def _union_measure(intervals):
+    """Total length of the union of [start, end) intervals."""
+    measure = 0.0
+    cursor = None
+    for start, end in sorted(intervals):
+        if cursor is None or start > cursor:
+            measure += end - start
+            cursor = end
+        elif end > cursor:
+            measure += end - cursor
+            cursor = end
+    return measure

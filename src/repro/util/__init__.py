@@ -1,0 +1,5 @@
+"""Small shared utilities (deterministic RNG, rounding helpers)."""
+
+from repro.util.rng import make_rng, stable_hash
+
+__all__ = ["make_rng", "stable_hash"]

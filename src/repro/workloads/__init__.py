@@ -1,0 +1,20 @@
+"""Workloads: the Parboil-like kernel corpus and workload generators.
+
+The paper evaluates on all 25 OpenCL kernels of the Parboil suite.  Parboil
+itself is not redistributable here, so :mod:`repro.workloads.parboil`
+provides 25 kernels written in the mini OpenCL-C — one per Parboil kernel,
+with the same computational character (atomics, barriers, local staging,
+irregular loops, 2-D ranges) — plus per-kernel timing profiles calibrated to
+give the qualitative mix the evaluation depends on: short vs long, compute-
+vs memory-bound, balanced vs imbalanced work groups.
+"""
+
+from repro.workloads.parboil import (
+    KernelProfile, all_profiles, profile_by_name, PROFILE_NAMES)
+from repro.workloads.generator import (
+    pairwise_workloads, random_workloads, alphabetic_pairs)
+
+__all__ = [
+    "KernelProfile", "all_profiles", "profile_by_name", "PROFILE_NAMES",
+    "pairwise_workloads", "random_workloads", "alphabetic_pairs",
+]

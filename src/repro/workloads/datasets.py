@@ -1,0 +1,346 @@
+"""Functional datasets for the 25 corpus kernels.
+
+Each builder returns a :class:`KernelInstance`: argument descriptors plus a
+small launch geometry, sized for the functional interpreter.  The
+equivalence test suite runs every kernel twice — original and
+accelOS-transformed — on fresh copies of these datasets and asserts
+bit-identical output buffers.
+
+Argument descriptors:
+
+* ``("in", array)``   — read-only buffer initialised from the array
+* ``("out", array)``  — writable buffer (initial contents from the array)
+* ``("scalar", v)``   — scalar argument
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import make_rng
+
+I32 = np.int32
+F32 = np.float32
+
+
+class KernelInstance:
+    """A ready-to-run functional configuration of one kernel."""
+
+    __slots__ = ("benchmark", "kernel", "args", "global_size", "local_size")
+
+    def __init__(self, benchmark, kernel, args, global_size, local_size):
+        self.benchmark = benchmark
+        self.kernel = kernel
+        self.args = args
+        self.global_size = global_size
+        self.local_size = local_size
+
+    def fresh_args(self):
+        """Deep copies of the argument arrays (one run's worth)."""
+        out = []
+        for kind, value in self.args:
+            if kind == "scalar":
+                out.append((kind, value))
+            else:
+                out.append((kind, np.array(value, copy=True)))
+        return out
+
+    def __repr__(self):
+        return "<KernelInstance {}:{} g={} l={}>".format(
+            self.benchmark, self.kernel, self.global_size, self.local_size)
+
+
+def _bfs(rng):
+    n = 256
+    degrees = rng.integers(0, 8, n)
+    row_offsets = np.zeros(n + 1, dtype=I32)
+    row_offsets[1:] = np.cumsum(degrees)
+    columns = rng.integers(0, n, int(row_offsets[-1])).astype(I32)
+    levels = np.full(n, -1, dtype=I32)
+    levels[rng.integers(0, n, 8)] = 0
+    changed = np.zeros(1, dtype=I32)
+    return KernelInstance("bfs", "bfs_kernel", [
+        ("in", row_offsets), ("in", columns), ("out", levels),
+        ("out", changed), ("scalar", 0), ("scalar", n),
+    ], (n,), (64,))
+
+
+def _cutcp(rng):
+    grid_dim = 8
+    n_atoms = 24
+    atoms = (rng.random(4 * n_atoms) * grid_dim).astype(F32)
+    lattice = np.zeros(grid_dim ** 3, dtype=F32)
+    return KernelInstance("cutcp", "lattice6overlap", [
+        ("in", atoms), ("out", lattice),
+        ("scalar", n_atoms), ("scalar", grid_dim), ("scalar", 9.0),
+    ], (512,), (128,))
+
+
+def _histo_prescan(rng):
+    n = 1500
+    data = rng.integers(-1000, 1000, n).astype(I32)
+    minmax = np.array([2**31 - 1, -(2**31 - 1)], dtype=I32)
+    return KernelInstance("histo", "histo_prescan", [
+        ("in", data), ("out", minmax), ("scalar", n),
+    ], (512,), (128,))
+
+
+def _histo_intermediates(rng):
+    n = 900
+    data = rng.integers(-500, 500, n).astype(I32)
+    coords = np.zeros(1024, dtype=I32)
+    return KernelInstance("histo", "histo_intermediates", [
+        ("in", data), ("out", coords), ("scalar", n), ("scalar", 64),
+    ], (1024,), (256,))
+
+
+def _histo_main(rng):
+    n = 1200
+    coords = rng.integers(0, 64, n).astype(I32)
+    histo = np.zeros(64, dtype=I32)
+    return KernelInstance("histo", "histo_main", [
+        ("in", coords), ("out", histo), ("scalar", n),
+    ], (512,), (128,))
+
+
+def _histo_final(rng):
+    bins = 64
+    histo = rng.integers(0, 600, bins).astype(I32)
+    out = np.zeros(bins, dtype=I32)
+    return KernelInstance("histo", "histo_final", [
+        ("in", histo), ("out", out), ("scalar", bins),
+    ], (128,), (32,))
+
+
+def _lbm(rng):
+    n = 1024
+    src = rng.random(n, dtype=F32)
+    dst = np.zeros(n, dtype=F32)
+    return KernelInstance("lbm", "lbm_stream_collide", [
+        ("in", src), ("out", dst),
+        ("scalar", 32), ("scalar", n), ("scalar", 1.85),
+    ], (n,), (128,))
+
+
+def _binning(rng):
+    n = 512
+    samples = rng.random(n, dtype=F32)
+    bin_of = np.zeros(n, dtype=I32)
+    bin_counts = np.zeros(32, dtype=I32)
+    return KernelInstance("mri-gridding", "binning", [
+        ("in", samples), ("out", bin_of), ("out", bin_counts),
+        ("scalar", n), ("scalar", 32),
+    ], (n,), (64,))
+
+
+def _reorder(rng):
+    n = 512
+    samples = rng.random(n, dtype=F32)
+    dest = rng.permutation(n).astype(I32)
+    reordered = np.zeros(n, dtype=F32)
+    return KernelInstance("mri-gridding", "reorder", [
+        ("in", samples), ("in", dest), ("out", reordered), ("scalar", n),
+    ], (n,), (64,))
+
+
+def _gridding(rng):
+    n_cells = 256
+    per_cell = rng.integers(0, 6, n_cells)
+    cell_start = np.zeros(n_cells + 1, dtype=I32)
+    cell_start[1:] = np.cumsum(per_cell)
+    n_samples = int(cell_start[-1])
+    samples = (rng.random(max(n_samples, 1)) * n_cells).astype(F32)
+    grid = np.zeros(n_cells, dtype=F32)
+    return KernelInstance("mri-gridding", "gridding_gpu", [
+        ("in", samples), ("in", cell_start), ("out", grid),
+        ("scalar", n_cells), ("scalar", 4.0),
+    ], (n_cells,), (64,))
+
+
+def _split_sort(rng):
+    n = 512
+    keys = rng.integers(0, 1 << 16, n).astype(I32)
+    keys_out = np.zeros(n, dtype=I32)
+    block_counts = np.zeros(n // 256, dtype=I32)
+    return KernelInstance("mri-gridding", "split_sort", [
+        ("in", keys), ("out", keys_out), ("out", block_counts),
+        ("scalar", 3), ("scalar", n),
+    ], (n,), (256,))
+
+
+def _split_rearrange(rng):
+    n = 512
+    keys = rng.integers(0, 10_000, n).astype(I32)
+    offsets = rng.integers(0, 64, n // 64).astype(I32)
+    keys_out = np.zeros(n, dtype=I32)
+    return KernelInstance("mri-gridding", "split_rearrange", [
+        ("in", keys), ("in", offsets), ("out", keys_out), ("scalar", n),
+    ], (n,), (64,))
+
+
+def _scan_l1(rng):
+    n = 1024
+    data = rng.random(n, dtype=F32)
+    output = np.zeros(n, dtype=F32)
+    block_sums = np.zeros(n // 256, dtype=F32)
+    return KernelInstance("mri-gridding", "scan_l1", [
+        ("in", data), ("out", output), ("out", block_sums), ("scalar", n),
+    ], (n,), (256,))
+
+
+def _scan_inter1(rng):
+    n_blocks = 16
+    sums = rng.random(n_blocks, dtype=F32)
+    return KernelInstance("mri-gridding", "scan_inter1", [
+        ("out", sums), ("scalar", n_blocks),
+    ], (256,), (256,))
+
+
+def _uniform_add(rng):
+    n = 1024
+    data = rng.random(n, dtype=F32)
+    offsets = rng.random(n // 256, dtype=F32)
+    return KernelInstance("mri-gridding", "uniform_add", [
+        ("out", data), ("in", offsets), ("scalar", n),
+    ], (n,), (256,))
+
+
+def _phi_mag(rng):
+    n = 512
+    phi_r = rng.random(n, dtype=F32)
+    phi_i = rng.random(n, dtype=F32)
+    mag = np.zeros(n, dtype=F32)
+    return KernelInstance("mri-q", "compute_phi_mag", [
+        ("in", phi_r), ("in", phi_i), ("out", mag), ("scalar", n),
+    ], (n,), (64,))
+
+
+def _compute_q(rng):
+    n_k = 24
+    n_x = 256
+    kx = rng.random(n_k, dtype=F32)
+    ky = rng.random(n_k, dtype=F32)
+    mag = rng.random(n_k, dtype=F32)
+    x = rng.random(n_x, dtype=F32)
+    q_r = np.zeros(n_x, dtype=F32)
+    q_i = np.zeros(n_x, dtype=F32)
+    return KernelInstance("mri-q", "compute_q", [
+        ("in", kx), ("in", ky), ("in", mag), ("in", x),
+        ("out", q_r), ("out", q_i), ("scalar", n_k), ("scalar", n_x),
+    ], (n_x,), (64,))
+
+
+def _sad(kernel, n_blocks, width, rng):
+    cur = rng.integers(0, 256, width + 32).astype(I32)
+    ref = rng.integers(0, 256, width + 32).astype(I32)
+    out = np.zeros(n_blocks, dtype=I32)
+    return KernelInstance("sad", kernel, [
+        ("in", cur), ("in", ref), ("out", out),
+        ("scalar", width), ("scalar", n_blocks),
+    ], (256,), (64,))
+
+
+def _sad_8(rng):
+    return _sad("mb_sad_calc_8", 240, 512, rng)
+
+
+def _sad_16(rng):
+    return _sad("mb_sad_calc_16", 200, 1024, rng)
+
+
+def _sad_larger(kernel, factor, rng):
+    n_out = 128
+    sad_in = rng.integers(0, 4000, factor * n_out).astype(I32)
+    out = np.zeros(n_out, dtype=I32)
+    return KernelInstance("sad", kernel, [
+        ("in", sad_in), ("out", out), ("scalar", n_out),
+    ], (256,), (64,))
+
+
+def _sad_larger_8(rng):
+    return _sad_larger("larger_sad_calc_8", 2, rng)
+
+
+def _sad_larger_16(rng):
+    return _sad_larger("larger_sad_calc_16", 4, rng)
+
+
+def _sgemm(rng):
+    n, k = 32, 64
+    a = rng.random(n * k, dtype=F32)
+    b = rng.random(n * k, dtype=F32)
+    c = rng.random(n * n, dtype=F32)
+    return KernelInstance("sgemm", "mysgemm_nt", [
+        ("in", a), ("in", b), ("out", c),
+        ("scalar", n), ("scalar", k), ("scalar", 1.5), ("scalar", 0.5),
+    ], (n, n), (16, 8))
+
+
+def _spmv(rng):
+    n_rows = 256
+    per_row = rng.integers(0, 10, n_rows)
+    row_ptr = np.zeros(n_rows + 1, dtype=I32)
+    row_ptr[1:] = np.cumsum(per_row)
+    nnz = int(row_ptr[-1])
+    values = rng.random(max(nnz, 1), dtype=F32)
+    columns = rng.integers(0, n_rows, max(nnz, 1)).astype(I32)
+    x = rng.random(n_rows, dtype=F32)
+    y = np.zeros(n_rows, dtype=F32)
+    return KernelInstance("spmv", "spmv_jds", [
+        ("in", values), ("in", columns), ("in", row_ptr), ("in", x),
+        ("out", y), ("scalar", n_rows),
+    ], (n_rows,), (64,))
+
+
+def _stencil(rng):
+    nx, ny = 64, 32
+    a0 = rng.random(nx * ny, dtype=F32)
+    a_next = np.zeros(nx * ny, dtype=F32)
+    return KernelInstance("stencil", "stencil_block2d", [
+        ("in", a0), ("out", a_next),
+        ("scalar", nx), ("scalar", ny), ("scalar", 0.5), ("scalar", 0.125),
+    ], (nx, ny), (16, 16))
+
+
+def _tpacf(rng):
+    n_points = 256
+    angles = rng.random(n_points, dtype=F32)
+    hist = np.zeros(32, dtype=I32)
+    return KernelInstance("tpacf", "gen_hists", [
+        ("in", angles), ("out", hist), ("scalar", n_points), ("scalar", 32),
+    ], (n_points,), (64,))
+
+
+BUILDERS = {
+    "bfs": _bfs,
+    "cutcp": _cutcp,
+    "histo_final": _histo_final,
+    "histo_intermediates": _histo_intermediates,
+    "histo_main": _histo_main,
+    "histo_prescan": _histo_prescan,
+    "lbm": _lbm,
+    "mri-gridding_binning": _binning,
+    "mri-gridding_gridding": _gridding,
+    "mri-gridding_reorder": _reorder,
+    "mri-gridding_scan_L1": _scan_l1,
+    "mri-gridding_scan_inter1": _scan_inter1,
+    "mri-gridding_splitRearrange": _split_rearrange,
+    "mri-gridding_splitSort": _split_sort,
+    "mri-gridding_uniformAdd": _uniform_add,
+    "mri-q_ComputePhiMag": _phi_mag,
+    "mri-q_ComputeQ": _compute_q,
+    "sad_calc_16": _sad_16,
+    "sad_calc_8": _sad_8,
+    "sad_larger_calc_16": _sad_larger_16,
+    "sad_larger_calc_8": _sad_larger_8,
+    "sgemm": _sgemm,
+    "spmv": _spmv,
+    "stencil": _stencil,
+    "tpacf": _tpacf,
+}
+
+
+def build_instance(profile_name, seed=0):
+    """Build the functional dataset for one corpus kernel."""
+    rng = make_rng("dataset", profile_name, seed)
+    return BUILDERS[profile_name](rng)

@@ -1,0 +1,203 @@
+"""The 25-kernel Parboil-like corpus: sources + timing profiles.
+
+Each :class:`KernelProfile` couples
+
+* a real mini OpenCL-C kernel (compiled, analysable, functionally
+  executable — see :mod:`repro.workloads.sources`), and
+* a timing profile for the simulator: launch geometry, per-work-group cost
+  distribution and memory-bandwidth demand.
+
+The cost/bandwidth numbers are synthetic but calibrated to reproduce the
+qualitative mix the paper's evaluation rests on (§7.2 points at [31] for the
+characterisation): isolated runtimes spanning ~40x, roughly a third of the
+suite memory-bandwidth-bound (lbm, spmv, stencil, the scatter/gather
+mri-gridding steps), several kernels too small to fill the device (scans,
+sad reductions, ComputePhiMag), a few long compute-bound kernels (tpacf,
+ComputeQ, cutcp, sgemm), and a handful with strongly imbalanced work groups
+(bfs, spmv, sad, gridding, splitSort — the irregular-loop kernels).
+
+Per-work-group costs are drawn deterministically per kernel from a lognormal
+with the profile's coefficient of variation, so every experiment is
+replayable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir import compile_source
+from repro.ir.passes import ResourceAnalysis
+from repro.sim.spec import KernelExecSpec
+from repro.util import make_rng
+from repro.workloads.sources import SOURCES
+
+
+class KernelProfile:
+    """Static description of one corpus kernel."""
+
+    __slots__ = ("name", "benchmark", "kernel", "wg_size", "local_size",
+                 "n_wgs", "wg_cost_us", "cost_cv", "mem_gbs_per_wg",
+                 "sat_occupancy")
+
+    def __init__(self, name, benchmark, kernel, local_size, n_wgs,
+                 wg_cost_us, cost_cv, mem_gbs_per_wg, sat_occupancy):
+        self.name = name
+        self.benchmark = benchmark
+        self.kernel = kernel
+        self.local_size = local_size
+        self.wg_size = int(np.prod(local_size))
+        self.n_wgs = n_wgs
+        self.wg_cost_us = wg_cost_us
+        self.cost_cv = cost_cv
+        self.mem_gbs_per_wg = mem_gbs_per_wg
+        # Fraction of maximum per-CU occupancy at which the kernel's CU
+        # throughput saturates: low for high-ILP compute kernels, high for
+        # latency-bound streaming kernels (see repro.sim.gpu).
+        self.sat_occupancy = sat_occupancy
+
+    @property
+    def source(self):
+        return SOURCES[self.benchmark]
+
+    def wg_costs(self):
+        """Deterministic per-virtual-group costs (seconds, reference CU)."""
+        rng = make_rng("wg-costs", self.name)
+        mean = self.wg_cost_us * 1e-6
+        if self.cost_cv <= 0:
+            return np.full(self.n_wgs, mean)
+        sigma = np.sqrt(np.log1p(self.cost_cv ** 2))
+        draws = rng.lognormal(mean=-0.5 * sigma ** 2, sigma=sigma,
+                              size=self.n_wgs)
+        # Clip the lognormal tails: real work-group imbalance is bounded
+        # (a work group is a fixed tile of the problem), and an unclipped
+        # 10x outlier would dominate the whole kernel's makespan.
+        draws = np.clip(draws, 0.3, 3.0)
+        return mean * draws
+
+    def exec_spec(self, registers_per_thread=None, local_mem_per_wg=None,
+                  detail_scale=1):
+        """Build the simulator spec (hardware mode, to be re-moded later).
+
+        Resource demands default to the compiled kernel's static analysis;
+        pass overrides to study hypotheticals.  ``detail_scale`` refines the
+        virtual-group granularity (``s`` times more groups, each ``1/s`` the
+        cost -- total work unchanged): sweeps use the coarse default for
+        tractability, single-kernel studies the finer granularity of real
+        Parboil grids, where the 6.4 chunking effects are measurable.
+        """
+        if registers_per_thread is None or local_mem_per_wg is None:
+            usage = kernel_resource_usage(self)
+            if registers_per_thread is None:
+                registers_per_thread = usage.registers
+            if local_mem_per_wg is None:
+                local_mem_per_wg = usage.local_memory_bytes
+        costs = self.wg_costs()
+        if detail_scale > 1:
+            costs = np.repeat(costs, detail_scale) / detail_scale
+        return KernelExecSpec(
+            name=self.name,
+            wg_threads=self.wg_size,
+            wg_costs=costs,
+            mem_rate_per_wg=self.mem_gbs_per_wg * 1e9,
+            registers_per_thread=registers_per_thread,
+            local_mem_per_wg=local_mem_per_wg,
+            sat_occupancy=self.sat_occupancy,
+        )
+
+    def __repr__(self):
+        return "<KernelProfile {} ({} WGs x {} thr)>".format(
+            self.name, self.n_wgs, self.wg_size)
+
+
+def _p(name, benchmark, kernel, local_size, n_wgs, cost, cv, mem, sat):
+    return KernelProfile(name, benchmark, kernel, local_size, n_wgs,
+                         cost, cv, mem, sat)
+
+
+# One profile per Parboil OpenCL kernel (25 in total, paper §7.2).
+# Columns: local size, #WGs, full-occupancy WG cost (us, reference CU),
+# cost CV (imbalance), bandwidth demand per WG (GB/s), saturation occupancy.
+_PROFILES = [
+    _p("bfs", "bfs", "bfs_kernel", (512,), 256, 130.0, 0.50, 2.0, 0.50),
+    _p("cutcp", "cutcp", "lattice6overlap",
+       (128,), 1024, 1300.0, 0.08, 0.3, 0.25),
+    _p("histo_final", "histo", "histo_final",
+       (512,), 64, 180.0, 0.10, 1.8, 0.45),
+    _p("histo_intermediates", "histo", "histo_intermediates",
+       (512,), 128, 110.0, 0.10, 1.8, 0.45),
+    _p("histo_main", "histo", "histo_main",
+       (512,), 96, 380.0, 0.30, 2.2, 0.45),
+    _p("histo_prescan", "histo", "histo_prescan",
+       (128,), 64, 700.0, 0.10, 2.0, 0.50),
+    _p("lbm", "lbm", "lbm_stream_collide",
+       (128,), 2048, 400.0, 0.10, 1.4, 0.60),
+    _p("mri-gridding_binning", "mri-gridding", "binning",
+       (256,), 256, 250.0, 0.20, 1.5, 0.45),
+    _p("mri-gridding_gridding", "mri-gridding", "gridding_gpu",
+       (256,), 768, 380.0, 0.60, 1.0, 0.30),
+    _p("mri-gridding_reorder", "mri-gridding", "reorder",
+       (256,), 256, 120.0, 0.15, 2.2, 0.60),
+    _p("mri-gridding_scan_L1", "mri-gridding", "scan_l1",
+       (256,), 64, 210.0, 0.10, 1.8, 0.50),
+    _p("mri-gridding_scan_inter1", "mri-gridding", "scan_inter1",
+       (256,), 8, 280.0, 0.05, 1.0, 0.50),
+    _p("mri-gridding_splitRearrange", "mri-gridding", "split_rearrange",
+       (256,), 192, 110.0, 0.10, 2.2, 0.60),
+    _p("mri-gridding_splitSort", "mri-gridding", "split_sort",
+       (256,), 384, 380.0, 0.45, 2.0, 0.40),
+    _p("mri-gridding_uniformAdd", "mri-gridding", "uniform_add",
+       (256,), 96, 110.0, 0.05, 2.2, 0.55),
+    _p("mri-q_ComputePhiMag", "mri-q", "compute_phi_mag",
+       (256,), 24, 260.0, 0.05, 1.0, 0.50),
+    _p("mri-q_ComputeQ", "mri-q", "compute_q",
+       (256,), 512, 1700.0, 0.05, 0.2, 0.25),
+    _p("sad_calc_16", "sad", "mb_sad_calc_16",
+       (128,), 96, 500.0, 0.70, 1.2, 0.45),
+    _p("sad_calc_8", "sad", "mb_sad_calc_8",
+       (128,), 384, 300.0, 0.70, 1.4, 0.45),
+    _p("sad_larger_calc_16", "sad", "larger_sad_calc_16",
+       (128,), 32, 240.0, 0.20, 1.5, 0.45),
+    _p("sad_larger_calc_8", "sad", "larger_sad_calc_8",
+       (128,), 64, 300.0, 0.20, 1.5, 0.45),
+    _p("sgemm", "sgemm", "mysgemm_nt", (16, 8), 512, 900.0, 0.05, 0.5, 0.25),
+    _p("spmv", "spmv", "spmv_jds", (256,), 512, 200.0, 0.45, 2.2, 0.60),
+    _p("stencil", "stencil", "stencil_block2d",
+       (16, 16), 1024, 160.0, 0.08, 2.6, 0.60),
+    _p("tpacf", "tpacf", "gen_hists", (256,), 384, 2400.0, 0.15, 0.3, 0.20),
+]
+
+_BY_NAME = {p.name: p for p in _PROFILES}
+PROFILE_NAMES = tuple(sorted(_BY_NAME))
+
+assert len(_PROFILES) == 25, "the Parboil OpenCL suite has 25 kernels"
+
+_module_cache = {}
+_usage_cache = {}
+
+
+def all_profiles():
+    """All 25 profiles, alphabetically by name (the paper's ordering)."""
+    return [_BY_NAME[name] for name in PROFILE_NAMES]
+
+
+def profile_by_name(name):
+    return _BY_NAME[name]
+
+
+def compiled_module(benchmark):
+    """Compile (and cache) a benchmark's kernel module."""
+    module = _module_cache.get(benchmark)
+    if module is None:
+        module = compile_source(SOURCES[benchmark], name=benchmark)
+        _module_cache[benchmark] = module
+    return module
+
+
+def kernel_resource_usage(profile):
+    """Static resource usage of the profile's kernel (cached)."""
+    usage = _usage_cache.get(profile.name)
+    if usage is None:
+        module = compiled_module(profile.benchmark)
+        usage = ResourceAnalysis().analyze(module.get(profile.kernel))
+        _usage_cache[profile.name] = usage
+    return usage

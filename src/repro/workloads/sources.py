@@ -1,0 +1,487 @@
+"""Mini OpenCL-C sources for the 25 Parboil-like kernels.
+
+One source string per Parboil benchmark; each contains the benchmark's
+kernels.  The kernels are simplified but computationally honest versions of
+their Parboil namesakes — same algorithmic skeleton, same use of atomics,
+barriers, local staging, helper functions and launch dimensionality.
+"""
+
+BFS_SOURCE = """
+kernel void bfs_kernel(global const int* row_offsets,
+                       global const int* columns,
+                       global int* levels,
+                       global int* changed,
+                       int level, int n_nodes)
+{
+    int gid = (int)get_global_id(0);
+    if (gid >= n_nodes)
+        return;
+    if (levels[gid] != level)
+        return;
+    int start = row_offsets[gid];
+    int end = row_offsets[gid + 1];
+    for (int e = start; e < end; ++e) {
+        int v = columns[e];
+        if (levels[v] == -1) {
+            levels[v] = level + 1;   /* same value from any writer */
+            changed[0] = 1;
+        }
+    }
+}
+"""
+
+CUTCP_SOURCE = """
+float cutcp_dist2(float dx, float dy, float dz)
+{
+    return dx * dx + dy * dy + dz * dz;
+}
+
+kernel void lattice6overlap(global const float* atoms,
+                            global float* lattice,
+                            int n_atoms, int grid_dim, float cutoff2)
+{
+    int gid = (int)get_global_id(0);
+    int total = grid_dim * grid_dim * grid_dim;
+    if (gid >= total)
+        return;
+    int gx = gid % grid_dim;
+    int gy = (gid / grid_dim) % grid_dim;
+    int gz = gid / (grid_dim * grid_dim);
+    float energy = 0.0f;
+    for (int a = 0; a < n_atoms; ++a) {
+        float dx = atoms[4 * a] - (float)gx;
+        float dy = atoms[4 * a + 1] - (float)gy;
+        float dz = atoms[4 * a + 2] - (float)gz;
+        float d2 = cutcp_dist2(dx, dy, dz);
+        if (d2 < cutoff2)
+            energy += atoms[4 * a + 3] * (1.0f - d2 / cutoff2)
+                      / sqrt(d2 + 0.5f);
+    }
+    lattice[gid] = energy;
+}
+"""
+
+HISTO_SOURCE = """
+kernel void histo_prescan(global const int* input,
+                          global int* minmax, int n)
+{
+    local int lmin[128];
+    local int lmax[128];
+    int lid = (int)get_local_id(0);
+    int gid = (int)get_global_id(0);
+    int stride = (int)get_global_size(0);
+    int vmin = 2147483647;
+    int vmax = -2147483647;
+    for (int i = gid; i < n; i += stride) {
+        int v = input[i];
+        vmin = min(vmin, v);
+        vmax = max(vmax, v);
+    }
+    lmin[lid] = vmin;
+    lmax[lid] = vmax;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int s = 64; s > 0; s >>= 1) {
+        if (lid < s) {
+            lmin[lid] = min(lmin[lid], lmin[lid + s]);
+            lmax[lid] = max(lmax[lid], lmax[lid + s]);
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0) {
+        atomic_min(&minmax[0], lmin[0]);
+        atomic_max(&minmax[1], lmax[0]);
+    }
+}
+
+kernel void histo_intermediates(global const int* input,
+                                global int* coords, int n, int n_bins)
+{
+    int gid = (int)get_global_id(0);
+    if (gid >= n)
+        return;
+    int v = input[gid];
+    if (v < 0)
+        v = -v;
+    coords[gid] = v % n_bins;
+}
+
+kernel void histo_main(global const int* coords,
+                       global int* histo, int n)
+{
+    int gid = (int)get_global_id(0);
+    int stride = (int)get_global_size(0);
+    for (int i = gid; i < n; i += stride)
+        atomic_add(&histo[coords[i]], 1);
+}
+
+kernel void histo_final(global const int* histo,
+                        global int* out, int n_bins)
+{
+    int gid = (int)get_global_id(0);
+    if (gid >= n_bins)
+        return;
+    out[gid] = min(histo[gid], 255);
+}
+"""
+
+LBM_SOURCE = """
+kernel void lbm_stream_collide(global const float* src,
+                               global float* dst,
+                               int width, int n_cells, float omega)
+{
+    int gid = (int)get_global_id(0);
+    if (gid >= n_cells)
+        return;
+    int left = gid >= 1 ? gid - 1 : gid;
+    int right = gid + 1 < n_cells ? gid + 1 : gid;
+    int up = gid >= width ? gid - width : gid;
+    int down = gid + width < n_cells ? gid + width : gid;
+    float c = src[gid];
+    float rho = c + src[left] + src[right] + src[up] + src[down];
+    float eq = rho * 0.2f;
+    dst[gid] = c + omega * (eq - c);
+}
+"""
+
+MRI_GRIDDING_SOURCE = """
+kernel void binning(global const float* samples,
+                    global int* bin_of, global int* bin_counts,
+                    int n_samples, int n_bins)
+{
+    int gid = (int)get_global_id(0);
+    if (gid >= n_samples)
+        return;
+    float x = samples[gid];
+    int bin = (int)(x * (float)n_bins);
+    bin = clamp(bin, 0, n_bins - 1);
+    bin_of[gid] = bin;
+    atomic_add(&bin_counts[bin], 1);
+}
+
+kernel void reorder(global const float* samples,
+                    global const int* dest_index,
+                    global float* reordered, int n_samples)
+{
+    int gid = (int)get_global_id(0);
+    if (gid >= n_samples)
+        return;
+    reordered[dest_index[gid]] = samples[gid];
+}
+
+kernel void gridding_gpu(global const float* samples,
+                         global const int* cell_start,
+                         global float* grid, int n_cells, float radius2)
+{
+    int gid = (int)get_global_id(0);
+    if (gid >= n_cells)
+        return;
+    int start = cell_start[gid];
+    int end = cell_start[gid + 1];
+    float center = (float)gid + 0.5f;
+    float acc = 0.0f;
+    for (int s = start; s < end; ++s) {
+        float d = samples[s] - center;
+        float d2 = d * d;
+        if (d2 < radius2)
+            acc += (1.0f - d2 / radius2);
+    }
+    grid[gid] = acc;
+}
+
+kernel void split_sort(global const int* keys_in,
+                       global int* keys_out,
+                       global int* block_counts, int bit, int n)
+{
+    local int flags[256];
+    local int scanned[256];
+    int lid = (int)get_local_id(0);
+    int gid = (int)get_global_id(0);
+    int group = (int)get_group_id(0);
+    int wg = (int)get_local_size(0);
+    int key = gid < n ? keys_in[gid] : 2147483647;
+    int flag = (key >> bit) & 1;
+    flags[lid] = flag;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    /* inclusive scan of flags (naive log-step scan) */
+    scanned[lid] = flags[lid];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int offset = 1; offset < wg; offset <<= 1) {
+        int add = 0;
+        if (lid >= offset)
+            add = scanned[lid - offset];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        scanned[lid] += add;
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    int ones_before = scanned[lid] - flag;
+    int total_ones = scanned[wg - 1];
+    int zeros_before = lid - ones_before;
+    int total_zeros = wg - total_ones;
+    int pos = flag ? total_zeros + ones_before : zeros_before;
+    if (gid < n)
+        keys_out[group * wg + pos] = key;
+    if (lid == 0)
+        block_counts[group] = total_ones;
+}
+
+kernel void split_rearrange(global const int* keys_in,
+                            global const int* offsets,
+                            global int* keys_out, int n)
+{
+    /* within-group rotation by a per-group offset: a collision-free
+       scatter, so results are schedule-independent */
+    int gid = (int)get_global_id(0);
+    if (gid >= n)
+        return;
+    int group = (int)get_group_id(0);
+    int wg = (int)get_local_size(0);
+    int lid = (int)get_local_id(0);
+    int rotated = (lid + offsets[group]) % wg;
+    keys_out[group * wg + rotated] = keys_in[gid];
+}
+
+kernel void scan_l1(global const float* input,
+                    global float* output,
+                    global float* block_sums, int n)
+{
+    local float temp[256];
+    int lid = (int)get_local_id(0);
+    int gid = (int)get_global_id(0);
+    int wg = (int)get_local_size(0);
+    temp[lid] = gid < n ? input[gid] : 0.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int offset = 1; offset < wg; offset <<= 1) {
+        float add = 0.0f;
+        if (lid >= offset)
+            add = temp[lid - offset];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        temp[lid] += add;
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (gid < n)
+        output[gid] = temp[lid];
+    if (lid == wg - 1)
+        block_sums[(int)get_group_id(0)] = temp[lid];
+}
+
+kernel void scan_inter1(global float* block_sums, int n_blocks)
+{
+    /* single work-group exclusive scan over block sums */
+    int lid = (int)get_local_id(0);
+    if (lid != 0)
+        return;
+    float running = 0.0f;
+    for (int i = 0; i < n_blocks; ++i) {
+        float v = block_sums[i];
+        block_sums[i] = running;
+        running += v;
+    }
+}
+
+kernel void uniform_add(global float* data,
+                        global const float* block_offsets, int n)
+{
+    int gid = (int)get_global_id(0);
+    if (gid >= n)
+        return;
+    data[gid] += block_offsets[(int)get_group_id(0)];
+}
+"""
+
+MRI_Q_SOURCE = """
+kernel void compute_phi_mag(global const float* phi_r,
+                            global const float* phi_i,
+                            global float* phi_mag, int n)
+{
+    int gid = (int)get_global_id(0);
+    if (gid >= n)
+        return;
+    float r = phi_r[gid];
+    float i = phi_i[gid];
+    phi_mag[gid] = r * r + i * i;
+}
+
+kernel void compute_q(global const float* kx,
+                      global const float* ky,
+                      global const float* phi_mag,
+                      global const float* x,
+                      global float* q_r, global float* q_i,
+                      int n_k, int n_x)
+{
+    int gid = (int)get_global_id(0);
+    if (gid >= n_x)
+        return;
+    float xv = x[gid];
+    float acc_r = 0.0f;
+    float acc_i = 0.0f;
+    for (int k = 0; k < n_k; ++k) {
+        float exp_arg = 6.2831853f * (kx[k] * xv + ky[k] * xv * 0.5f);
+        float mag = phi_mag[k];
+        acc_r += mag * cos(exp_arg);
+        acc_i += mag * sin(exp_arg);
+    }
+    q_r[gid] = acc_r;
+    q_i[gid] = acc_i;
+}
+"""
+
+SAD_SOURCE = """
+int sad_abs_diff(int a, int b)
+{
+    int d = a - b;
+    return d < 0 ? -d : d;
+}
+
+kernel void mb_sad_calc_8(global const int* cur,
+                          global const int* ref,
+                          global int* sad_out, int width, int n_blocks)
+{
+    int gid = (int)get_global_id(0);
+    if (gid >= n_blocks)
+        return;
+    int base = (gid * 8) % (width > 8 ? width - 8 : 1);
+    int acc = 0;
+    for (int p = 0; p < 64; ++p)
+        acc += sad_abs_diff(cur[base + (p % 8)], ref[base + p % 16]);
+    sad_out[gid] = acc;
+}
+
+kernel void mb_sad_calc_16(global const int* cur,
+                           global const int* ref,
+                           global int* sad_out, int width, int n_blocks)
+{
+    int gid = (int)get_global_id(0);
+    if (gid >= n_blocks)
+        return;
+    int base = (gid * 16) % (width > 16 ? width - 16 : 1);
+    int acc = 0;
+    for (int p = 0; p < 256; ++p)
+        acc += sad_abs_diff(cur[base + (p % 16)], ref[base + p % 32]);
+    sad_out[gid] = acc;
+}
+
+kernel void larger_sad_calc_8(global const int* sad_in,
+                              global int* sad_out, int n_out)
+{
+    int gid = (int)get_global_id(0);
+    if (gid >= n_out)
+        return;
+    sad_out[gid] = sad_in[2 * gid] + sad_in[2 * gid + 1];
+}
+
+kernel void larger_sad_calc_16(global const int* sad_in,
+                               global int* sad_out, int n_out)
+{
+    int gid = (int)get_global_id(0);
+    if (gid >= n_out)
+        return;
+    sad_out[gid] = sad_in[4 * gid] + sad_in[4 * gid + 1]
+                 + sad_in[4 * gid + 2] + sad_in[4 * gid + 3];
+}
+"""
+
+SGEMM_SOURCE = """
+kernel void mysgemm_nt(global const float* a,
+                       global const float* b,
+                       global float* c,
+                       int n, int k, float alpha, float beta)
+{
+    local float b_tile[128];
+    int col = (int)get_global_id(0);
+    int row = (int)get_global_id(1);
+    int lx = (int)get_local_id(0);
+    int ly = (int)get_local_id(1);
+    int lw = (int)get_local_size(0);
+    int lid = ly * lw + lx;
+    float acc = 0.0f;
+    for (int t = 0; t < k; t += 128) {
+        int idx = t + lid;
+        b_tile[lid] = idx < k ? b[col * k + idx] : 0.0f;
+        barrier(CLK_LOCAL_MEM_FENCE);
+        int limit = min(128, k - t);
+        for (int p = 0; p < limit; ++p)
+            acc += a[row * k + t + p] * b_tile[p];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    c[row * n + col] = alpha * acc + beta * c[row * n + col];
+}
+"""
+
+SPMV_SOURCE = """
+kernel void spmv_jds(global const float* values,
+                     global const int* columns,
+                     global const int* row_ptr,
+                     global const float* x,
+                     global float* y, int n_rows)
+{
+    int row = (int)get_global_id(0);
+    if (row >= n_rows)
+        return;
+    float acc = 0.0f;
+    int start = row_ptr[row];
+    int end = row_ptr[row + 1];
+    for (int j = start; j < end; ++j)
+        acc += values[j] * x[columns[j]];
+    y[row] = acc;
+}
+"""
+
+STENCIL_SOURCE = """
+kernel void stencil_block2d(global const float* a0,
+                            global float* a_next,
+                            int nx, int ny, float c0, float c1)
+{
+    int ix = (int)get_global_id(0);
+    int iy = (int)get_global_id(1);
+    if (ix <= 0 || iy <= 0 || ix >= nx - 1 || iy >= ny - 1)
+        return;
+    int idx = iy * nx + ix;
+    a_next[idx] = c1 * (a0[idx - 1] + a0[idx + 1]
+                        + a0[idx - nx] + a0[idx + nx])
+                + c0 * a0[idx];
+}
+"""
+
+TPACF_SOURCE = """
+kernel void gen_hists(global const float* angles,
+                      global int* hist,
+                      int n_points, int n_bins)
+{
+    local int lhist[32];
+    int lid = (int)get_local_id(0);
+    int gid = (int)get_global_id(0);
+    int wg = (int)get_local_size(0);
+    for (int b = lid; b < n_bins; b += wg)
+        lhist[b] = 0;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (gid < n_points) {
+        float ai = angles[gid];
+        for (int j = 0; j < n_points; ++j) {
+            float d = ai - angles[j];
+            if (d < 0.0f)
+                d = -d;
+            int bin = (int)(d * (float)n_bins);
+            if (bin >= n_bins)
+                bin = n_bins - 1;
+            atomic_add(&lhist[bin], 1);
+        }
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int b = lid; b < n_bins; b += wg)
+        atomic_add(&hist[b], lhist[b]);
+}
+"""
+
+SOURCES = {
+    "bfs": BFS_SOURCE,
+    "cutcp": CUTCP_SOURCE,
+    "histo": HISTO_SOURCE,
+    "lbm": LBM_SOURCE,
+    "mri-gridding": MRI_GRIDDING_SOURCE,
+    "mri-q": MRI_Q_SOURCE,
+    "sad": SAD_SOURCE,
+    "sgemm": SGEMM_SOURCE,
+    "spmv": SPMV_SOURCE,
+    "stencil": STENCIL_SOURCE,
+    "tpacf": TPACF_SOURCE,
+}

@@ -1,0 +1,121 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelos import rtlib
+from repro.accelos.transform import AccelOSTransform
+from repro.interp import KernelLauncher
+from repro.interp.memory import alloc_buffer
+from repro.kernelc import types as T
+
+_NUMPY_TO_ELEM = {
+    np.dtype(np.int32): T.INT,
+    np.dtype(np.uint32): T.UINT,
+    np.dtype(np.int64): T.LONG,
+    np.dtype(np.uint64): T.ULONG,
+    np.dtype(np.float32): T.FLOAT,
+}
+
+
+def upload_args(arg_specs):
+    """Turn ("in"/"out"/"scalar", value) descriptors into interpreter args.
+
+    Returns ``(args, outputs)`` where outputs maps arg index -> (pointer,
+    dtype, count) for later readback.
+    """
+    args = []
+    outputs = {}
+    for index, (kind, value) in enumerate(arg_specs):
+        if kind == "scalar":
+            args.append(value)
+            continue
+        array = np.asarray(value)
+        elem = _NUMPY_TO_ELEM[array.dtype]
+        pointer = alloc_buffer(elem, array.size, name="arg{}".format(index))
+        pointer.region.fill_from(array)
+        args.append(pointer)
+        if kind == "out":
+            outputs[index] = (pointer, array.dtype, array.size)
+    return args, outputs
+
+
+def read_outputs(outputs):
+    return {index: ptr.region.to_array(dtype, count)
+            for index, (ptr, dtype, count) in outputs.items()}
+
+
+def run_functional(module, kernel_name, arg_specs, global_size, local_size,
+                   extra_args=()):
+    """Run a kernel functionally; returns {out-arg-index: array}."""
+    args, outputs = upload_args(arg_specs)
+    launcher = KernelLauncher(module)
+    launcher.launch(kernel_name, list(args) + list(extra_args),
+                    global_size, local_size)
+    return read_outputs(outputs)
+
+
+def make_rt_buffer(total_groups, chunk, work_dim, groups_per_dim):
+    """Device rt descriptor for driving a transformed kernel directly."""
+    rt = alloc_buffer(T.LONG, rtlib.RT_WORDS, name="rt")
+    words = np.zeros(rtlib.RT_WORDS, dtype=np.int64)
+    words[rtlib.RT_TOTAL] = total_groups
+    words[rtlib.RT_CHUNK] = chunk
+    words[rtlib.RT_WORK_DIM] = work_dim
+    for d in range(3):
+        words[rtlib.RT_GROUPS0 + d] = groups_per_dim[d]
+    rt.region.fill_from(words)
+    return rt
+
+
+def assert_transform_equivalent(module, kernel_name, arg_specs, global_size,
+                                local_size, physical_groups=2, inline=True,
+                                chunk=None):
+    """Original vs accelOS-transformed execution must match bit-for-bit."""
+    global_size = _norm(global_size)
+    local_size = _norm(local_size)
+    groups_per_dim = tuple(g // l for g, l in zip(global_size, local_size))
+    total_groups = int(np.prod(groups_per_dim))
+    work_dim = 3
+    while work_dim > 1 and global_size[work_dim - 1] == 1:
+        work_dim -= 1
+
+    reference = run_functional(module, kernel_name, arg_specs,
+                               global_size, local_size)
+
+    transformed, infos = AccelOSTransform(inline=inline).run(module)
+    info = infos[kernel_name]
+    rt = make_rt_buffer(total_groups, chunk or info.chunk, work_dim,
+                        groups_per_dim)
+    physical = min(physical_groups, total_groups)
+    phys_global = (physical * local_size[0], local_size[1], local_size[2])
+    got = run_functional(transformed, kernel_name, arg_specs,
+                         phys_global, local_size, extra_args=(rt,))
+
+    assert reference.keys() == got.keys()
+    for index in reference:
+        np.testing.assert_array_equal(
+            reference[index], got[index],
+            err_msg="output arg {} of {} differs".format(index, kernel_name))
+    return info
+
+
+def _norm(size):
+    if isinstance(size, int):
+        size = (size,)
+    return tuple(size) + (1,) * (3 - len(size))
+
+
+@pytest.fixture
+def k20m():
+    from repro.cl import nvidia_k20m
+    return nvidia_k20m()
+
+
+@pytest.fixture
+def r9(
+):
+    from repro.cl import amd_r9_295x2
+    return amd_r9_295x2()

@@ -1,0 +1,45 @@
+"""Unit tests for the §6.4 adaptive scheduling policy."""
+
+import pytest
+
+from repro.accelos.adaptive import (SchedulingPolicy, chunk_size_for,
+                                    effective_chunk)
+
+
+@pytest.mark.parametrize("insns,expected", [
+    (1, 8), (9, 8),          # < 10 -> 8
+    (10, 6), (19, 6),        # < 20 -> 6
+    (20, 4), (29, 4),        # < 30 -> 4
+    (30, 2), (39, 2),        # < 40 -> 2
+    (40, 1), (100, 1), (10_000, 1),
+])
+def test_paper_table(insns, expected):
+    assert chunk_size_for(insns) == expected
+
+
+def test_naive_policy_always_one():
+    for insns in (1, 15, 35, 400):
+        assert chunk_size_for(insns, SchedulingPolicy.NAIVE) == 1
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        chunk_size_for(10, "wild")
+
+
+def test_effective_chunk_caps_by_groups_per_slot():
+    # 64 virtual groups on 64 slots: one per slot, never 8
+    assert effective_chunk(8, 64, 64) == 1
+    # plenty of groups per slot: the table chunk survives
+    assert effective_chunk(8, 10_000, 64) == 8
+    # intermediate: capped at groups-per-slot
+    assert effective_chunk(8, 256, 64) == 4
+
+
+def test_effective_chunk_minimum_one():
+    assert effective_chunk(8, 1, 16) == 1
+
+
+def test_effective_chunk_validates_groups():
+    with pytest.raises(ValueError):
+        effective_chunk(4, 100, 0)

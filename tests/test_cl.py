@@ -1,0 +1,187 @@
+"""Unit tests for the mini-OpenCL host runtime."""
+
+import numpy as np
+import pytest
+
+from repro.cl import (CommandQueue, Context, NDRange, get_platforms,
+                      known_devices, nvidia_k20m, amd_r9_295x2)
+from repro.errors import CLError, DeviceOutOfMemory
+from repro.interp.memory import LocalArg
+from repro.kernelc import types as T
+
+
+def test_platform_discovery():
+    platforms = get_platforms()
+    assert {p.vendor for p in platforms} == {"NVIDIA", "AMD"}
+    assert all(p.devices for p in platforms)
+
+
+def test_device_capacities_k20m():
+    dev = nvidia_k20m()
+    assert dev.max_threads == 13 * 2048
+    assert dev.total_local_mem == 13 * 48 * 1024
+    assert dev.total_registers == 13 * 65536
+    assert dev.scheduler_policy == "fifo"
+
+
+def test_device_capacities_amd():
+    dev = amd_r9_295x2()
+    assert dev.num_cus == 44
+    assert dev.scheduler_policy == "exclusive"
+    assert dev.wavefront == 64
+
+
+def test_known_devices_keys():
+    assert set(known_devices()) == {"NVIDIA", "AMD"}
+
+
+def test_buffer_roundtrip():
+    ctx = Context(nvidia_k20m())
+    buf = ctx.create_buffer(T.FLOAT, 16)
+    data = np.arange(16, dtype=np.float32)
+    buf.write(data)
+    np.testing.assert_array_equal(buf.read(), data)
+
+
+def test_allocator_tracks_usage():
+    ctx = Context(nvidia_k20m())
+    before = ctx.allocator.free_bytes
+    buf = ctx.create_buffer(T.FLOAT, 1024)
+    assert ctx.allocator.free_bytes == before - 4096
+    buf.release()
+    assert ctx.allocator.free_bytes == before
+
+
+def test_allocator_out_of_memory():
+    ctx = Context(nvidia_k20m())
+    with pytest.raises(DeviceOutOfMemory):
+        ctx.create_buffer(T.FLOAT, ctx.device.global_mem_bytes)
+
+
+def test_use_after_release_rejected():
+    ctx = Context(nvidia_k20m())
+    buf = ctx.create_buffer(T.INT, 4)
+    buf.release()
+    with pytest.raises(CLError, match="released"):
+        buf.read()
+
+
+def test_double_release_is_idempotent():
+    ctx = Context(nvidia_k20m())
+    buf = ctx.create_buffer(T.INT, 4)
+    buf.release()
+    buf.release()
+
+
+def test_ndrange_validation():
+    with pytest.raises(CLError):
+        NDRange((10,), (4,))
+    nd = NDRange((64, 8), (16, 8))
+    assert nd.work_dim == 2
+    assert nd.num_groups == 4
+    assert nd.work_group_size == 128
+    assert nd.groups_per_dim == (4, 1, 1)
+
+
+def test_program_build_and_kernel_names():
+    ctx = Context(nvidia_k20m())
+    program = ctx.create_program("""
+        kernel void a(global int* x) { x[0] = 1; }
+        kernel void b(global int* x) { x[0] = 2; }
+        void helper() {}
+    """).build()
+    assert sorted(program.kernel_names()) == ["a", "b"]
+
+
+def test_program_unbuilt_rejected():
+    ctx = Context(nvidia_k20m())
+    program = ctx.create_program("kernel void a(global int* x) {}")
+    with pytest.raises(CLError, match="not been built"):
+        program.create_kernel("a")
+
+
+def test_unknown_kernel_rejected():
+    ctx = Context(nvidia_k20m())
+    program = ctx.create_program("kernel void a(global int* x) {}").build()
+    with pytest.raises(CLError, match="no kernel"):
+        program.create_kernel("zzz")
+
+
+def test_build_options_reach_preprocessor():
+    ctx = Context(nvidia_k20m())
+    program = ctx.create_program("""
+        kernel void f(global int* x) { x[0] = VALUE; }
+    """).build(options="-D VALUE=77")
+    kernel = program.create_kernel("f")
+    buf = ctx.create_buffer(T.INT, 1)
+    kernel.set_args(buf)
+    ctx.create_queue().enqueue_nd_range(kernel, NDRange((1,), (1,)))
+    assert buf.read()[0] == 77
+
+
+def test_kernel_arg_validation():
+    ctx = Context(nvidia_k20m())
+    program = ctx.create_program(
+        "kernel void f(global int* x, int n) { x[0] = n; }").build()
+    kernel = program.create_kernel("f")
+    with pytest.raises(CLError, match="out of range"):
+        kernel.set_arg(5, 1)
+    with pytest.raises(CLError, match="expects 2"):
+        kernel.set_args(1)
+
+
+def test_unset_arg_detected_at_launch():
+    ctx = Context(nvidia_k20m())
+    program = ctx.create_program(
+        "kernel void f(global int* x, int n) { x[0] = n; }").build()
+    kernel = program.create_kernel("f")
+    kernel.set_arg(1, 3)
+    with pytest.raises(CLError, match="never set"):
+        ctx.create_queue().enqueue_nd_range(kernel, NDRange((1,), (1,)))
+
+
+def test_local_arg_sizes_exposed():
+    ctx = Context(nvidia_k20m())
+    program = ctx.create_program("""
+        kernel void f(global float* a, local float* s) {
+            s[get_local_id(0)] = a[0];
+        }
+    """).build()
+    kernel = program.create_kernel("f")
+    buf = ctx.create_buffer(T.FLOAT, 4)
+    kernel.set_args(buf, LocalArg(512))
+    assert kernel.local_arg_sizes() == {"s": 512}
+
+
+def test_queue_execution_and_log():
+    ctx = Context(nvidia_k20m())
+    queue = ctx.create_queue()
+    program = ctx.create_program("""
+        kernel void twice(global float* a) {
+            a[get_global_id(0)] = a[get_global_id(0)] * 2.0f;
+        }
+    """).build()
+    kernel = program.create_kernel("twice")
+    buf = ctx.create_buffer(T.FLOAT, 8)
+    queue.enqueue_write_buffer(buf, np.ones(8, dtype=np.float32))
+    kernel.set_args(buf)
+    queue.enqueue_nd_range(kernel, NDRange((8,), (4,)))
+    result = queue.enqueue_read_buffer(buf)
+    assert (result == 2.0).all()
+    kinds = [kind for kind, _ in queue.enqueue_log]
+    assert kinds == ["write", "ndrange", "read"]
+
+
+def test_kernel_resource_usage_query():
+    ctx = Context(nvidia_k20m())
+    program = ctx.create_program("""
+        kernel void f(global float* a) {
+            local float t[16];
+            t[get_local_id(0)] = a[0];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            a[0] = t[0];
+        }
+    """).build()
+    usage = program.kernel_resource_usage("f")
+    assert usage.local_memory_bytes == 64
+    assert usage.registers > 0

@@ -1,0 +1,145 @@
+"""Unit tests for the Elastic Kernels baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.elastic_kernels import (MAX_MERGE,
+                                             ElasticKernelsScheduler,
+                                             elastic_merge_kernels)
+from repro.cl import nvidia_k20m
+from repro.interp import KernelLauncher
+from repro.interp.memory import alloc_buffer
+from repro.ir import compile_source, verify_module
+from repro.kernelc import types as T
+from repro.sim import ExecutionMode, KernelExecSpec
+
+
+def spec(name, n=512, wg=256, regs=16, lmem=0):
+    return KernelExecSpec(name, wg, np.full(n, 1e-4), 0.0, regs, lmem)
+
+
+def test_pack_single_kernel():
+    sched = ElasticKernelsScheduler(nvidia_k20m())
+    groups = sched.pack([spec("a")])
+    assert len(groups) == 1
+    assert groups[0].allocations[0] >= 1
+
+
+def test_pack_pair_coruns():
+    sched = ElasticKernelsScheduler(nvidia_k20m())
+    groups = sched.pack([spec("a"), spec("b")])
+    assert len(groups) == 1
+
+
+def test_pack_respects_max_merge():
+    sched = ElasticKernelsScheduler(nvidia_k20m())
+    groups = sched.pack([spec(str(i)) for i in range(MAX_MERGE + 3)])
+    assert all(len(g.specs) <= MAX_MERGE for g in groups)
+    assert len(groups) >= 2
+
+
+def test_split_is_work_proportional():
+    sched = ElasticKernelsScheduler(nvidia_k20m())
+    big = spec("big", n=4000)
+    small = spec("small", n=100)
+    group = sched.pack([big, small])[0]
+    alloc = dict(zip((s.name for s in group.specs), group.allocations))
+    assert alloc["big"] > alloc["small"]
+
+
+def test_split_fits_device():
+    dev = nvidia_k20m()
+    sched = ElasticKernelsScheduler(dev)
+    groups = sched.pack([spec(str(i), wg=512, regs=24) for i in range(4)])
+    for group in groups:
+        threads = sum(a * s.wg_threads
+                      for s, a in zip(group.specs, group.allocations))
+        assert threads <= dev.max_threads
+
+
+def test_sim_specs_have_merge_overhead():
+    sched = ElasticKernelsScheduler(nvidia_k20m())
+    group = sched.pack([spec("a"), spec("b")])[0]
+    merged = sched.to_sim_specs(group)
+    assert all(m.mode == ExecutionMode.ELASTIC for m in merged)
+    # 4% merge overhead for one extra kernel
+    assert merged[0].wg_costs[0] == pytest.approx(1e-4 * 1.04)
+
+
+def test_single_kernel_group_has_no_overhead():
+    sched = ElasticKernelsScheduler(nvidia_k20m())
+    group = sched.pack([spec("a")])[0]
+    merged = sched.to_sim_specs(group)
+    assert merged[0].wg_costs[0] == pytest.approx(1e-4)
+
+
+# -- the real static merge ---------------------------------------------------
+
+MERGE_A = """
+kernel void ka(global float* a)
+{
+    size_t g = get_global_id(0);
+    a[g] = a[g] + 10.0f;
+}
+"""
+
+MERGE_B = """
+float helper_b(float x) { return x * 2.0f; }
+kernel void kb(global float* b)
+{
+    size_t g = get_global_id(0);
+    size_t grp = get_group_id(0);
+    b[g] = helper_b(b[g]) + (float)grp;
+}
+"""
+
+
+def test_elastic_merge_produces_verified_module():
+    ma = compile_source(MERGE_A)
+    mb = compile_source(MERGE_B)
+    merged, name = elastic_merge_kernels(ma, "ka", mb, "kb", split=2)
+    assert name in merged
+    verify_module(merged)
+
+
+def test_elastic_merge_computes_both_kernels():
+    wg, groups_a, groups_b = 32, 2, 3
+    ma = compile_source(MERGE_A)
+    mb = compile_source(MERGE_B)
+
+    rng = np.random.default_rng(5)
+    a_host = rng.random(groups_a * wg).astype(np.float32)
+    b_host = rng.random(groups_b * wg).astype(np.float32)
+
+    # references from the unmerged kernels
+    a_ref = alloc_buffer(T.FLOAT, a_host.size)
+    a_ref.region.fill_from(a_host)
+    KernelLauncher(ma).launch("ka", [a_ref], (groups_a * wg,), (wg,))
+    b_ref = alloc_buffer(T.FLOAT, b_host.size)
+    b_ref.region.fill_from(b_host)
+    KernelLauncher(mb).launch("kb", [b_ref], (groups_b * wg,), (wg,))
+
+    merged, name = elastic_merge_kernels(ma, "ka", mb, "kb", split=groups_a)
+    a_buf = alloc_buffer(T.FLOAT, a_host.size)
+    a_buf.region.fill_from(a_host)
+    b_buf = alloc_buffer(T.FLOAT, b_host.size)
+    b_buf.region.fill_from(b_host)
+    KernelLauncher(merged).launch(
+        name, [a_buf, b_buf], ((groups_a + groups_b) * wg,), (wg,))
+
+    np.testing.assert_array_equal(
+        a_buf.region.to_array(np.float32, a_host.size),
+        a_ref.region.to_array(np.float32, a_host.size))
+    np.testing.assert_array_equal(
+        b_buf.region.to_array(np.float32, b_host.size),
+        b_ref.region.to_array(np.float32, b_host.size))
+
+
+def test_elastic_merge_shares_one_binary():
+    # the security concern: both applications' code ends up in one module
+    ma = compile_source(MERGE_A)
+    mb = compile_source(MERGE_B)
+    merged, _ = elastic_merge_kernels(ma, "ka", mb, "kb", split=1)
+    names = set(merged.functions)
+    assert any(n.startswith("ek_a_") for n in names)
+    assert any(n.startswith("ek_b_") for n in names)

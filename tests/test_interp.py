@@ -1,0 +1,280 @@
+"""Unit tests for the functional interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpError, MemoryFault
+from repro.interp import KernelLauncher, LocalArg
+from repro.interp.memory import MemoryRegion, Pointer, alloc_buffer, scalar_size
+from repro.ir import compile_source
+from repro.kernelc import types as T
+
+
+def run(source, kernel, args, gsize, lsize, optimize=True):
+    module = compile_source(source, optimize=optimize)
+    return KernelLauncher(module).launch(kernel, args, gsize, lsize)
+
+
+def test_memory_region_typed_views_share_bytes():
+    region = MemoryRegion(16, T.GLOBAL)
+    region.view(T.FLOAT)[0] = 1.0
+    as_int = region.view(T.INT)[0]
+    assert as_int == np.float32(1.0).view(np.int32)
+
+
+def test_pointer_bounds_checked():
+    ptr = alloc_buffer(T.INT, 4)
+    with pytest.raises(MemoryFault):
+        ptr.add(4).load()
+    with pytest.raises(MemoryFault):
+        ptr.add(-1).store(0)
+
+
+def test_pointer_retype_reinterprets():
+    ptr = alloc_buffer(T.FLOAT, 4)
+    ptr.store(1.0)
+    as_int = ptr.retype(T.INT)
+    assert as_int.load() == np.float32(1.0).view(np.int32)
+
+
+def test_pointer_retype_misaligned_rejected():
+    ptr = alloc_buffer(T.INT, 8)
+    byte_ish = ptr.retype(T.INT)  # fine
+    with pytest.raises(MemoryFault):
+        # int64 view at odd int32 offset is misaligned
+        ptr.add(1).retype(T.LONG)
+
+
+def test_scalar_sizes():
+    assert scalar_size(T.FLOAT) == 4
+    assert scalar_size(T.LONG) == 8
+    assert scalar_size(T.PointerType(T.INT, T.GLOBAL)) == 8
+
+
+def test_vector_add():
+    n = 128
+    a = alloc_buffer(T.FLOAT, n)
+    b = alloc_buffer(T.FLOAT, n)
+    out = alloc_buffer(T.FLOAT, n)
+    ah = np.arange(n, dtype=np.float32)
+    bh = np.ones(n, dtype=np.float32)
+    a.region.fill_from(ah)
+    b.region.fill_from(bh)
+    run("""
+        kernel void vadd(global const float* a, global const float* b,
+                         global float* out) {
+            size_t g = get_global_id(0);
+            out[g] = a[g] + b[g];
+        }
+    """, "vadd", [a, b, out], (n,), (32,))
+    np.testing.assert_array_equal(out.region.to_array(np.float32, n), ah + bh)
+
+
+def test_scalar_arguments():
+    out = alloc_buffer(T.INT, 8)
+    run("""
+        kernel void fill(global int* out, int value, float scale) {
+            out[get_global_id(0)] = value + (int)scale;
+        }
+    """, "fill", [out, 40, 2.0], (8,), (4,))
+    assert (out.region.to_array(np.int32, 8) == 42).all()
+
+
+def test_work_item_builtins_2d():
+    out = alloc_buffer(T.INT, 64)
+    run("""
+        kernel void ids(global int* out) {
+            size_t x = get_global_id(0);
+            size_t y = get_global_id(1);
+            out[y * get_global_size(0) + x] =
+                (int)(get_group_id(1) * 100 + get_group_id(0) * 10
+                      + get_local_id(0));
+        }
+    """, "ids", [out], (8, 8), (4, 4))
+    got = out.region.to_array(np.int32, 64).reshape(8, 8)
+    assert got[0, 0] == 0
+    assert got[0, 5] == 11    # group (1,0), local x = 1
+    assert got[5, 0] == 100   # group (0,1)
+
+
+def test_get_num_groups_and_work_dim():
+    out = alloc_buffer(T.INT, 4)
+    run("""
+        kernel void q(global int* out) {
+            if (get_global_id(0) == 0) {
+                out[0] = (int)get_num_groups(0);
+                out[1] = (int)get_work_dim();
+                out[2] = (int)get_local_size(0);
+                out[3] = (int)get_global_size(0);
+            }
+        }
+    """, "q", [out], (64,), (16,))
+    assert list(out.region.to_array(np.int32, 4)) == [4, 1, 16, 64]
+
+
+def test_barrier_local_reduction():
+    n = 128
+    a = alloc_buffer(T.FLOAT, n)
+    data = np.random.default_rng(3).random(n, dtype=np.float32)
+    a.region.fill_from(data)
+    partial = alloc_buffer(T.FLOAT, 4)
+    run("""
+        kernel void reduce(global const float* a, global float* out) {
+            local float s[32];
+            int lid = (int)get_local_id(0);
+            s[lid] = a[get_global_id(0)];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            for (int d = 16; d > 0; d >>= 1) {
+                if (lid < d) s[lid] += s[lid + d];
+                barrier(CLK_LOCAL_MEM_FENCE);
+            }
+            if (lid == 0) out[get_group_id(0)] = s[0];
+        }
+    """, "reduce", [a, partial], (n,), (32,))
+    got = partial.region.to_array(np.float32, 4)
+    np.testing.assert_allclose(got, data.reshape(4, 32).sum(axis=1), rtol=1e-5)
+
+
+def test_divergent_barrier_detected():
+    a = alloc_buffer(T.FLOAT, 32)
+    with pytest.raises(InterpError, match="divergent barrier"):
+        run("""
+            kernel void bad(global float* a) {
+                if (get_local_id(0) < 8)
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                a[get_global_id(0)] = 1.0f;
+            }
+        """, "bad", [a], (32,), (32,))
+
+
+def test_local_arg_buffer_per_group():
+    n = 64
+    out = alloc_buffer(T.FLOAT, n)
+    run("""
+        kernel void stage(global float* out, local float* scratch) {
+            int lid = (int)get_local_id(0);
+            scratch[lid] = (float)get_group_id(0);
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[get_global_id(0)] = scratch[(lid + 1) % 16];
+        }
+    """, "stage", [out, LocalArg(16 * 4)], (n,), (16,))
+    got = out.region.to_array(np.float32, n).reshape(4, 16)
+    for g in range(4):
+        assert (got[g] == g).all()
+
+
+def test_atomic_add_counts_all_items():
+    counter = alloc_buffer(T.INT, 1)
+    run("""
+        kernel void count(global int* c) { atomic_add(&c[0], 2); }
+    """, "count", [counter], (128,), (32,))
+    assert counter.region.to_array(np.int32, 1)[0] == 256
+
+
+def test_atomic_cmpxchg():
+    cell = alloc_buffer(T.INT, 2)
+    run("""
+        kernel void cas(global int* c) {
+            if (get_global_id(0) == 0) {
+                c[1] = atomic_cmpxchg(&c[0], 0, 7);
+                c[1] = atomic_cmpxchg(&c[0], 0, 9);
+            }
+        }
+    """, "cas", [cell], (1,), (1,))
+    got = cell.region.to_array(np.int32, 2)
+    assert got[0] == 7        # second CAS must fail
+    assert got[1] == 7        # returns old value
+
+
+def test_integer_division_semantics():
+    out = alloc_buffer(T.INT, 4)
+    run("""
+        kernel void dv(global int* out) {
+            out[0] = -7 / 2;
+            out[1] = -7 % 2;
+            out[2] = 7 / -2;
+            out[3] = 7 % -2;
+        }
+    """, "dv", [out], (1,), (1,))
+    assert list(out.region.to_array(np.int32, 4)) == [-3, -1, -3, 1]
+
+
+def test_integer_division_by_zero_traps():
+    out = alloc_buffer(T.INT, 1)
+    zero = alloc_buffer(T.INT, 1)
+    with pytest.raises(InterpError, match="division by zero"):
+        run("""
+            kernel void dv(global int* out, global int* z) {
+                out[0] = 5 / z[0];
+            }
+        """, "dv", [out, zero], (1,), (1,))
+
+
+def test_unsigned_wraparound():
+    out = alloc_buffer(T.UINT, 1)
+    run("""
+        kernel void w(global uint* out) {
+            uint x = 0;
+            out[0] = x - 1;
+        }
+    """, "w", [out], (1,), (1,))
+    assert out.region.to_array(np.uint32, 1)[0] == 2**32 - 1
+
+
+def test_math_builtins():
+    out = alloc_buffer(T.FLOAT, 5)
+    run("""
+        kernel void m(global float* out) {
+            out[0] = sqrt(16.0f);
+            out[1] = fmax(1.0f, 2.5f);
+            out[2] = fabs(-3.0f);
+            out[3] = mad(2.0f, 3.0f, 4.0f);
+            out[4] = clamp(7.0f, 0.0f, 5.0f);
+        }
+    """, "m", [out], (1,), (1,))
+    np.testing.assert_allclose(out.region.to_array(np.float32, 5),
+                               [4.0, 2.5, 3.0, 10.0, 5.0])
+
+
+def test_pointer_variable_in_private_slot():
+    out = alloc_buffer(T.FLOAT, 8)
+    out.region.fill_from(np.arange(8, dtype=np.float32))
+    run("""
+        kernel void p(global float* a) {
+            global float* cursor = a + 2;
+            cursor += 1;
+            *cursor = 99.0f;
+        }
+    """, "p", [out], (1,), (1,))
+    got = out.region.to_array(np.float32, 8)
+    assert got[3] == 99.0
+
+
+def test_stats_count_instructions_and_barriers():
+    a = alloc_buffer(T.FLOAT, 32)
+    stats = run("""
+        kernel void s(global float* a) {
+            a[get_global_id(0)] = 1.0f;
+            barrier(CLK_LOCAL_MEM_FENCE);
+        }
+    """, "s", [a], (32,), (16,))
+    assert stats.instructions > 0
+    assert stats.barriers == 32
+    assert len(stats.instructions_per_group) == 2
+
+
+def test_global_size_must_divide():
+    a = alloc_buffer(T.FLOAT, 10)
+    module = compile_source("kernel void f(global float* a) {}")
+    with pytest.raises(InterpError, match="divisible"):
+        KernelLauncher(module).launch("f", [a], (10,), (4,))
+
+
+def test_infinite_loop_detected():
+    a = alloc_buffer(T.INT, 1)
+    module = compile_source("""
+        kernel void spin(global int* a) { while (true) { a[0] = 1; } }
+    """)
+    launcher = KernelLauncher(module, max_steps=10_000)
+    with pytest.raises(InterpError, match="exceeded"):
+        launcher.launch("spin", [a], (1,), (1,))

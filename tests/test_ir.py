@@ -1,0 +1,206 @@
+"""Unit tests for IR lowering, the verifier, printing and cloning."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import compile_source, print_function, print_module, verify_module
+from repro.ir import instructions as I
+from repro.ir.builder import IRBuilder
+from repro.ir.clone import clone_function, clone_module
+from repro.ir.function import Function
+from repro.ir.values import Constant
+from repro.ir.verifier import verify_function
+from repro.kernelc import types as T
+
+
+SIMPLE = """
+kernel void f(global float* a, int n)
+{
+    int gid = (int)get_global_id(0);
+    if (gid < n)
+        a[gid] = a[gid] * 2.0f;
+}
+"""
+
+
+def test_compile_simple_kernel():
+    module = compile_source(SIMPLE)
+    assert "f" in module
+    assert module.get("f").is_kernel
+
+
+def test_module_repr_and_kernels():
+    module = compile_source(SIMPLE)
+    assert len(module.kernels()) == 1
+    assert module.plain_functions() == []
+
+
+def test_every_block_terminated():
+    module = compile_source(SIMPLE, optimize=False)
+    for func in module.functions.values():
+        for block in func.blocks:
+            assert block.terminator is not None
+
+
+def test_lowering_loops_produce_back_edge():
+    module = compile_source("""
+        kernel void f(global int* a) {
+            for (int i = 0; i < 10; ++i) a[i] = i;
+        }
+    """, optimize=False)
+    func = module.get("f")
+    # some block must branch backwards (to an earlier block)
+    index = func.block_index()
+    has_back_edge = any(
+        index[succ] <= index[block]
+        for block in func.blocks for succ in block.successors())
+    assert has_back_edge
+
+
+def test_short_circuit_generates_control_flow():
+    module = compile_source("""
+        kernel void f(global int* a, int n) {
+            if (n > 0 && a[0] > 5) a[1] = 1;
+        }
+    """, optimize=False)
+    func = module.get("f")
+    names = [b.name for b in func.blocks]
+    assert any("sc." in n for n in names)
+
+
+def test_verifier_accepts_all_compiled_functions():
+    module = compile_source(SIMPLE)
+    assert verify_module(module)
+
+
+def test_verifier_rejects_missing_terminator():
+    func = Function("g", T.VOID, [], [])
+    func.add_block("entry")
+    with pytest.raises(IRError, match="terminator"):
+        verify_function(func)
+
+
+def test_verifier_rejects_type_mismatched_store():
+    func = Function("g", T.VOID, [], [])
+    entry = func.add_block("entry")
+    builder = IRBuilder(func, entry)
+    slot = builder.alloca(T.INT)
+    bad = I.Store(slot, Constant(T.FLOAT, 1.0))
+    bad.parent = entry
+    entry.instructions.append(bad)
+    builder.position_at_end(entry)
+    builder.ret()
+    with pytest.raises(IRError, match="store type mismatch"):
+        verify_function(func)
+
+
+def test_verifier_rejects_use_before_def():
+    func = Function("g", T.VOID, [], [])
+    entry = func.add_block("entry")
+    builder = IRBuilder(func, entry)
+    slot = builder.alloca(T.INT)
+    load = I.Load(slot)
+    use = I.Store(slot, load)
+    use.parent = entry
+    entry.instructions.append(use)   # store before the load is defined
+    load.parent = entry
+    entry.instructions.append(load)
+    builder.position_at_end(entry)
+    builder.ret()
+    with pytest.raises(IRError, match="use before def"):
+        verify_function(func)
+
+
+def test_verifier_rejects_foreign_branch_target():
+    f1 = Function("f1", T.VOID, [], [])
+    b1 = f1.add_block("entry")
+    f2 = Function("f2", T.VOID, [], [])
+    foreign = f2.add_block("entry")
+    br = I.Br(foreign)
+    br.parent = b1
+    b1.instructions.append(br)
+    with pytest.raises(IRError, match="foreign block"):
+        verify_function(f1)
+
+
+def test_builder_coerces_scalar_pairs():
+    func = Function("g", T.VOID, [], [])
+    builder = IRBuilder(func, func.add_block("entry"))
+    out = builder.binop("add", Constant(T.INT, 1), Constant(T.FLOAT, 2.0))
+    assert out.type == T.FLOAT
+
+
+def test_builder_pointer_displacement():
+    ptr_ty = T.PointerType(T.FLOAT, T.GLOBAL)
+    func = Function("g", T.VOID, [ptr_ty], ["p"])
+    builder = IRBuilder(func, func.add_block("entry"))
+    out = builder.binop("add", func.arguments[0], Constant(T.INT, 4))
+    assert isinstance(out, I.PtrAdd)
+
+
+def test_dominators_entry_dominates_all():
+    module = compile_source(SIMPLE, optimize=False)
+    func = module.get("f")
+    dom = func.dominators()
+    entry = func.entry
+    for block in func.reachable_blocks():
+        assert entry in dom[block]
+
+
+def test_instruction_count_excludes_nothing_by_default():
+    module = compile_source(SIMPLE)
+    func = module.get("f")
+    assert func.instruction_count() == sum(
+        len(b.instructions) for b in func.blocks)
+
+
+def test_printer_output_contains_blocks_and_calls():
+    module = compile_source(SIMPLE, optimize=False)
+    text = print_module(module)
+    assert "kernel void @f" in text
+    assert "call" in text and "get_global_id" in text
+
+
+def test_print_function_roundtrips_names():
+    module = compile_source(SIMPLE)
+    text = print_function(module.get("f"))
+    assert text.startswith("kernel void @f")
+    assert text.rstrip().endswith("}")
+
+
+def test_clone_function_is_deep():
+    module = compile_source(SIMPLE)
+    func = module.get("f")
+    clone, mapping = clone_function(func, "f2")
+    assert clone.name == "f2"
+    assert clone.instruction_count() == func.instruction_count()
+    originals = set(func.instructions())
+    for insn in clone.instructions():
+        assert insn not in originals
+
+
+def test_clone_module_retargets_calls():
+    module = compile_source("""
+        float helper(float x) { return x + 1.0f; }
+        kernel void f(global float* a) { a[0] = helper(a[0]); }
+    """)
+    cloned = clone_module(module)
+    for insn in cloned.get("f").instructions():
+        if isinstance(insn, I.Call) and not insn.is_intrinsic():
+            assert insn.callee is cloned.get("helper")
+    verify_module(cloned)
+
+
+def test_link_collision_detected():
+    a = compile_source("void f() {}")
+    b = compile_source("void f() {}")
+    with pytest.raises(IRError, match="collision"):
+        a.link(b)
+
+
+def test_link_allow_duplicates_keeps_first():
+    a = compile_source("void f() {}")
+    first = a.get("f")
+    b = compile_source("void f() {}")
+    a.link(b, allow_duplicates=True)
+    assert a.get("f") is first

@@ -1,0 +1,242 @@
+"""Unit tests for the optimisation passes."""
+
+import pytest
+
+from repro.ir import compile_source, verify_module
+from repro.ir import instructions as I
+from repro.ir.arith import eval_binop
+from repro.ir.passes import (ConstantFoldPass, DeadCodeEliminationPass,
+                             InlinePass, PassManager, ResourceAnalysis,
+                             SimplifyCFGPass, count_instructions,
+                             count_kernel_instructions, standard_pipeline)
+from repro.ir.passes.constfold import fold_binop, fold_cast, fold_cmp
+from repro.ir.values import Constant
+from repro.kernelc import types as T
+
+
+def count_ops(func, opcode):
+    return sum(1 for insn in func.instructions() if insn.opcode == opcode)
+
+
+def test_constfold_folds_arithmetic():
+    module = compile_source("""
+        kernel void f(global int* a) { a[0] = 2 + 3 * 4; }
+    """, optimize=False)
+    ConstantFoldPass().run_on_function(module.get("f"), module)
+    assert count_ops(module.get("f"), "binop") == 0
+
+
+def test_constfold_preserves_division_by_zero():
+    module = compile_source("""
+        kernel void f(global int* a) { a[0] = 7 / (3 - 3); }
+    """, optimize=False)
+    standard_pipeline().run(module)
+    # at least one binop (the division) must survive to trap at run time
+    assert count_ops(module.get("f"), "binop") >= 1
+
+
+def test_fold_binop_signed_division_truncates():
+    out = fold_binop("div", Constant(T.INT, -7), Constant(T.INT, 2), T.INT)
+    assert out.value == -3
+
+
+def test_fold_binop_wraps_to_width():
+    out = fold_binop("add", Constant(T.INT, 2**31 - 1), Constant(T.INT, 1),
+                     T.INT)
+    assert out.value == -(2**31)
+
+
+def test_fold_binop_unsigned_wrap():
+    out = fold_binop("sub", Constant(T.UINT, 0), Constant(T.UINT, 1), T.UINT)
+    assert out.value == 2**32 - 1
+
+
+def test_fold_matches_interpreter_semantics():
+    cases = [
+        ("add", 2**31 - 1, 5, T.INT), ("mul", 123456, 7890, T.INT),
+        ("shl", 3, 40, T.LONG), ("shr", -16, 2, T.INT),
+        ("rem", -7, 3, T.INT), ("div", 9, -2, T.INT),
+        ("xor", 0xff, 0x0f, T.UINT),
+    ]
+    for op, a, b, ty in cases:
+        folded = fold_binop(op, Constant(ty, a), Constant(ty, b), ty)
+        assert folded.value == eval_binop(op, a, b, ty)
+
+
+def test_fold_cmp():
+    assert fold_cmp("lt", Constant(T.INT, 1), Constant(T.INT, 2)).value is True
+    assert fold_cmp("ge", Constant(T.INT, 1), Constant(T.INT, 2)).value is False
+
+
+def test_fold_cast_truncates():
+    out = fold_cast(Constant(T.LONG, 2**33 + 5), T.INT)
+    assert out.value == 5
+
+
+def test_dce_removes_unused_load():
+    module = compile_source("""
+        kernel void f(global int* a) { int unused = a[3]; a[0] = 1; }
+    """, optimize=False)
+    func = module.get("f")
+    before = count_ops(func, "load")
+    PassManager().add(DeadCodeEliminationPass()).run(module)
+    assert count_ops(func, "load") < before
+    verify_module(module)
+
+
+def test_dce_keeps_stores_and_atomics():
+    module = compile_source("""
+        kernel void f(global int* a) { atomic_add(&a[0], 1); a[1] = 2; }
+    """, optimize=False)
+    func = module.get("f")
+    PassManager().add(DeadCodeEliminationPass()).run(module)
+    assert count_ops(func, "atomicrmw") == 1
+    assert count_ops(func, "store") >= 1
+
+
+def test_simplifycfg_folds_constant_branch():
+    module = compile_source("""
+        kernel void f(global int* a) { if (1) a[0] = 1; else a[0] = 2; }
+    """, optimize=False)
+    standard_pipeline().run(module)
+    func = module.get("f")
+    assert count_ops(func, "condbr") == 0
+    verify_module(module)
+
+
+def test_simplifycfg_removes_unreachable_blocks():
+    module = compile_source("""
+        kernel void f(global int* a) {
+            a[0] = 1;
+            return;
+        }
+    """, optimize=False)
+    before = len(module.get("f").blocks)
+    standard_pipeline().run(module)
+    assert len(module.get("f").blocks) <= before
+    verify_module(module)
+
+
+def test_inliner_removes_direct_calls():
+    module = compile_source("""
+        float helper(float x) { return x * 2.0f; }
+        kernel void f(global float* a) { a[0] = helper(a[1]) + helper(a[2]); }
+    """)
+    PassManager().add(InlinePass()).run(module)
+    func = module.get("f")
+    direct = [i for i in func.instructions()
+              if i.opcode == "call" and not i.is_intrinsic()]
+    assert direct == []
+    verify_module(module)
+
+
+def test_inliner_handles_nested_calls():
+    module = compile_source("""
+        float inner(float x) { return x + 1.0f; }
+        float outer(float x) { return inner(x) * 2.0f; }
+        kernel void f(global float* a) { a[0] = outer(a[1]); }
+    """)
+    PassManager().add(InlinePass()).run(module)
+    for func in module.functions.values():
+        for insn in func.instructions():
+            assert not (insn.opcode == "call" and not insn.is_intrinsic())
+    verify_module(module)
+
+
+def test_inlined_module_computes_same_result():
+    import numpy as np
+    from repro.interp import KernelLauncher
+    from repro.interp.memory import alloc_buffer
+
+    source = """
+        float poly(float x, float c) { return x * x + c * x + 1.0f; }
+        kernel void f(global float* a, global float* out) {
+            int gid = (int)get_global_id(0);
+            out[gid] = poly(a[gid], 3.0f);
+        }
+    """
+    module = compile_source(source)
+    inlined = compile_source(source)
+    PassManager().add(InlinePass()).run(inlined)
+
+    data = np.linspace(-2, 2, 64, dtype=np.float32)
+    results = []
+    for mod in (module, inlined):
+        a = alloc_buffer(T.FLOAT, 64)
+        a.region.fill_from(data)
+        out = alloc_buffer(T.FLOAT, 64)
+        KernelLauncher(mod).launch("f", [a, out], (64,), (16,))
+        results.append(out.region.to_array(np.float32, 64))
+    np.testing.assert_array_equal(results[0], results[1])
+
+
+def test_resource_analysis_counts_local_memory():
+    module = compile_source("""
+        kernel void f(global float* a) {
+            local float tile[32];
+            local int flags[8];
+            tile[get_local_id(0)] = a[0];
+            flags[0] = 1;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            a[0] = tile[0] + (float)flags[0];
+        }
+    """)
+    usage = ResourceAnalysis().analyze(module.get("f"))
+    assert usage.local_memory_bytes == 32 * 4 + 8 * 4
+
+
+def test_resource_analysis_local_pointer_args():
+    module = compile_source("""
+        kernel void f(global float* a, local float* scratch) {
+            scratch[get_local_id(0)] = a[0];
+        }
+    """)
+    usage = ResourceAnalysis({"scratch": 256}).analyze(module.get("f"))
+    assert usage.local_memory_bytes == 256
+
+
+def test_register_estimate_grows_with_live_values():
+    small = compile_source("kernel void f(global int* a) { a[0] = 1; }")
+    big = compile_source("""
+        kernel void f(global float* a) {
+            float x0 = a[0]; float x1 = a[1]; float x2 = a[2];
+            float x3 = a[3]; float x4 = a[4]; float x5 = a[5];
+            a[6] = x0 + x1 + x2 + x3 + x4 + x5;
+        }
+    """)
+    small_regs = ResourceAnalysis().analyze(small.get("f")).registers
+    big_regs = ResourceAnalysis().analyze(big.get("f")).registers
+    assert big_regs > small_regs
+
+
+def test_count_instructions_skips_allocas():
+    module = compile_source("""
+        kernel void f(global int* a) { int x = 1; int y = 2; a[0] = x + y; }
+    """, optimize=False)
+    func = module.get("f")
+    with_allocas = count_instructions(func, include_allocas=True)
+    without = count_instructions(func)
+    assert with_allocas > without
+
+
+def test_count_kernel_instructions_follows_calls():
+    module = compile_source("""
+        float h(float x) { return x * 2.0f; }
+        kernel void f(global float* a) { a[0] = h(a[1]); }
+    """, optimize=False)
+    total = count_kernel_instructions(module, "f")
+    assert total > count_instructions(module.get("f"))
+
+
+def test_standard_pipeline_reaches_fixed_point():
+    module = compile_source("""
+        kernel void f(global int* a) {
+            int x = 2 * 3;
+            if (x == 6) a[0] = x; else a[0] = 0;
+        }
+    """, optimize=False)
+    pm = standard_pipeline()
+    pm.run(module)
+    changed_again = pm.run(module)
+    assert not changed_again
+    verify_module(module)

@@ -1,0 +1,115 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.kernelc.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+def test_empty_source_yields_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == "eof"
+
+
+def test_identifiers_and_keywords():
+    assert kinds("foo kernel bar_2 int") == [
+        ("ident", "foo"), ("keyword", "kernel"),
+        ("ident", "bar_2"), ("keyword", "int")]
+
+
+def test_underscore_identifiers():
+    assert kinds("_x __global_thing") == [
+        ("ident", "_x"), ("ident", "__global_thing")]
+
+
+def test_integer_literals():
+    assert kinds("0 42 123456") == [("int", 0), ("int", 42), ("int", 123456)]
+
+
+def test_hex_literals():
+    assert kinds("0x10 0xFF 0Xab") == [("int", 16), ("int", 255), ("int", 171)]
+
+
+def test_float_literals():
+    values = [v for _, v in kinds("1.5 0.25 2. .5")]
+    assert values == [1.5, 0.25, 2.0, 0.5]
+
+
+def test_float_exponent_literals():
+    values = [v for _, v in kinds("1e3 2.5e-2 1E+2")]
+    assert values == [1000.0, 0.025, 100.0]
+
+
+def test_float_suffix():
+    tokens = tokenize("1f 2.0f")
+    assert tokens[0].kind == "float" and tokens[0].value == 1.0
+    assert tokens[1].kind == "float" and tokens[1].value == 2.0
+
+
+def test_integer_suffixes_do_not_change_kind():
+    tokens = tokenize("7u 9L")
+    assert tokens[0].kind == "int" and tokens[0].value == 7
+    assert tokens[1].kind == "int" and tokens[1].value == 9
+
+
+def test_maximal_munch_operators():
+    ops = [v for _, v in kinds("a<<=b>>c<=d<e")]
+    assert ops == ["a", "<<=", "b", ">>", "c", "<=", "d", "<", "e"]
+
+
+def test_increment_vs_plus():
+    ops = [v for k, v in kinds("a++ + ++b") if k == "op"]
+    assert ops == ["++", "+", "++"]
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("a\n  bb\n c")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+    assert (tokens[2].line, tokens[2].column) == (3, 2)
+
+
+def test_line_comments_skipped():
+    assert kinds("a // comment here\nb") == [("ident", "a"), ("ident", "b")]
+
+
+def test_block_comments_skipped():
+    assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+
+def test_block_comment_preserves_line_numbers():
+    tokens = tokenize("/* 1\n2\n3 */ x")
+    assert tokens[0].line == 3
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a $ b")
+
+
+def test_token_is_op_helper():
+    token = Token("op", "+", 1, 1)
+    assert token.is_op("+", "-")
+    assert not token.is_op("*")
+
+
+def test_token_is_keyword_helper():
+    token = Token("keyword", "kernel", 1, 1)
+    assert token.is_keyword("kernel")
+    assert not token.is_keyword("void")
+
+
+def test_full_kernel_tokenizes():
+    source = "kernel void f(global float* a) { a[get_global_id(0)] = 1.0f; }"
+    token_kinds = {t.kind for t in tokenize(source)}
+    assert token_kinds == {"keyword", "ident", "op", "int", "float", "eof"}

@@ -1,0 +1,95 @@
+"""Unit tests for the evaluation metrics (paper §7.4)."""
+
+import pytest
+
+from repro.metrics import (antt, execution_overlap, fairness_improvement,
+                           individual_slowdowns, stp, system_unfairness,
+                           throughput_speedup, worst_antt)
+
+
+def test_individual_slowdowns():
+    assert individual_slowdowns([2.0, 6.0], [1.0, 2.0]) == [2.0, 3.0]
+
+
+def test_individual_slowdowns_validates_lengths():
+    with pytest.raises(ValueError):
+        individual_slowdowns([1.0], [1.0, 2.0])
+
+
+def test_individual_slowdowns_rejects_zero_iso():
+    with pytest.raises(ValueError):
+        individual_slowdowns([1.0], [0.0])
+
+
+def test_unfairness_perfectly_fair():
+    assert system_unfairness([2.0, 2.0, 2.0]) == 1.0
+
+
+def test_unfairness_ratio():
+    assert system_unfairness([1.0, 4.0]) == 4.0
+
+
+def test_unfairness_order_independent():
+    assert system_unfairness([3.0, 1.5, 6.0]) == \
+        system_unfairness([6.0, 3.0, 1.5])
+
+
+def test_unfairness_validates():
+    with pytest.raises(ValueError):
+        system_unfairness([])
+    with pytest.raises(ValueError):
+        system_unfairness([0.0, 1.0])
+
+
+def test_fairness_improvement():
+    assert fairness_improvement(8.0, 2.0) == 4.0
+    assert fairness_improvement(2.0, 4.0) == 0.5  # negative result < 1
+
+
+def test_throughput_speedup():
+    assert throughput_speedup(2.0, 1.0) == 2.0
+    with pytest.raises(ValueError):
+        throughput_speedup(1.0, 0.0)
+
+
+def test_stp_bounds():
+    # perfect sharing of K non-interfering jobs -> STP = K
+    assert stp([1.0, 1.0, 1.0]) == 3.0
+    # serialised identical jobs: IS = 1, 2, 3... -> STP < K
+    assert stp([1.0, 2.0, 3.0]) == pytest.approx(1.0 + 0.5 + 1 / 3)
+
+
+def test_antt_is_mean_slowdown():
+    assert antt([1.0, 3.0]) == 2.0
+
+
+def test_worst_antt():
+    assert worst_antt([1.5, 7.0, 2.0]) == 7.0
+
+
+def test_overlap_identical_intervals():
+    assert execution_overlap([(0.0, 1.0), (0.0, 1.0)]) == 1.0
+
+
+def test_overlap_half():
+    assert execution_overlap([(0.0, 2.0), (1.0, 3.0)]) == pytest.approx(1 / 3)
+
+
+def test_overlap_disjoint():
+    assert execution_overlap([(0.0, 1.0), (2.0, 3.0)]) == 0.0
+
+
+def test_overlap_requires_all_kernels():
+    # three intervals where only two ever co-execute
+    assert execution_overlap([(0.0, 2.0), (1.0, 3.0), (5.0, 6.0)]) == 0.0
+
+
+def test_overlap_validates():
+    with pytest.raises(ValueError):
+        execution_overlap([])
+    with pytest.raises(ValueError):
+        execution_overlap([(1.0, 0.5)])
+
+
+def test_overlap_zero_length_total():
+    assert execution_overlap([(1.0, 1.0)]) == 0.0

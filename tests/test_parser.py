@@ -1,0 +1,194 @@
+"""Unit tests for the parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.kernelc import ast_nodes as ast
+from repro.kernelc import types as T
+from repro.kernelc.lexer import tokenize
+from repro.kernelc.parser import parse
+
+
+def parse_source(source):
+    return parse(tokenize(source))
+
+
+def parse_function(body, params="global float* a"):
+    program = parse_source("kernel void f({}) {{ {} }}".format(params, body))
+    return program.functions[0]
+
+
+def first_statement(body, params="global float* a"):
+    return parse_function(body, params).body.statements[0]
+
+
+def test_kernel_flag():
+    program = parse_source("kernel void f() {} void g() {}")
+    assert program.functions[0].is_kernel
+    assert not program.functions[1].is_kernel
+
+
+def test_underscore_kernel_keyword():
+    assert parse_source("__kernel void f() {}").functions[0].is_kernel
+
+
+def test_parameter_types():
+    func = parse_source(
+        "void f(global const float* a, local int* b, int n) {}").functions[0]
+    a, b, n = [p.type for p in func.params]
+    assert a == T.PointerType(T.FLOAT, T.GLOBAL) and a.is_const
+    assert b == T.PointerType(T.INT, T.LOCAL)
+    assert n == T.INT
+
+
+def test_unsigned_int_parses():
+    func = parse_source("void f(unsigned int x, unsigned y) {}").functions[0]
+    assert func.params[0].type == T.UINT
+    assert func.params[1].type == T.UINT
+
+
+def test_local_array_declaration():
+    stmt = first_statement("local float tmp[64];")
+    decl = stmt.decls[0]
+    assert decl.type == T.ArrayType(T.FLOAT, 64, T.LOCAL)
+
+
+def test_array_size_must_be_constant():
+    with pytest.raises(ParseError):
+        parse_function("int n = 4; float x[n];")
+
+
+def test_multi_declarator_statement():
+    stmt = first_statement("int a = 1, b = 2, c;")
+    assert [d.name for d in stmt.decls] == ["a", "b", "c"]
+    assert stmt.decls[2].init is None
+
+
+def test_if_else_chain():
+    stmt = first_statement("if (1) a[0] = 1.0f; else if (2) a[0] = 2.0f; else a[0] = 3.0f;")
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.otherwise, ast.If)
+    assert stmt.otherwise.otherwise is not None
+
+
+def test_for_loop_components():
+    stmt = first_statement("for (int i = 0; i < 4; ++i) a[i] = 0.0f;")
+    assert isinstance(stmt, ast.For)
+    assert isinstance(stmt.init, ast.DeclStmt)
+    assert isinstance(stmt.cond, ast.Binary)
+    assert isinstance(stmt.step, ast.Unary)
+
+
+def test_for_loop_all_parts_optional():
+    stmt = first_statement("for (;;) break;")
+    assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+
+def test_while_and_do_while():
+    func = parse_function("while (1) break; do { continue; } while (0);")
+    assert isinstance(func.body.statements[0], ast.While)
+    assert isinstance(func.body.statements[1], ast.DoWhile)
+
+
+def test_precedence_mul_over_add():
+    stmt = first_statement("int x = 1 + 2 * 3;")
+    init = stmt.decls[0].init
+    assert init.op == "+"
+    assert init.rhs.op == "*"
+
+
+def test_precedence_shift_vs_relational():
+    stmt = first_statement("int x = 1 << 2 > 3;")
+    assert stmt.decls[0].init.op == ">"
+
+
+def test_logical_operators_precedence():
+    stmt = first_statement("int x = 1 || 2 && 3;")
+    init = stmt.decls[0].init
+    assert init.op == "||"
+    assert init.rhs.op == "&&"
+
+
+def test_ternary_expression():
+    stmt = first_statement("int x = 1 ? 2 : 3;")
+    assert isinstance(stmt.decls[0].init, ast.Ternary)
+
+
+def test_assignment_right_associative():
+    func = parse_function("int x; int y; x = y = 3;", params="int n")
+    expr = func.body.statements[2].expr
+    assert isinstance(expr, ast.Assign)
+    assert isinstance(expr.value, ast.Assign)
+
+
+def test_compound_assignment_ops():
+    for op in ("+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="):
+        stmt = first_statement("int x = 0; x {} 2;".format(op), params="int n")
+        # second statement in the parsed function
+    func = parse_function("int x = 0; x += 2;", params="int n")
+    assert func.body.statements[1].expr.op == "+="
+
+
+def test_cast_expression():
+    stmt = first_statement("int x = (int)1.5f;")
+    assert isinstance(stmt.decls[0].init, ast.Cast)
+    assert stmt.decls[0].init.target_type == T.INT
+
+
+def test_pointer_cast():
+    stmt = first_statement("a[0] = 0.0f; ", params="global float* a")
+    func = parse_function("global int* p = (global int*)a;")
+    decl = func.body.statements[0].decls[0]
+    assert isinstance(decl.init, ast.Cast)
+    assert decl.init.target_type == T.PointerType(T.INT, T.GLOBAL)
+
+
+def test_parenthesised_expression_not_cast():
+    stmt = first_statement("int y = 1; int x = (y) + 2;", params="int n")
+    func = parse_function("int y = 1; int x = (y) + 2;", params="int n")
+    init = func.body.statements[1].decls[0].init
+    assert init.op == "+"
+
+
+def test_address_of_and_deref():
+    func = parse_function("int v = 0; atomic_add(&a[0], 1); int w = *b;",
+                          params="global int* a, global int* b")
+    call = func.body.statements[1].expr
+    assert isinstance(call.args[0], ast.Unary) and call.args[0].op == "&"
+    deref = func.body.statements[2].decls[0].init
+    assert isinstance(deref, ast.Unary) and deref.op == "*"
+
+
+def test_call_with_no_args():
+    stmt = first_statement("size_t d = get_work_dim();")
+    assert isinstance(stmt.decls[0].init, ast.Call)
+    assert stmt.decls[0].init.args == []
+
+
+def test_nested_index():
+    stmt = first_statement("a[a[0]] = 1.0f;", params="global int* a")
+    target = stmt.expr.target
+    assert isinstance(target, ast.Index)
+    assert isinstance(target.index, ast.Index)
+
+
+def test_postfix_increment():
+    stmt = first_statement("int i = 0; i++;", params="int n")
+    func = parse_function("int i = 0; i++;", params="int n")
+    assert isinstance(func.body.statements[1].expr, ast.PostIncDec)
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(ParseError):
+        parse_function("int x = 1")
+
+
+def test_unterminated_block_rejected():
+    with pytest.raises(ParseError):
+        parse_source("void f() { int x = 1;")
+
+
+def test_error_reports_line():
+    with pytest.raises(ParseError) as excinfo:
+        parse_source("void f() {\n  int x = ;\n}")
+    assert excinfo.value.line == 2

@@ -1,0 +1,82 @@
+"""Unit tests for the preprocessor."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.kernelc.preprocessor import parse_options, preprocess
+
+
+def test_plain_text_passthrough():
+    assert preprocess("int x = 1;") == "int x = 1;"
+
+
+def test_object_macro_substitution():
+    out = preprocess("#define N 16\nint a[N];")
+    assert "int a[16];" in out
+
+
+def test_define_line_becomes_blank_preserving_lines():
+    out = preprocess("#define N 4\nx N x")
+    assert out.split("\n")[0] == ""
+    assert out.split("\n")[1] == "x 4 x"
+
+
+def test_macro_whole_identifier_only():
+    out = preprocess("#define N 4\nint NN = N;")
+    assert "int NN = 4;" in out
+
+
+def test_macro_referencing_earlier_macro():
+    out = preprocess("#define A 2\n#define B (A + 1)\nint x = B;")
+    assert "int x = (2 + 1);" in out
+
+
+def test_predefined_barrier_flags():
+    out = preprocess("barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE);")
+    assert out == "barrier(1 | 2);"
+
+
+def test_options_define_value():
+    out = preprocess("int x = WIDTH;", options="-D WIDTH=128")
+    assert out == "int x = 128;"
+
+
+def test_options_define_flag_defaults_to_one():
+    out = preprocess("int x = FLAG;", options="-DFLAG")
+    assert out == "int x = 1;"
+
+
+def test_options_multiple_defines():
+    macros = parse_options("-D A=1 -D B=2 -DC")
+    assert macros == {"A": "1", "B": "2", "C": "1"}
+
+
+def test_options_bad_name_rejected():
+    with pytest.raises(ParseError):
+        parse_options("-D 9bad=1")
+
+
+def test_function_like_macro_rejected():
+    with pytest.raises(ParseError):
+        preprocess("#define F(x) (x + 1)\n")
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(ParseError):
+        preprocess("#include <foo.h>\n")
+
+
+def test_pragma_ignored():
+    out = preprocess("#pragma OPENCL EXTENSION foo : enable\nint x;")
+    assert "int x;" in out
+
+
+def test_recursive_macro_detected():
+    with pytest.raises(ParseError):
+        preprocess("#define A B\n#define B A2\n#define A2 A\nA\n")
+
+
+def test_comments_stripped_before_macros():
+    out = preprocess("#define N 3\nint x = N; // N in comment\n")
+    assert "int x = 3;" in out
+    assert "comment" not in out

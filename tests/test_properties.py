@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) over the core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.accelos.sharing import KernelRequirements, compute_allocations
+from repro.cl import nvidia_k20m
+from repro.ir import arith
+from repro.ir.passes.constfold import fold_binop
+from repro.ir.values import Constant
+from repro.kernelc import types as T
+from repro.metrics import execution_overlap, stp, system_unfairness
+from repro.sim import ExecutionMode, GPUSimulator, KernelExecSpec
+from repro.sim.resources import max_resident_groups
+
+INT_TYPES = st.sampled_from([T.INT, T.UINT, T.LONG, T.ULONG])
+SMALL_INTS = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+BINOPS = st.sampled_from(["add", "sub", "mul", "and", "or", "xor",
+                          "shl", "shr", "div", "rem"])
+
+
+# -- arithmetic: fold == interpret --------------------------------------------
+
+@given(BINOPS, SMALL_INTS, SMALL_INTS, INT_TYPES)
+def test_constant_folding_matches_interpreter(op, a, b, ty):
+    a = arith.wrap_int(a, ty)
+    b = arith.wrap_int(b, ty)
+    if op in ("div", "rem") and b == 0:
+        return
+    folded = fold_binop(op, Constant(ty, a), Constant(ty, b), ty)
+    assert folded is not None
+    assert folded.value == arith.eval_binop(op, a, b, ty)
+
+
+@given(SMALL_INTS, INT_TYPES)
+def test_wrap_int_idempotent(value, ty):
+    once = arith.wrap_int(value, ty)
+    assert arith.wrap_int(once, ty) == once
+
+
+@given(SMALL_INTS, INT_TYPES)
+def test_wrap_int_in_range(value, ty):
+    wrapped = arith.wrap_int(value, ty)
+    bits, signed = T.SCALAR_INFO[ty.kind]
+    if ty.is_bool():
+        assert wrapped in (True, False)
+    elif signed:
+        assert -(2**(bits - 1)) <= wrapped < 2**(bits - 1)
+    else:
+        assert 0 <= wrapped < 2**bits
+
+
+# -- sharing algorithm invariants ------------------------------------------------
+
+@st.composite
+def requirement_lists(draw):
+    k = draw(st.integers(min_value=1, max_value=8))
+    reqs = []
+    for i in range(k):
+        reqs.append(KernelRequirements(
+            name="k{}".format(i),
+            wg_threads=draw(st.sampled_from([64, 128, 256, 512, 1024])),
+            local_mem_bytes=draw(st.sampled_from([0, 256, 1024, 8192])),
+            registers_per_thread=draw(st.integers(4, 64)),
+            total_groups=draw(st.integers(1, 4096)),
+        ))
+    return reqs
+
+
+@given(requirement_lists())
+@settings(max_examples=60, deadline=None)
+def test_sharing_respects_all_constraints(reqs):
+    device = nvidia_k20m()
+    allocations = compute_allocations(reqs, device)
+    assert sum(a.threads for a in allocations) <= device.max_threads
+    assert sum(a.local_mem for a in allocations) <= device.total_local_mem
+    assert sum(a.registers for a in allocations) <= device.total_registers
+    for allocation in allocations:
+        assert 1 <= allocation.groups <= allocation.requirements.total_groups
+
+
+@given(requirement_lists())
+@settings(max_examples=40, deadline=None)
+def test_saturation_never_shrinks(reqs):
+    device = nvidia_k20m()
+    unsat = compute_allocations(reqs, device, saturate=False)
+    sat = compute_allocations(reqs, device, saturate=True)
+    for a, b in zip(unsat, sat):
+        assert b.groups >= a.groups
+
+
+# -- metrics invariants ------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0),
+                min_size=1, max_size=10))
+def test_unfairness_at_least_one(slowdowns):
+    assert system_unfairness(slowdowns) >= 1.0
+
+
+@given(st.lists(st.floats(min_value=1.0, max_value=100.0),
+                min_size=1, max_size=10))
+def test_stp_bounded_by_k(slowdowns):
+    # with every IS >= 1, system throughput cannot exceed K
+    assert 0.0 < stp(slowdowns) <= len(slowdowns) + 1e-9
+
+
+@given(st.lists(
+    st.tuples(st.floats(0, 100), st.floats(0, 100)).map(
+        lambda p: (min(p), max(p))),
+    min_size=1, max_size=8))
+def test_overlap_in_unit_interval(intervals):
+    assert 0.0 <= execution_overlap(intervals) <= 1.0 + 1e-12
+
+
+# -- simulator invariants -----------------------------------------------------------
+
+@st.composite
+def sim_specs(draw):
+    n = draw(st.integers(min_value=1, max_value=200))
+    wg = draw(st.sampled_from([64, 128, 256]))
+    cost = draw(st.floats(min_value=1e-6, max_value=1e-3))
+    rng = np.random.default_rng(draw(st.integers(0, 1000)))
+    costs = cost * np.clip(1 + 0.4 * rng.standard_normal(n), 0.3, 3.0)
+    return KernelExecSpec("k", wg, costs,
+                          draw(st.floats(0, 4e9)), 16, 0,
+                          sat_occupancy=draw(st.floats(0.2, 1.0)))
+
+
+@given(sim_specs())
+@settings(max_examples=40, deadline=None)
+def test_hardware_makespan_bounds(spec):
+    device = nvidia_k20m()
+    trace = GPUSimulator(device).run([spec])
+    capacity = max_resident_groups(spec, device)
+    # lower bound: perfect parallelism at best-case (saturated) speed
+    lower = spec.total_work / capacity * spec.sat_occupancy * 0.99
+    assert trace.makespan >= min(lower, float(spec.wg_costs.max()) * 0.2)
+    # upper bound: fully serial with maximal stretch is absurdly pessimistic
+    assert trace.makespan <= spec.total_work * 10 + 1.0
+
+
+@given(sim_specs(), st.integers(1, 64), st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_accelos_completes_all_virtual_groups(spec, groups, chunk):
+    device = nvidia_k20m()
+    accel = spec.with_mode(ExecutionMode.ACCELOS,
+                           physical_groups=min(groups, spec.total_groups),
+                           chunk=chunk)
+    sim = GPUSimulator(device)
+    sim.run([accel])
+    assert sim.runs[0].completed == spec.total_groups
+    assert sim.runs[0].resident == 0
+
+
+@given(sim_specs(), st.integers(1, 32))
+@settings(max_examples=30, deadline=None)
+def test_elastic_completes_all_virtual_groups(spec, groups):
+    device = nvidia_k20m()
+    elastic = spec.with_mode(ExecutionMode.ELASTIC,
+                             physical_groups=min(groups, spec.total_groups))
+    sim = GPUSimulator(device)
+    sim.run([elastic])
+    assert sim.runs[0].completed == spec.total_groups
+
+
+# -- interpreter vs numpy on generated expressions ---------------------------------
+
+@given(st.lists(st.integers(-1000, 1000), min_size=8, max_size=8),
+       st.integers(-5, 5))
+@settings(max_examples=25, deadline=None)
+def test_generated_kernel_matches_numpy(values, scale):
+    from repro.interp import KernelLauncher
+    from repro.interp.memory import alloc_buffer
+    from repro.ir import compile_source
+
+    module = compile_source("""
+        kernel void f(global const int* a, global int* out, int s) {
+            int g = (int)get_global_id(0);
+            int v = a[g];
+            out[g] = (v * s + (v >> 1)) ^ (v & 15);
+        }
+    """)
+    host = np.array(values, dtype=np.int32)
+    a = alloc_buffer(T.INT, 8)
+    a.region.fill_from(host)
+    out = alloc_buffer(T.INT, 8)
+    KernelLauncher(module).launch("f", [a, out, scale], (8,), (4,))
+    expect = (host * scale + (host >> 1)) ^ (host & 15)
+    np.testing.assert_array_equal(out.region.to_array(np.int32, 8), expect)

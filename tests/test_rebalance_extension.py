@@ -1,0 +1,71 @@
+"""Tests for the future-work slot-rebalancing extension (paper §2.5/§10).
+
+The paper's accelOS binds every allocation for the kernel's lifetime; the
+conclusion lists "additional techniques for software managed scheduling" as
+future work.  The simulator's ``rebalance`` flag implements the obvious one
+(re-granting freed slots) so its value can be quantified.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cl import nvidia_k20m
+from repro.sim import ExecutionMode, GPUSimulator, KernelExecSpec
+from repro.sim.resources import max_resident_groups
+
+
+def spec(name, n, cost, wg=256, sat=0.5):
+    return KernelExecSpec(name, wg, np.full(n, cost), 0.0, 16, 0,
+                          sat_occupancy=sat)
+
+
+def half_split(long_spec, short_spec, device):
+    cap = max_resident_groups(long_spec, device)
+    return (
+        long_spec.with_mode(ExecutionMode.ACCELOS, physical_groups=cap // 2,
+                            chunk=1),
+        short_spec.with_mode(ExecutionMode.ACCELOS, physical_groups=cap // 2,
+                             chunk=1),
+    )
+
+
+def test_rebalance_speeds_up_the_survivor():
+    device = nvidia_k20m()
+    long_kernel = spec("long", 2048, 100e-6)
+    short_kernel = spec("short", 32, 50e-6)
+    bound = GPUSimulator(device, rebalance=False)
+    t_bound = bound.run(half_split(long_kernel, short_kernel,
+                                   device)).turnarounds[0]
+    rebal = GPUSimulator(device, rebalance=True)
+    t_rebal = rebal.run(half_split(long_kernel, short_kernel,
+                                   device)).turnarounds[0]
+    # once the short kernel retires, the long one absorbs its slots
+    assert t_rebal < t_bound * 0.85
+
+
+def test_rebalance_conserves_work():
+    device = nvidia_k20m()
+    long_kernel = spec("long", 777, 80e-6)
+    short_kernel = spec("short", 16, 40e-6)
+    sim = GPUSimulator(device, rebalance=True)
+    sim.run(half_split(long_kernel, short_kernel, device))
+    for run in sim.runs:
+        assert run.completed == run.total
+        assert run.resident == 0
+
+
+def test_rebalance_no_effect_when_nothing_retires_early():
+    device = nvidia_k20m()
+    a = spec("a", 512, 100e-6)
+    b = spec("b", 512, 100e-6)
+    t_bound = GPUSimulator(device, rebalance=False).run(
+        half_split(a, b, device)).makespan
+    t_rebal = GPUSimulator(device, rebalance=True).run(
+        half_split(a, b, device)).makespan
+    # symmetric kernels finish together: rebalancing changes nothing much
+    assert t_rebal == pytest.approx(t_bound, rel=0.05)
+
+
+def test_rebalance_off_by_default():
+    device = nvidia_k20m()
+    assert GPUSimulator(device).rebalance is False

@@ -1,0 +1,170 @@
+"""Unit tests for the host runtime: monitor FSM, ProxyCL, memory manager."""
+
+import numpy as np
+import pytest
+
+from repro.accelos import AccelOSRuntime
+from repro.accelos.memory_manager import MemoryManager
+from repro.accelos.monitor import (ApplicationMonitor, MonitorState, Request)
+from repro.cl import Context, NDRange, nvidia_k20m
+from repro.errors import CLError
+from repro.kernelc import types as T
+
+SOURCE = """
+kernel void scale(global float* a, float factor)
+{
+    size_t g = get_global_id(0);
+    a[g] = a[g] * factor;
+}
+"""
+
+
+def test_monitor_routes_program_requests():
+    seen = []
+    monitor = ApplicationMonitor(lambda r: seen.append(("jit", r)) or "P",
+                                 lambda r: seen.append(("exec", r)))
+    out = monitor.handle(Request(Request.PROGRAM, "src", "app"))
+    assert out == "P"
+    assert seen[0][0] == "jit"
+
+
+def test_monitor_routes_exec_requests():
+    seen = []
+    monitor = ApplicationMonitor(lambda r: None,
+                                 lambda r: seen.append("exec"))
+    monitor.handle(Request(Request.KERNEL_EXEC, None, "app"))
+    assert seen == ["exec"]
+
+
+def test_monitor_passthrough_for_other_requests():
+    monitor = ApplicationMonitor(lambda r: 1 / 0, lambda r: 1 / 0)
+    assert monitor.handle(Request(Request.OTHER, "x", "app")) is None
+
+
+def test_monitor_fsm_returns_to_idle():
+    monitor = ApplicationMonitor(lambda r: None, lambda r: None)
+    monitor.handle(Request(Request.PROGRAM, "s", "app"))
+    assert monitor.state == MonitorState.IDLE
+    states = [t[2] for t in monitor.transitions]
+    assert MonitorState.JIT in states
+    assert states[-1] == MonitorState.IDLE
+
+
+def test_runtime_transparent_execution():
+    runtime = AccelOSRuntime(nvidia_k20m())
+    app = runtime.session("app0")
+    program = app.create_program(SOURCE).build()
+    kernel = program.create_kernel("scale")
+    buf = app.create_buffer(T.FLOAT, 64)
+    queue = app.create_queue()
+    queue.enqueue_write_buffer(buf, np.ones(64, dtype=np.float32))
+    kernel.set_args(buf, 3.0)
+    queue.enqueue_nd_range(kernel, NDRange((64,), (16,)))
+    plans = runtime.drain()
+    assert len(plans) == 1
+    assert plans[0].kernel.name == "scale"
+    assert (queue.enqueue_read_buffer(buf) == 3.0).all()
+
+
+def test_runtime_batches_concurrent_requests():
+    runtime = AccelOSRuntime(nvidia_k20m())
+    kernels = []
+    for i in range(3):
+        app = runtime.session("app{}".format(i))
+        program = app.create_program(SOURCE).build()
+        kernel = program.create_kernel("scale")
+        buf = app.create_buffer(T.FLOAT, 4096)
+        queue = app.create_queue()
+        queue.enqueue_write_buffer(buf, np.ones(4096, dtype=np.float32))
+        kernel.set_args(buf, float(i + 2))
+        queue.enqueue_nd_range(kernel, NDRange((4096,), (256,)))
+        kernels.append((kernel, buf, queue, i))
+    plans = runtime.drain()
+    assert len(plans) == 3
+    # the sharing algorithm reduced each kernel's physical footprint
+    for plan in plans:
+        assert plan.physical_groups <= plan.nd_range.num_groups
+    total_threads = sum(
+        p.physical_groups * p.requirements.wg_threads for p in plans)
+    assert total_threads <= runtime.context.device.max_threads
+    for kernel, buf, queue, i in kernels:
+        assert (queue.enqueue_read_buffer(buf) == float(i + 2)).all()
+
+
+def test_runtime_equal_shares_for_equal_kernels():
+    runtime = AccelOSRuntime(nvidia_k20m())
+    plans = []
+    for i in range(2):
+        app = runtime.session("app{}".format(i))
+        program = app.create_program(SOURCE).build()
+        kernel = program.create_kernel("scale")
+        buf = app.create_buffer(T.FLOAT, 8192)
+        queue = app.create_queue()
+        kernel.set_args(buf, 1.0)
+        queue.enqueue_nd_range(kernel, NDRange((8192,), (256,)))
+    plans = runtime.drain()
+    assert plans[0].physical_groups == plans[1].physical_groups
+
+
+def test_launch_history_accumulates():
+    runtime = AccelOSRuntime(nvidia_k20m())
+    app = runtime.session("a")
+    program = app.create_program(SOURCE).build()
+    kernel = program.create_kernel("scale")
+    buf = app.create_buffer(T.FLOAT, 64)
+    queue = app.create_queue()
+    kernel.set_args(buf, 1.0)
+    queue.enqueue_nd_range(kernel, NDRange((64,), (16,)))
+    queue.finish()
+    queue.enqueue_nd_range(kernel, NDRange((64,), (16,)))
+    queue.finish()
+    assert len(runtime.launch_history) == 2
+
+
+def test_memory_manager_pauses_on_pressure():
+    device = nvidia_k20m()
+    context = Context(device)
+    manager = MemoryManager(context)
+    cap = device.global_mem_bytes
+    big = manager.allocate("app0", T.FLOAT, cap // 4 - 1024, "big")
+    assert big is not None
+    # second application cannot fit: it gets paused
+    too_big = manager.allocate("app1", T.FLOAT, cap // 4 - 1024, "big2")
+    assert too_big is None
+    assert manager.is_paused("app1")
+    # releasing app0's buffer resumes app1's allocation
+    manager.release("app0", big)
+    assert not manager.is_paused("app1")
+    granted = manager.claim("app1")
+    assert len(granted) == 1
+
+
+def test_memory_manager_usage_accounting():
+    context = Context(nvidia_k20m())
+    manager = MemoryManager(context)
+    manager.allocate("a", T.FLOAT, 256)
+    manager.allocate("a", T.INT, 128)
+    assert manager.app_usage("a") == 256 * 4 + 128 * 4
+    manager.release_all("a")
+    assert manager.app_usage("a") == 0
+
+
+def test_proxycl_raises_when_paused():
+    device = nvidia_k20m()
+    runtime = AccelOSRuntime(device)
+    app0 = runtime.session("app0")
+    app0.create_buffer(T.FLOAT, device.global_mem_bytes // 4 - 1024)
+    app1 = runtime.session("app1")
+    with pytest.raises(CLError, match="paused"):
+        app1.create_buffer(T.FLOAT, device.global_mem_bytes // 4 - 1024)
+
+
+def test_scheduler_rejects_untransformed_kernel():
+    from repro.accelos.scheduler import KernelScheduler
+    from repro.errors import SchedulingError
+    context = Context(nvidia_k20m())
+    program = context.create_program(SOURCE).build()  # no accelOS hook
+    kernel = program.create_kernel("scale")
+    scheduler = KernelScheduler(context)
+    with pytest.raises(SchedulingError, match="not transformed"):
+        scheduler.requirements_for(kernel, NDRange((64,), (16,)))

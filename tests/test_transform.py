@@ -1,0 +1,200 @@
+"""Unit tests for the accelOS JIT transformation (paper §6)."""
+
+import pytest
+
+from repro.accelos import rtlib
+from repro.accelos.adaptive import SchedulingPolicy
+from repro.accelos.transform import AccelOSTransform
+from repro.ir import compile_source, verify_module
+from repro.ir import instructions as I
+from repro.kernelc import types as T
+from tests.conftest import assert_transform_equivalent
+
+SIMPLE = """
+kernel void k(global float* a, global float* out)
+{
+    size_t g = get_global_id(0);
+    out[g] = a[g] + 1.0f;
+}
+"""
+
+
+def transform(source, **kwargs):
+    module = compile_source(source)
+    return AccelOSTransform(**kwargs).run(module)
+
+
+def test_kernel_replaced_under_original_name():
+    out, infos = transform(SIMPLE, inline=False)
+    assert "k" in out
+    assert out.get("k").is_kernel
+    assert "k__impl" in out
+    assert not out.get("k__impl").is_kernel
+    assert infos["k"].impl_name == "k__impl"
+
+
+def test_scheduling_kernel_has_trailing_rt_arg():
+    out, _ = transform(SIMPLE, inline=False)
+    sched = out.get("k")
+    assert sched.arguments[-1].type == T.PointerType(T.LONG, T.GLOBAL)
+    assert sched.metadata["hidden_params"] == 1
+    assert sched.metadata["accelos"]["original_params"] == 2
+
+
+def test_rtlib_statically_linked():
+    out, _ = transform(SIMPLE, inline=False)
+    for name in rtlib.RTLIB_FUNCTIONS:
+        assert name in out
+
+
+def test_impl_builtins_replaced():
+    out, _ = transform(SIMPLE, inline=False)
+    impl = out.get("k__impl")
+    intrinsics = {i.callee for i in impl.instructions()
+                  if isinstance(i, I.Call) and i.is_intrinsic()}
+    assert "get_global_id" not in intrinsics
+    direct = {i.callee.name for i in impl.instructions()
+              if isinstance(i, I.Call) and not i.is_intrinsic()}
+    assert "rt_global_id" in direct
+
+
+def test_local_id_stays_hardware():
+    out, _ = transform("""
+        kernel void k(global float* a) {
+            a[get_local_id(0)] = (float)get_local_size(0);
+        }
+    """, inline=False)
+    impl = out.get("k__impl")
+    intrinsics = {i.callee for i in impl.instructions()
+                  if isinstance(i, I.Call) and i.is_intrinsic()}
+    assert "get_local_id" in intrinsics
+    assert "get_local_size" in intrinsics
+
+
+def test_helper_functions_get_context_params():
+    out, _ = transform("""
+        float h(global float* a) { return a[get_global_id(0)]; }
+        kernel void k(global float* a, global float* out) {
+            out[get_global_id(0)] = h(a);
+        }
+    """, inline=False)
+    assert "h__rt" in out
+    extended = out.get("h__rt")
+    assert [a.name for a in extended.arguments[-3:]] == \
+        ["__rt", "__sd", "__hdlr"]
+    assert "h" not in out  # original unreachable version dropped
+
+
+def test_helper_without_builtins_untouched():
+    out, _ = transform("""
+        float pure(float x) { return x * 2.0f; }
+        kernel void k(global float* a) {
+            a[get_global_id(0)] = pure(a[0]);
+        }
+    """, inline=False)
+    assert "pure" in out
+    assert "pure__rt" not in out
+
+
+def test_local_data_hoisted_to_scheduling_kernel():
+    out, _ = transform("""
+        kernel void k(global float* a) {
+            local float tile[32];
+            tile[get_local_id(0)] = a[get_global_id(0)];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            a[get_global_id(0)] = tile[0];
+        }
+    """, inline=False)
+    impl = out.get("k__impl")
+    # no local allocas remain in the computation function
+    assert not any(isinstance(i, I.Alloca) and i.address_space == T.LOCAL
+                   for i in impl.instructions())
+    # the scheduling kernel owns them (sd block + 1 hoisted tile)
+    sched = out.get("k")
+    local_allocas = [i for i in sched.instructions()
+                     if isinstance(i, I.Alloca) and i.address_space == T.LOCAL]
+    assert len(local_allocas) == 2
+
+
+def test_transformed_module_verifies():
+    for inline in (False, True):
+        out, _ = transform(SIMPLE, inline=inline)
+        verify_module(out)
+
+
+def test_inline_mode_leaves_single_kernel_body():
+    out, _ = transform(SIMPLE, inline=True)
+    sched = out.get("k")
+    direct = [i for i in sched.instructions()
+              if isinstance(i, I.Call) and not i.is_intrinsic()]
+    assert direct == []
+
+
+def test_chunk_recorded_from_instruction_count():
+    _, infos = transform(SIMPLE, inline=False)
+    info = infos["k"]
+    assert info.chunk >= 1
+    assert info.instruction_count > 0
+
+
+def test_naive_policy_forces_chunk_one():
+    _, infos = transform(SIMPLE, policy=SchedulingPolicy.NAIVE, inline=False)
+    assert infos["k"].chunk == 1
+
+
+def test_original_module_not_mutated():
+    module = compile_source(SIMPLE)
+    before = module.get("k").instruction_count()
+    AccelOSTransform().run(module)
+    assert module.get("k").instruction_count() == before
+    assert "k__impl" not in module
+
+
+def test_equivalence_simple(k20m):
+    import numpy as np
+    module = compile_source(SIMPLE)
+    a = np.random.default_rng(0).random(256).astype(np.float32)
+    out = np.zeros(256, dtype=np.float32)
+    assert_transform_equivalent(
+        module, "k", [("in", a), ("out", out)], (256,), (64,),
+        physical_groups=2)
+
+
+@pytest.mark.parametrize("physical_groups", [1, 2, 3, 5])
+def test_equivalence_any_physical_group_count(physical_groups):
+    import numpy as np
+    module = compile_source(SIMPLE)
+    a = np.random.default_rng(1).random(512).astype(np.float32)
+    out = np.zeros(512, dtype=np.float32)
+    assert_transform_equivalent(
+        module, "k", [("in", a), ("out", out)], (512,), (64,),
+        physical_groups=physical_groups)
+
+
+@pytest.mark.parametrize("chunk", [1, 2, 3, 8])
+def test_equivalence_any_chunk(chunk):
+    import numpy as np
+    module = compile_source(SIMPLE)
+    a = np.random.default_rng(2).random(512).astype(np.float32)
+    out = np.zeros(512, dtype=np.float32)
+    assert_transform_equivalent(
+        module, "k", [("in", a), ("out", out)], (512,), (64,),
+        physical_groups=3, chunk=chunk)
+
+
+def test_equivalence_2d_range():
+    import numpy as np
+    module = compile_source("""
+        kernel void t2d(global float* a, global float* out) {
+            size_t x = get_global_id(0);
+            size_t y = get_global_id(1);
+            size_t w = get_global_size(0);
+            out[y * w + x] = a[y * w + x]
+                + (float)(get_group_id(0) * 10 + get_group_id(1));
+        }
+    """)
+    a = np.random.default_rng(3).random(32 * 16).astype(np.float32)
+    out = np.zeros(32 * 16, dtype=np.float32)
+    assert_transform_equivalent(
+        module, "t2d", [("in", a), ("out", out)], (32, 16), (8, 8),
+        physical_groups=3)

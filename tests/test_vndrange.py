@@ -1,0 +1,37 @@
+"""Unit tests for Virtual NDRanges."""
+
+import numpy as np
+
+from repro.accelos import rtlib
+from repro.accelos.vndrange import VirtualNDRange
+from repro.cl import Context, NDRange, nvidia_k20m
+
+
+def test_descriptor_layout():
+    nd = NDRange((256, 64), (16, 8))
+    v = VirtualNDRange(nd, chunk=4)
+    words = v.descriptor()
+    assert words[rtlib.RT_COUNTER] == 0
+    assert words[rtlib.RT_TOTAL] == 16 * 8
+    assert words[rtlib.RT_CHUNK] == 4
+    assert words[rtlib.RT_WORK_DIM] == 2
+    assert list(words[rtlib.RT_GROUPS0:rtlib.RT_GROUPS0 + 3]) == [16, 8, 1]
+
+
+def test_scheduling_operations_is_ceil():
+    nd = NDRange((100 * 32,), (32,))
+    assert VirtualNDRange(nd, chunk=8).scheduling_operations() == 13
+    assert VirtualNDRange(nd, chunk=1).scheduling_operations() == 100
+
+
+def test_upload_and_release_track_device_memory():
+    ctx = Context(nvidia_k20m())
+    before = ctx.allocator.free_bytes
+    v = VirtualNDRange(NDRange((64,), (32,)), chunk=2)
+    buf = v.upload(ctx)
+    assert ctx.allocator.free_bytes == before - rtlib.RT_WORDS * 8
+    got = buf.read(np.int64)
+    assert got[rtlib.RT_TOTAL] == 2
+    v.release()
+    assert ctx.allocator.free_bytes == before
+    v.release()  # idempotent

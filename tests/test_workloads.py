@@ -1,0 +1,106 @@
+"""Unit tests for the workload corpus and generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (PROFILE_NAMES, all_profiles, alphabetic_pairs,
+                             pairwise_workloads, profile_by_name,
+                             random_workloads)
+from repro.workloads.datasets import BUILDERS, build_instance
+from repro.workloads.parboil import compiled_module, kernel_resource_usage
+
+
+def test_exactly_25_kernels():
+    assert len(PROFILE_NAMES) == 25
+    assert len(all_profiles()) == 25
+
+
+def test_profiles_sorted_alphabetically():
+    assert list(PROFILE_NAMES) == sorted(PROFILE_NAMES)
+
+
+def test_every_profile_compiles_and_analyzes():
+    for profile in all_profiles():
+        module = compiled_module(profile.benchmark)
+        assert profile.kernel in module
+        usage = kernel_resource_usage(profile)
+        assert usage.registers >= 4
+        assert usage.local_memory_bytes >= 0
+
+
+def test_wg_costs_deterministic_and_positive():
+    profile = profile_by_name("spmv")
+    a = profile.wg_costs()
+    b = profile.wg_costs()
+    np.testing.assert_array_equal(a, b)
+    assert (a > 0).all()
+    assert a.size == profile.n_wgs
+
+
+def test_wg_costs_clipped_imbalance():
+    profile = profile_by_name("sad_calc_8")  # cv = 0.7
+    costs = profile.wg_costs()
+    mean = profile.wg_cost_us * 1e-6
+    assert costs.max() <= mean * 3.0 + 1e-12
+    assert costs.min() >= mean * 0.3 - 1e-12
+
+
+def test_exec_spec_uses_compiled_resources():
+    profile = profile_by_name("sgemm")
+    spec = profile.exec_spec()
+    usage = kernel_resource_usage(profile)
+    assert spec.registers_per_thread == usage.registers
+    assert spec.local_mem_per_wg == usage.local_memory_bytes
+    assert spec.wg_threads == 128
+
+
+def test_pairwise_workloads_complete():
+    pairs = pairwise_workloads()
+    assert len(pairs) == 625
+    assert ("bfs", "bfs") in pairs
+    assert ("tpacf", "bfs") in pairs
+
+
+def test_random_workloads_sizes_and_determinism():
+    a = random_workloads(4, 10)
+    b = random_workloads(4, 10)
+    assert a == b
+    assert all(len(w) == 4 for w in a)
+    # no duplicate kernels within a workload when the pool allows it
+    assert all(len(set(w)) == 4 for w in a)
+
+
+def test_random_workloads_different_seeds_differ():
+    assert random_workloads(4, 10, seed=1) != random_workloads(4, 10, seed=2)
+
+
+def test_alphabetic_pairs_shape():
+    pairs = alphabetic_pairs()
+    assert len(pairs) == 13
+    assert pairs[0] == ("bfs", "cutcp")
+    # the wrap pair pairs the last kernel with the first
+    assert pairs[-1] == (PROFILE_NAMES[-1], PROFILE_NAMES[0])
+
+
+def test_every_profile_has_a_dataset():
+    assert set(BUILDERS) == set(PROFILE_NAMES)
+
+
+@pytest.mark.parametrize("name", PROFILE_NAMES)
+def test_dataset_launch_geometry_valid(name):
+    instance = build_instance(name)
+    for g, l in zip(instance.global_size + (1,) * 3,
+                    instance.local_size + (1,) * 3):
+        assert g % l == 0
+    module = compiled_module(instance.benchmark)
+    kernel = module.get(instance.kernel)
+    assert len(instance.args) == len(kernel.arguments)
+
+
+def test_fresh_args_are_copies():
+    instance = build_instance("bfs")
+    first = instance.fresh_args()
+    second = instance.fresh_args()
+    for (k1, v1), (k2, v2) in zip(first, second):
+        if k1 != "scalar":
+            assert v1 is not v2
