@@ -1,0 +1,72 @@
+"""Open-system evaluation: streaming arrivals versus offered load.
+
+Beyond the paper's closed batches (§7.2 submits every kernel at t=0), this
+bench drives the three schemes with a seeded Poisson arrival stream over
+the Parboil corpus and reports per-request unfairness, STP, ANTT and mean
+queueing delay as offered load grows.  The paper's qualitative claims
+should extend to the streaming regime: the standard stack serialises
+(later arrivals starve), Elastic Kernels' static merging degrades further
+(arrivals cannot join a running merged launch), and accelOS's continuous
+re-allocation keeps slowdowns even.
+"""
+
+import pytest
+
+from benchmarks.conftest import DEVICES
+from repro.harness import (OpenSystemExperiment, arrival_rate_for_load,
+                           format_table)
+from repro.workloads import poisson_arrivals
+
+STREAM_LENGTH = 32   # requests per stream (acceptance floor)
+SEED = 2016
+LOADS = (0.5, 1.0, 2.0)  # offered load rho = lambda * E[S_isolated]
+SCHEME_ORDER = ("baseline", "ek", "accelos")
+
+
+def stream(device, load):
+    """The seeded Poisson stream for one (device, load) point."""
+    rate = arrival_rate_for_load(load, device)
+    return poisson_arrivals(rate, STREAM_LENGTH, seed=SEED)
+
+
+@pytest.mark.parametrize("device_name", list(DEVICES))
+def test_open_system_streaming(benchmark, emit, device_name):
+    device = DEVICES[device_name]()
+    experiment = OpenSystemExperiment(device)
+
+    results_by_load = {}
+    rows = []
+    for load in LOADS:
+        results = experiment.run_all(stream(device, load))
+        results_by_load[load] = results
+        for scheme in SCHEME_ORDER:
+            r = results[scheme]
+            rows.append([load, scheme, r.unfairness, r.stp, r.antt,
+                         r.mean_queueing_delay * 1e3])
+    emit(format_table(
+        ["load", "scheme", "unfairness", "STP", "ANTT", "queue delay (ms)"],
+        rows,
+        title="Open system ({}) — {} Poisson requests per stream, seed {}"
+        .format(device_name, STREAM_LENGTH, SEED)))
+
+    benchmark(experiment.run, stream(device, 1.0), "accelos")
+
+    for load, results in results_by_load.items():
+        # accelOS's continuous re-allocation keeps per-request slowdowns
+        # even; FIFO queueing starves late arrivals on the standard stack.
+        assert (results["accelos"].unfairness
+                < results["baseline"].unfairness), load
+        # static merging cannot adapt to arrivals: EK never beats accelOS
+        assert results["accelos"].antt < results["ek"].antt, load
+
+    # the whole campaign is a pure function of the seed: a re-run with the
+    # same stream is bit-identical
+    rerun = experiment.run_all(stream(device, 1.0))
+    for scheme, result in results_by_load[1.0].items():
+        again = rerun[scheme]
+        assert again.unfairness == result.unfairness
+        assert again.stp == result.stp
+        assert again.antt == result.antt
+        assert again.mean_queueing_delay == result.mean_queueing_delay
+        assert ([r.finish for r in again.records]
+                == [r.finish for r in result.records])

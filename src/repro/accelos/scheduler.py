@@ -90,11 +90,16 @@ class KernelScheduler:
                                           saturate=self.saturate,
                                           share_ratio=share_ratio)
         plans = []
-        for (kernel, nd_range), allocation in zip(requests, allocations):
-            plans.append(self._make_plan(kernel, nd_range, allocation.groups))
+        for (kernel, nd_range), requirement, allocation in zip(
+                requests, requirements, allocations):
+            plans.append(self._make_plan(kernel, nd_range, allocation.groups,
+                                         requirement))
         return plans
 
-    def _make_plan(self, kernel, nd_range, physical_groups):
+    def _make_plan(self, kernel, nd_range, physical_groups, requirements):
+        # ``requirements`` is the KernelRequirements already computed by
+        # plan_batch — re-deriving it here would run a second
+        # ResourceAnalysis IR pass per request.
         from repro.accelos.adaptive import effective_chunk
         meta = kernel.function.metadata["accelos"]
         chunk = effective_chunk(meta["chunk"], nd_range.num_groups,
@@ -111,7 +116,7 @@ class KernelScheduler:
             physical_groups=physical_groups,
             physical_range=physical_range,
             vndrange=vndrange,
-            requirements=self.requirements_for(kernel, nd_range),
+            requirements=requirements,
             chunk=chunk,
             instruction_count=meta["instruction_count"],
         )
@@ -119,9 +124,12 @@ class KernelScheduler:
     # -- execution (functional plane) ---------------------------------------
 
     def execute_plan(self, plan, queue):
-        """Run the plan's kernel functionally and release its vndrange."""
+        """Run the plan's kernel functionally; the vndrange buffer is
+        released only once the launch's event completes — the device reads
+        the descriptor for the kernel's whole lifetime, so freeing it at
+        enqueue time would be a use-after-free on any asynchronous queue."""
         rt_index = plan.kernel.function.metadata["accelos"]["original_params"]
         plan.kernel.set_arg(rt_index, plan.vndrange.buffer)
         event = queue.enqueue_nd_range(plan.kernel, plan.physical_range)
-        plan.vndrange.release()
+        event.on_complete(plan.vndrange.release)
         return event

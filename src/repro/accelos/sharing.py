@@ -143,17 +143,23 @@ def compute_allocations(requirements, device, saturate=True, share_ratio=None):
             raise SchedulingError("allocation shrink loop did not converge")
 
     if saturate:
-        _greedy_saturation(allocations, device)
+        _greedy_saturation(allocations, device, weights)
     return allocations
 
 
-def _greedy_saturation(allocations, device):
+def _greedy_saturation(allocations, device, weights=None):
     """Hand out remaining resources one work group at a time.
 
-    Each round picks the kernel with the smallest current thread footprint
-    that can still grow (has ungranted original groups and fits), keeping the
-    shares as equal as the integer granularity allows.
+    Each round picks the kernel with the smallest current *weight-normalised*
+    thread share (``threads / weight``) that can still grow (has ungranted
+    original groups and fits), keeping the shares as close to the requested
+    ratio as the integer granularity allows.  Growing by raw thread footprint
+    would erode any §2.2 ``share_ratio`` weighting the base allocation just
+    established.
     """
+    if weights is None:
+        weights = [1.0] * len(allocations)
+    weight_of = {id(a): w for a, w in zip(allocations, weights)}
     while True:
         growable = [
             a for a in allocations
@@ -162,7 +168,9 @@ def _greedy_saturation(allocations, device):
         ]
         if not growable:
             return
-        smallest = min(growable, key=lambda a: (a.threads, a.requirements.name))
+        smallest = min(growable,
+                       key=lambda a: (a.threads / weight_of[id(a)],
+                                      a.requirements.name))
         smallest.groups += 1
 
 

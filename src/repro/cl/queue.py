@@ -9,13 +9,35 @@ from repro.interp import KernelLauncher
 class Event:
     """Completion record for an enqueued command."""
 
-    def __init__(self, kind, detail=None):
+    def __init__(self, kind, detail=None, complete=True):
         self.kind = kind
         self.detail = detail
-        self.complete = True  # the functional queue is synchronous
+        # the functional queue is synchronous, so events are born complete;
+        # asynchronous queues construct with complete=False and call
+        # mark_complete() when the command retires.
+        self.complete = complete
+        self._callbacks = []
+
+    def on_complete(self, callback):
+        """Run ``callback`` when the command completes (immediately if it
+        already has) — the hook resource owners use to tie buffer lifetimes
+        to command completion."""
+        if self.complete:
+            callback()
+        else:
+            self._callbacks.append(callback)
+
+    def mark_complete(self):
+        if self.complete:
+            return
+        self.complete = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback()
 
     def __repr__(self):
-        return "<Event {} complete>".format(self.kind)
+        return "<Event {} {}>".format(
+            self.kind, "complete" if self.complete else "pending")
 
 
 class CommandQueue:

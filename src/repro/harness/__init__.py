@@ -5,8 +5,13 @@ from repro.harness.experiment import (
     SCHEMES, WorkloadResult, isolated_time, run_single_kernel, run_workload)
 from repro.harness.sweep import SweepSummary, run_sweep, summarize
 from repro.harness.report import format_table
+from repro.harness.open_system import (
+    OpenSystemExperiment, OpenSystemResult, RequestRecord,
+    arrival_rate_for_load, sharing_allocator)
 
 __all__ = [
     "SCHEMES", "WorkloadResult", "isolated_time", "run_single_kernel",
     "run_workload", "SweepSummary", "run_sweep", "summarize", "format_table",
+    "OpenSystemExperiment", "OpenSystemResult", "RequestRecord",
+    "arrival_rate_for_load", "sharing_allocator",
 ]

@@ -1,0 +1,241 @@
+"""Open-system experiments: continuous arrivals under the three schemes.
+
+The closed-batch harness (:mod:`repro.harness.experiment`) submits every
+kernel at t=0 and measures one drain; a real accelOS deployment instead
+serves a *stream* of requests.  This module evaluates that steady-state
+regime with the paper's STP/ANTT methodology (Eyerman & Eeckhout [10])
+extended with per-request queueing delay:
+
+* ``baseline`` — the standard stack: requests join the firmware scheduler's
+  queue at arrival and dispatch in arrival order (FIFO drain-overlap or
+  exclusive, per device).
+* ``ek``       — Elastic Kernels: a merged launch is static, so newly
+  arrived requests must wait for the current launch to drain before being
+  merged; arrivals serialise into successive merged launches.
+* ``accelos``  — the §3 sharing algorithm re-runs over the active request
+  set on every arrival and completion; allocations grow and shrink at
+  chunk boundaries (the re-allocation path generalising ``rebalance``).
+
+Per-request metrics measure turnaround from *arrival* (queueing included),
+normalised by the kernel's isolated execution time — the open-system
+analogue of the paper's individual slowdown.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.accelos.adaptive import SchedulingPolicy, effective_chunk
+from repro.accelos.sharing import KernelRequirements, compute_allocations
+from repro.baselines.elastic_kernels import ElasticKernelsScheduler
+from repro.errors import SimulationError
+from repro.harness.experiment import (SCHEMES, _base_spec, chunk_for_profile,
+                                      isolated_time)
+from repro.metrics import antt, individual_slowdowns, stp, system_unfairness
+from repro.sim import ExecutionMode, GPUSimulator
+from repro.workloads.parboil import PROFILE_NAMES, profile_by_name
+
+
+def requirements_from_spec(spec):
+    """The §3 inputs of one simulator spec (resource demands per WG)."""
+    return KernelRequirements(
+        name=spec.name, wg_threads=spec.wg_threads,
+        local_mem_bytes=spec.local_mem_per_wg,
+        registers_per_thread=spec.registers_per_thread,
+        total_groups=spec.total_groups)
+
+
+def sharing_allocator(device, saturate=True):
+    """An allocator callback for :meth:`GPUSimulator.run_open`.
+
+    Wraps the §3 sharing algorithm: given the specs of the currently-active
+    kernels, returns their physical-group targets.
+    """
+    def allocate(specs):
+        requirements = [requirements_from_spec(s) for s in specs]
+        allocations = compute_allocations(requirements, device,
+                                          saturate=saturate)
+        return [a.groups for a in allocations]
+    return allocate
+
+
+def arrival_rate_for_load(load, device, names=None):
+    """The Poisson rate (requests/s) producing offered load ``load``.
+
+    Offered load is ``rho = lambda * E[S]`` with ``E[S]`` the mean isolated
+    service time of the kernel mix; ``rho = 1`` saturates a server that
+    runs requests back to back with no sharing.
+    """
+    if load <= 0:
+        raise SimulationError("offered load must be positive")
+    pool = list(names) if names is not None else list(PROFILE_NAMES)
+    mean_service = float(np.mean([isolated_time(n, device) for n in pool]))
+    return load / mean_service
+
+
+class RequestRecord:
+    """Timing of one request through the open system."""
+
+    __slots__ = ("name", "arrival", "start", "finish", "isolated")
+
+    def __init__(self, name, arrival, start, finish, isolated):
+        self.name = name
+        self.arrival = arrival
+        self.start = start
+        self.finish = finish
+        self.isolated = isolated
+
+    @property
+    def turnaround(self):
+        """Arrival-to-completion time (queueing + service)."""
+        return self.finish - self.arrival
+
+    @property
+    def queueing_delay(self):
+        """Arrival-to-first-dispatch time."""
+        return self.start - self.arrival
+
+    @property
+    def slowdown(self):
+        """Turnaround normalised by isolated execution time (IS_i)."""
+        return self.turnaround / self.isolated
+
+    def __repr__(self):
+        return "<RequestRecord {} arr={:.4f} turn={:.4f}>".format(
+            self.name, self.arrival, self.turnaround)
+
+
+class OpenSystemResult:
+    """Stream-level metrics of one scheme over one arrival stream."""
+
+    def __init__(self, scheme, device_name, records):
+        if not records:
+            raise SimulationError("no request records")
+        self.scheme = scheme
+        self.device_name = device_name
+        self.records = records
+        turnarounds = [r.turnaround for r in records]
+        isolated = [r.isolated for r in records]
+        self.slowdowns = individual_slowdowns(turnarounds, isolated)
+        self.unfairness = system_unfairness(self.slowdowns)
+        self.antt = antt(self.slowdowns)
+        self.stp = stp(self.slowdowns)
+        self.mean_turnaround = float(np.mean(turnarounds))
+        self.mean_queueing_delay = float(
+            np.mean([r.queueing_delay for r in records]))
+        self.makespan = max(r.finish for r in records)
+
+    @property
+    def request_throughput(self):
+        """Completed requests per second of simulated time."""
+        return len(self.records) / self.makespan
+
+    def __repr__(self):
+        return ("<OpenSystemResult {} {} reqs: U={:.2f} ANTT={:.2f}>"
+                .format(self.scheme, len(self.records), self.unfairness,
+                        self.antt))
+
+
+class OpenSystemExperiment:
+    """Runs one arrival stream under the paper's three schemes."""
+
+    def __init__(self, device, policy=SchedulingPolicy.ADAPTIVE,
+                 saturate=True):
+        self.device = device
+        self.policy = policy
+        self.saturate = saturate
+
+    # -- public ------------------------------------------------------------
+
+    def run(self, arrivals, scheme):
+        """Simulate ``arrivals`` (a list of :class:`ArrivalRequest`) under
+        ``scheme``; returns an :class:`OpenSystemResult` with records in
+        submission order."""
+        if not arrivals:
+            raise SimulationError("empty arrival stream")
+        if scheme == "baseline":
+            records = self._hardware_records(arrivals)
+        elif scheme == "accelos":
+            records = self._accelos_records(arrivals)
+        elif scheme == "ek":
+            records = self._elastic_records(arrivals)
+        else:
+            raise SimulationError("unknown scheme {!r}".format(scheme))
+        return OpenSystemResult(scheme, self.device.name, records)
+
+    def run_all(self, arrivals, schemes=SCHEMES):
+        """All schemes over one stream: ``{scheme: OpenSystemResult}``."""
+        return {scheme: self.run(arrivals, scheme) for scheme in schemes}
+
+    # -- scheme implementations --------------------------------------------
+
+    def _records_from_trace(self, arrivals, trace):
+        return [
+            RequestRecord(a.name, a.time, iv.start, iv.finish,
+                          isolated_time(a.name, self.device))
+            for a, iv in zip(arrivals, trace.intervals)
+        ]
+
+    def _hardware_records(self, arrivals):
+        specs = [_base_spec(a.name).with_arrival(a.time) for a in arrivals]
+        trace = GPUSimulator(self.device).run_open(specs)
+        return self._records_from_trace(arrivals, trace)
+
+    def _accelos_records(self, arrivals):
+        specs = [self._accelos_spec(a) for a in arrivals]
+        allocator = sharing_allocator(self.device, saturate=self.saturate)
+        trace = GPUSimulator(self.device).run_open(specs,
+                                                   allocator=allocator)
+        return self._records_from_trace(arrivals, trace)
+
+    def _accelos_spec(self, arrival):
+        """One request's spec: the Kernel Scheduler fixes the §6.4 dequeue
+        chunk at admission (from the solo allocation); the physical group
+        count itself is re-decided by the allocator as the active set
+        changes."""
+        base = _base_spec(arrival.name)
+        solo = compute_allocations([requirements_from_spec(base)],
+                                   self.device,
+                                   saturate=self.saturate)[0].groups
+        chunk = effective_chunk(
+            chunk_for_profile(profile_by_name(arrival.name), self.policy),
+            base.total_groups, solo)
+        return base.with_mode(ExecutionMode.ACCELOS, physical_groups=solo,
+                              chunk=chunk).with_arrival(arrival.time)
+
+    def _elastic_records(self, arrivals):
+        """Serialised merged-launch replay.
+
+        EK decides merges statically at launch: requests arriving while a
+        merged launch runs cannot join it, so they queue until the device
+        drains, then the queue head is packed into the next merged launch
+        (arrival order, bounded by the merge width and static split floor).
+        """
+        scheduler = ElasticKernelsScheduler(self.device)
+        order = sorted(range(len(arrivals)),
+                       key=lambda i: (arrivals[i].time, i))
+        records = [None] * len(arrivals)
+        waiting = deque()
+        now = 0.0
+        next_arrival = 0
+        while next_arrival < len(order) or waiting:
+            if not waiting:
+                now = max(now, arrivals[order[next_arrival]].time)
+            while (next_arrival < len(order)
+                   and arrivals[order[next_arrival]].time <= now + 1e-12):
+                waiting.append(order[next_arrival])
+                next_arrival += 1
+            specs = [_base_spec(arrivals[i].name) for i in waiting]
+            head = scheduler.pack(specs)[0]
+            launched = [waiting.popleft() for _ in head.specs]
+            trace = GPUSimulator(self.device).run(
+                scheduler.to_sim_specs(head))
+            for i, iv in zip(launched, trace.intervals):
+                a = arrivals[i]
+                records[i] = RequestRecord(
+                    a.name, a.time, now + iv.start, now + iv.finish,
+                    isolated_time(a.name, self.device))
+            now += trace.makespan
+        return records

@@ -15,6 +15,16 @@ Three execution modes over one event-driven core:
   pre-assignment of virtual groups (strided), so load imbalance is frozen
   at launch; no dequeue overhead, no adaptation.
 
+Batches come in two shapes:
+
+* :meth:`GPUSimulator.run` — a **closed batch**: every request is submitted
+  at t=0 and the simulation drains it.
+* :meth:`GPUSimulator.run_open` — an **open system**: requests enter the
+  event loop at per-spec ``arrival_time``s; for software-scheduled kernels
+  the sharing policy is re-run over the currently-active set on every
+  arrival and completion (the proper re-allocation path that the closed
+  batch ``rebalance`` flag only approximates).
+
 Two pieces of hardware physics the evaluation depends on:
 
 * **Sub-linear occupancy scaling.**  WG costs are expressed at full per-CU
@@ -89,6 +99,7 @@ class _KernelRun:
         self.cu_queues = None
         self.pending_count = self.total
         self.cu_resident = {}
+        self.dispatch_ready_time = None
         # software modes
         self.next_vgroup = 0
         self.slots_to_place = 0
@@ -96,6 +107,10 @@ class _KernelRun:
         self.slot_assignments = None   # elastic: per-slot deques
         self.slot_occ = {}             # slot index -> occupancy factor
         self.slot_rate = {}            # slot index -> bandwidth demand
+        self.slot_counter = 0          # monotonic source of slot indices
+        # open-system state
+        self.active = False            # has the request arrived yet?
+        self.shrink_slots = 0          # live slots to retire at chunk bounds
 
     @property
     def finished(self):
@@ -123,77 +138,159 @@ class _KernelRun:
 
 
 class GPUSimulator:
-    """Simulates one batch of kernel execution requests on one device.
+    """Simulates kernel execution requests on one device.
 
     ``rebalance`` enables the extension the paper lists as future work
     (§2.5 admits a kernel "cannot leverage additional resources that may be
     released if other kernel executions terminate first"): when a software-
-    scheduled slot retires, the freed capacity is re-granted as extra slots
-    to co-scheduled kernels that still have undrained virtual-group queues.
-    Off by default — the paper's accelOS binds allocations for a kernel's
-    lifetime, and the evaluation benches quantify what that costs.
+    scheduled slot retires in a *closed* batch, the freed capacity is
+    re-granted as extra slots to co-scheduled kernels that still have
+    undrained virtual-group queues.  Off by default — the paper's accelOS
+    binds allocations for a kernel's lifetime, and the evaluation benches
+    quantify what that costs.  Open-system runs generalise this hook: they
+    always re-run the sharing policy (the ``allocator``) over the active
+    set on every arrival and completion.
     """
 
     def __init__(self, device, hardware_scheduler=None, rebalance=False):
         self.device = device
         self.hardware_scheduler = hardware_scheduler or scheduler_for(device)
         self.rebalance = rebalance
+        self._open = False
+        self._allocator = None
 
     # -- public -----------------------------------------------------------
 
     def run(self, specs, cost_jitter=None):
-        """Simulate the batch; all specs must share one execution mode.
+        """Simulate a closed batch; all specs must share one execution mode.
 
         ``cost_jitter`` optionally scales each kernel's costs by a per-run
         factor (array of len(specs)), modelling run-to-run system noise for
         the paper's 20-repetition averaging.
         """
-        if not specs:
-            raise SimulationError("empty batch")
-        modes = {s.mode for s in specs}
-        if len(modes) > 1:
-            raise SimulationError("mixed execution modes in one batch")
-        mode = modes.pop()
-
-        scale = device_cost_scale(self.device)
-        runs = []
-        for i, spec in enumerate(specs):
-            jitter = 1.0 if cost_jitter is None else float(cost_jitter[i])
-            runs.append(_KernelRun(i, spec, self.device, scale * jitter))
-
-        self.events = EventQueue()
-        self.cus = [CUState(i, self.device) for i in range(self.device.num_cus)]
-        self.bandwidth = BandwidthTracker(self.device)
-        self.runs = runs
+        mode = self._check_batch(specs)
+        if any(s.arrival_time > 0 for s in specs):
+            raise SimulationError(
+                "closed batches submit everything at t=0; "
+                "use run_open for per-spec arrival times")
+        self._setup(specs, cost_jitter)
+        self._open = False
+        self._allocator = None
 
         if mode == ExecutionMode.HARDWARE:
             self._run_hardware()
         else:
             self._run_software(mode)
+        return self._collect_trace(mode)
 
+    def run_open(self, specs, allocator=None, cost_jitter=None):
+        """Simulate an open system: specs enter at their ``arrival_time``.
+
+        * **hardware** mode: a kernel joins the firmware scheduler's queue
+          at its arrival time; dispatch order is arrival order under the
+          device's policy (FIFO drain-overlap or exclusive).
+        * **accelos** mode: arrivals pass FIFO admission control — a
+          request is only admitted while the minimum (one-group)
+          allocations of everything already admitted still fit the device;
+          a burst beyond that waits in the arrival queue (queueing delay)
+          until completions free capacity.  On every admission *and* every
+          request completion the ``allocator`` callback —
+          ``allocator(active_specs) -> [groups]``, normally wrapping the §3
+          sharing algorithm — is re-run over the admitted kernels whose
+          virtual-group queues are still undrained.  Targets above a
+          kernel's live slot count grow it immediately (or queue slots when
+          per-CU packing is fragmented); targets below shrink it lazily at
+          chunk boundaries, since resident work groups cannot be preempted
+          mid-chunk.
+        * **elastic** mode is rejected: statically merged kernels cannot
+          join a running launch — replay serialised merged launches instead
+          (see :mod:`repro.harness.open_system`).
+
+        Returns an :class:`ExecutionTrace` whose intervals carry arrival
+        times, so turnaround and queueing delay are per-request.
+        """
+        mode = self._check_batch(specs)
+        if mode == ExecutionMode.ELASTIC:
+            raise SimulationError(
+                "elastic kernels cannot join a running merged launch; "
+                "replay serialised merged launches instead "
+                "(harness.open_system)")
+        if mode == ExecutionMode.ACCELOS and allocator is None:
+            raise SimulationError(
+                "accelos open-system runs need an allocator callback")
+        self._setup(specs, cost_jitter)
+        # FIFO priority is arrival order (ties broken by submission order).
+        self.runs = sorted(self.runs,
+                           key=lambda r: (r.spec.arrival_time, r.index))
+        self._open = True
+        self._allocator = allocator
+
+        if mode == ExecutionMode.HARDWARE:
+            self._run_hardware_open()
+        else:
+            self._run_software_open()
+        return self._collect_trace(mode)
+
+    # -- shared setup / teardown ----------------------------------------------
+
+    def _check_batch(self, specs):
+        if not specs:
+            raise SimulationError("empty batch")
+        modes = {s.mode for s in specs}
+        if len(modes) > 1:
+            raise SimulationError("mixed execution modes in one batch")
+        return modes.pop()
+
+    def _setup(self, specs, cost_jitter):
+        scale = device_cost_scale(self.device)
+        runs = []
+        for i, spec in enumerate(specs):
+            jitter = 1.0 if cost_jitter is None else float(cost_jitter[i])
+            runs.append(_KernelRun(i, spec, self.device, scale * jitter))
+        self.events = EventQueue()
+        self.cus = [CUState(i, self.device) for i in range(self.device.num_cus)]
+        self.bandwidth = BandwidthTracker(self.device)
+        self.runs = runs
+
+    def _collect_trace(self, mode):
         intervals = []
-        for run in runs:
+        for run in sorted(self.runs, key=lambda r: r.index):
             if run.finish_time is None:
                 raise SimulationError(
                     "kernel {} never finished (resources too small?)".format(
                         run.spec.name))
             intervals.append(KernelInterval(
                 run.spec.name, run.start_time, run.finish_time,
-                run.dispatch_done_time, float(run.costs.sum())))
+                run.dispatch_done_time, float(run.costs.sum()),
+                run.spec.arrival_time))
         return ExecutionTrace(intervals, self.device.name, mode)
 
     # -- hardware mode --------------------------------------------------------
 
     def _run_hardware(self):
+        self._build_cu_queues()
+        self.runs[0].dispatch_ready_time = 0.0
+        self._hw_loop()
+
+    def _run_hardware_open(self):
+        self._build_cu_queues()
+        # The first arrival finds an idle device: its grid is set up by its
+        # submission, so it dispatches at arrival without a handoff window
+        # (mirroring the closed batch's first kernel).  Later kernels pay
+        # the handoff when they take over the dispatch window.
+        self.runs[0].dispatch_ready_time = self.runs[0].spec.arrival_time
+        for run in self.runs:
+            self.events.push(run.spec.arrival_time, None)
+        self._hw_loop()
+
+    def _build_cu_queues(self):
         num_cus = self.device.num_cus
         for run in self.runs:
             run.cu_queues = [deque() for _ in range(num_cus)]
             for wg in range(run.total):
                 run.cu_queues[wg % num_cus].append(wg)
 
-        for index, run in enumerate(self.runs):
-            run.dispatch_ready_time = 0.0 if index == 0 else None
-
+    def _hw_loop(self):
         self._hw_dispatch()
         while self.events:
             _, payload = self.events.pop()
@@ -209,6 +306,8 @@ class GPUSimulator:
                 continue
             if not self.hardware_scheduler.eligible(index, self.runs):
                 break  # kernel order is strict; later kernels are blocked too
+            if now + 1e-15 < run.spec.arrival_time:
+                break  # not submitted yet; its arrival event will wake us
             if run.dispatch_ready_time is None:
                 # this kernel just became eligible: the firmware needs a
                 # handoff window before its grid starts dispatching
@@ -263,6 +362,8 @@ class GPUSimulator:
         # static merge) guarantees the combined allocation fits the device.
         for run in self.runs:
             run.slots_to_place = run.spec.physical_groups
+            run.slot_counter = run.spec.physical_groups
+            run.active = True
             run.mark_start(0.0)
             if mode == ExecutionMode.ELASTIC:
                 slots = run.spec.physical_groups
@@ -272,11 +373,63 @@ class GPUSimulator:
         self._pending_slots = deque()
         self._software_mode = mode
         self._place_software_slots(mode)
+        self._software_loop(mode)
+        self._check_software_drained()
+
+    def _run_software_open(self):
+        mode = ExecutionMode.ACCELOS
+        self._pending_slots = deque()
+        self._admission_queue = deque()
+        self._software_mode = mode
+        for run in self.runs:
+            self.events.push(run.spec.arrival_time, ("arrival", run))
+        self._software_loop(mode)
+        self._check_software_drained()
+
+    def _software_loop(self, mode):
         while self.events:
-            _, (run, cu, slot_index, done) = self.events.pop()
+            _, payload = self.events.pop()
+            if payload is None:
+                continue
+            if payload[0] == "arrival":
+                self._admission_queue.append(payload[1])
+                if self._admit_arrivals():
+                    self._reallocate()
+                continue
+            _, run, cu, slot_index, done = payload
             run.completed += done
             self._draw_chunk(run, cu, mode, slot_index)
 
+    def _admit_arrivals(self):
+        """FIFO admission control for open-system arrivals.
+
+        The §3 algorithm guarantees nothing if even one group per kernel
+        exceeds the device (sharing raises), so a request only joins the
+        active set while the minimum allocations of everything already
+        admitted — finished requests excepted — plus its own still fit;
+        the rest of a burst waits in arrival order and is admitted as
+        completions free capacity.  Returns True if anything was admitted.
+        """
+        admitted = False
+        while self._admission_queue:
+            if not self._admission_fits(self._admission_queue[0]):
+                break
+            run = self._admission_queue.popleft()
+            run.active = True
+            admitted = True
+        return admitted
+
+    def _admission_fits(self, candidate):
+        specs = [run.spec for run in self.runs
+                 if run.active and run.finish_time is None]
+        specs.append(candidate.spec)
+        return (sum(s.wg_threads for s in specs) <= self.device.max_threads
+                and (sum(s.local_mem_per_wg for s in specs)
+                     <= self.device.total_local_mem)
+                and (sum(s.registers_per_group for s in specs)
+                     <= self.device.total_registers))
+
+    def _check_software_drained(self):
         for run in self.runs:
             if run.finish_time is None and run.total == 0:
                 run.finish_time = 0.0
@@ -322,6 +475,70 @@ class GPUSimulator:
         for run, slot_index, cu in placements:
             self._draw_chunk(run, cu, mode, slot_index)
 
+    # -- open-system re-allocation ------------------------------------------
+
+    def _reallocate(self):
+        """Re-run the sharing policy over the currently-active request set.
+
+        Called on every arrival and every request completion — the proper
+        re-allocation path that generalises the closed-batch ``rebalance``
+        hook.  The allocator returns a physical-group target per active
+        kernel with an undrained virtual-group queue; targets are
+        reconciled against the kernel's current slots by growing
+        immediately (queueing when per-CU packing is fragmented) and
+        shrinking lazily at chunk boundaries, since resident work groups
+        are never preempted mid-chunk.
+        """
+        active = [run for run in self.runs
+                  if run.active and not run.mode_done()]
+        if not active:
+            return
+        targets = self._allocator([run.spec for run in active])
+        if len(targets) != len(active):
+            raise SimulationError(
+                "allocator returned {} targets for {} active kernels".format(
+                    len(targets), len(active)))
+        for run, target in zip(active, targets):
+            remaining = run.total - run.next_vgroup
+            target = max(1, min(int(target), remaining))
+            pending = sum(1 for r, _ in self._pending_slots if r is run)
+            effective = run.live_slots - run.shrink_slots + pending
+            if target > effective:
+                self._grow_run(run, target - effective)
+            elif target < effective:
+                self._shrink_run(run, effective - target, pending)
+
+    def _grow_run(self, run, count):
+        # first cancel lazy shrinks that have not retired yet
+        revived = min(count, run.shrink_slots)
+        run.shrink_slots -= revived
+        count -= revived
+        for _ in range(count):
+            slot_index = run.slot_counter
+            run.slot_counter += 1
+            if not self._try_place_slot(run, slot_index, self._software_mode):
+                self._pending_slots.append((run, slot_index))
+
+    def _shrink_run(self, run, count, pending):
+        # drop queued (never-placed) slots first: they hold no resources
+        if pending:
+            dropped = 0
+            kept = deque()
+            while self._pending_slots:
+                entry = self._pending_slots.popleft()
+                if entry[0] is run and dropped < count:
+                    dropped += 1
+                else:
+                    kept.append(entry)
+            self._pending_slots = kept
+            count -= dropped
+        # retire the rest at chunk boundaries; never shrink the last live
+        # slot while the virtual-group queue is undrained
+        run.shrink_slots = min(run.shrink_slots + count,
+                               max(0, run.live_slots - 1))
+
+    # -- slot lifecycle ------------------------------------------------------
+
     def _activate_slot(self, run, slot_index, cu):
         occ = run.occupancy_factor(run.cu_resident[cu.index])
         rate = run.spec.mem_rate_per_wg / occ
@@ -337,6 +554,7 @@ class GPUSimulator:
         run.cu_resident[cu.index] = run.cu_resident.get(cu.index, 0) + 1
         run.resident += 1
         run.live_slots += 1
+        run.mark_start(self.events.now)
         self._activate_slot(run, slot_index, cu)
         self._draw_chunk(run, cu, mode, slot_index)
         return True
@@ -369,6 +587,11 @@ class GPUSimulator:
             if base >= run.total:
                 self._retire_slot(run, cu, slot_index)
                 return
+            if run.shrink_slots > 0:
+                # a re-allocation shrank this kernel: hand the slot back
+                run.shrink_slots -= 1
+                self._retire_slot(run, cu, slot_index)
+                return
             end = min(base + run.spec.chunk, run.total)
             run.next_vgroup = end
             work = float(run.costs[base:end].sum())
@@ -386,7 +609,7 @@ class GPUSimulator:
         occ = run.slot_occ[slot_index]
         stretch = self.bandwidth.stretch_resident(run.slot_rate[slot_index])
         cost = work * occ * stretch + overhead
-        self.events.push(now + cost, (run, cu, slot_index, done))
+        self.events.push(now + cost, ("chunk", run, cu, slot_index, done))
 
     def _retire_slot(self, run, cu, slot_index):
         cu.release(run.spec)
@@ -395,18 +618,26 @@ class GPUSimulator:
         run.resident -= 1
         run.live_slots -= 1
         self._place_pending_slots()
-        if self.rebalance:
+        if self.rebalance and not self._open:
             self._grant_freed_capacity()
-        if run.live_slots == 0 and not self._has_pending_work(run):
+        finished = run.live_slots == 0 and not self._has_pending_work(run)
+        if finished and run.spec.mode == ExecutionMode.ACCELOS:
+            finished = run.next_vgroup >= run.total
+        if finished and run.finish_time is None:
             run.finish_time = self.events.now
             run.mark_dispatch_done(self.events.now)
+            if self._open:
+                self._admit_arrivals()
+                self._reallocate()
 
     def _grant_freed_capacity(self):
         """Future-work extension: hand freed capacity to unfinished kernels.
 
         Grants one extra slot per call to the co-scheduled accelOS kernel
         with the most remaining virtual groups that still fits — a minimal
-        dynamic re-allocation policy on top of the paper's design.
+        dynamic re-allocation policy on top of the paper's design.  The
+        open-system path supersedes this with a full re-run of the sharing
+        policy (:meth:`_reallocate`).
         """
         candidates = [
             run for run in self.runs
@@ -418,7 +649,8 @@ class GPUSimulator:
             return
         starved = max(candidates,
                       key=lambda r: r.total - r.next_vgroup)
-        slot_index = len(starved.slot_occ)
+        slot_index = starved.slot_counter
+        starved.slot_counter += 1
         self._try_place_slot(starved, slot_index, self._software_mode)
 
     def _has_pending_work(self, run):

@@ -34,7 +34,7 @@ class KernelExecSpec:
                  registers_per_thread, local_mem_per_wg,
                  mode=ExecutionMode.HARDWARE, physical_groups=None,
                  chunk=1, sched_overhead=SCHED_OP_OVERHEAD,
-                 sat_occupancy=1.0):
+                 sat_occupancy=1.0, arrival_time=0.0):
         wg_costs = np.asarray(wg_costs, dtype=np.float64)
         if wg_costs.ndim != 1 or wg_costs.size == 0:
             raise SimulationError("wg_costs must be a non-empty 1-D array")
@@ -59,6 +59,11 @@ class KernelExecSpec:
         if not 0.0 < sat_occupancy <= 1.0:
             raise SimulationError("sat_occupancy must be in (0, 1]")
         self.sat_occupancy = float(sat_occupancy)
+        # When the request enters the system; 0.0 for closed batches, set by
+        # the open-system path (GPUSimulator.run_open) for streaming arrivals.
+        if arrival_time < 0:
+            raise SimulationError("arrival_time must be non-negative")
+        self.arrival_time = float(arrival_time)
         if mode != ExecutionMode.HARDWARE and not physical_groups:
             raise SimulationError(
                 "{} execution needs a physical group count".format(mode))
@@ -81,7 +86,8 @@ class KernelExecSpec:
             self.name, self.wg_threads, self.wg_costs * cost_scale,
             self.mem_rate_per_wg, self.registers_per_thread,
             self.local_mem_per_wg, self.mode, self.physical_groups,
-            self.chunk, self.sched_overhead, self.sat_occupancy)
+            self.chunk, self.sched_overhead, self.sat_occupancy,
+            self.arrival_time)
 
     def with_mode(self, mode, physical_groups=None, chunk=1,
                   sched_overhead=SCHED_OP_OVERHEAD):
@@ -89,7 +95,16 @@ class KernelExecSpec:
             self.name, self.wg_threads, self.wg_costs,
             self.mem_rate_per_wg, self.registers_per_thread,
             self.local_mem_per_wg, mode, physical_groups, chunk,
-            sched_overhead, self.sat_occupancy)
+            sched_overhead, self.sat_occupancy, self.arrival_time)
+
+    def with_arrival(self, arrival_time):
+        """A copy entering the system at ``arrival_time`` seconds."""
+        return KernelExecSpec(
+            self.name, self.wg_threads, self.wg_costs,
+            self.mem_rate_per_wg, self.registers_per_thread,
+            self.local_mem_per_wg, self.mode, self.physical_groups,
+            self.chunk, self.sched_overhead, self.sat_occupancy,
+            arrival_time)
 
     def __repr__(self):
         return ("<KernelExecSpec {} ({} WGs x {} thr, mode={})>"

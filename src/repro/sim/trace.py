@@ -3,24 +3,35 @@
 from __future__ import annotations
 
 from repro.errors import SimulationError
+from repro.metrics.overlap import execution_overlap as _overlap
 
 
 class KernelInterval:
     """One kernel execution's lifetime within a simulated batch."""
 
-    __slots__ = ("name", "start", "finish", "dispatch_done", "total_work")
+    __slots__ = ("name", "start", "finish", "dispatch_done", "total_work",
+                 "arrival")
 
-    def __init__(self, name, start, finish, dispatch_done, total_work):
+    def __init__(self, name, start, finish, dispatch_done, total_work,
+                 arrival=0.0):
         self.name = name
         self.start = start
         self.finish = finish
         self.dispatch_done = dispatch_done
         self.total_work = total_work
+        # open-system runs stamp when the request entered the system;
+        # closed batches submit everything at t=0.
+        self.arrival = arrival
 
     @property
     def turnaround(self):
-        """Completion time measured from batch submission (t=0)."""
-        return self.finish
+        """Completion time measured from the request's submission."""
+        return self.finish - self.arrival
+
+    @property
+    def queueing_delay(self):
+        """Time between submission and the first work group dispatching."""
+        return self.start - self.arrival
 
     @property
     def duration(self):
@@ -50,34 +61,15 @@ class ExecutionTrace:
     def turnarounds(self):
         return [iv.turnaround for iv in self.intervals]
 
-    def execution_overlap(self):
-        """Paper §7.4: ``O = T(c) / T(t)``.
+    @property
+    def queueing_delays(self):
+        return [iv.queueing_delay for iv in self.intervals]
 
-        ``T(t)`` is the total time the accelerator executes at least one
-        kernel; ``T(c)`` the time during which *all* kernels co-execute.
-        """
-        total = _union_measure([(iv.start, iv.finish) for iv in self.intervals])
-        if total <= 0:
-            return 0.0
-        co_start = max(iv.start for iv in self.intervals)
-        co_finish = min(iv.finish for iv in self.intervals)
-        co = max(0.0, co_finish - co_start)
-        return co / total
+    def execution_overlap(self):
+        """Paper §7.4: ``O = T(c) / T(t)`` (delegates to
+        :func:`repro.metrics.overlap.execution_overlap`)."""
+        return _overlap([(iv.start, iv.finish) for iv in self.intervals])
 
     def __repr__(self):
         return "<ExecutionTrace {} kernels on {} ({})>".format(
             len(self.intervals), self.device_name, self.mode)
-
-
-def _union_measure(intervals):
-    """Total length of the union of [start, end) intervals."""
-    measure = 0.0
-    cursor = None
-    for start, end in sorted(intervals):
-        if cursor is None or start > cursor:
-            measure += end - start
-            cursor = end
-        elif end > cursor:
-            measure += end - cursor
-            cursor = end
-    return measure

@@ -13,8 +13,12 @@ from repro.workloads.parboil import (
     KernelProfile, all_profiles, profile_by_name, PROFILE_NAMES)
 from repro.workloads.generator import (
     pairwise_workloads, random_workloads, alphabetic_pairs)
+from repro.workloads.arrivals import (
+    ArrivalRequest, poisson_arrivals, periodic_arrivals, trace_arrivals)
 
 __all__ = [
     "KernelProfile", "all_profiles", "profile_by_name", "PROFILE_NAMES",
     "pairwise_workloads", "random_workloads", "alphabetic_pairs",
+    "ArrivalRequest", "poisson_arrivals", "periodic_arrivals",
+    "trace_arrivals",
 ]

@@ -1,0 +1,91 @@
+"""Arrival processes for open-system experiments.
+
+The paper's accelOS is an OS-like daemon serving kernel execution requests
+from many applications *over time*; the closed batches of
+:mod:`repro.harness.experiment` only cover the everything-at-t=0 corner.
+This module generates **arrival streams** over the Parboil corpus — each
+request is a kernel name plus the time it enters the system — for the
+open-system simulation path (:meth:`repro.sim.GPUSimulator.run_open`,
+:class:`repro.harness.open_system.OpenSystemExperiment`).
+
+All generators are seeded through :func:`repro.util.make_rng`, so a stream
+is a pure function of its parameters: the same seed replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.util import make_rng
+from repro.workloads.parboil import PROFILE_NAMES
+
+
+class ArrivalRequest:
+    """One kernel execution request entering the system at ``time``."""
+
+    __slots__ = ("name", "time")
+
+    def __init__(self, name, time):
+        if time < 0:
+            raise SimulationError("arrival time must be non-negative")
+        self.name = name
+        self.time = float(time)
+
+    def __repr__(self):
+        return "<ArrivalRequest {} @ {:.6f}s>".format(self.name, self.time)
+
+    def __eq__(self, other):
+        return (isinstance(other, ArrivalRequest)
+                and self.name == other.name and self.time == other.time)
+
+
+def poisson_arrivals(rate, count, seed=0, names=None):
+    """A seeded Poisson arrival process over the corpus.
+
+    Inter-arrival times are exponential with mean ``1/rate`` (``rate`` in
+    requests/second); kernel names are drawn uniformly from ``names``
+    (default: the whole 25-kernel corpus).  Deterministic in
+    ``(rate, count, seed, names)``.
+    """
+    if rate <= 0:
+        raise SimulationError("arrival rate must be positive")
+    if count <= 0:
+        raise SimulationError("need at least one arrival")
+    pool = list(names) if names is not None else list(PROFILE_NAMES)
+    if not pool:
+        raise SimulationError("empty kernel name pool")
+    rng = make_rng("poisson-arrivals", rate, count, seed, *pool)
+    now = 0.0
+    stream = []
+    for _ in range(count):
+        now += float(rng.exponential(1.0 / rate))
+        stream.append(ArrivalRequest(pool[int(rng.integers(len(pool)))], now))
+    return stream
+
+
+def periodic_arrivals(interval, count, names=None, start=0.0):
+    """Deterministic constant-interval arrivals, names cycled round-robin.
+
+    Useful for tests and worst-case steady-load studies (no burstiness).
+    """
+    if interval <= 0:
+        raise SimulationError("arrival interval must be positive")
+    if count <= 0:
+        raise SimulationError("need at least one arrival")
+    pool = list(names) if names is not None else list(PROFILE_NAMES)
+    if not pool:
+        raise SimulationError("empty kernel name pool")
+    return [ArrivalRequest(pool[i % len(pool)], start + i * interval)
+            for i in range(count)]
+
+
+def trace_arrivals(entries):
+    """An arrival stream from explicit ``(name, time)`` pairs.
+
+    The trace-driven path: replay arrival logs from a real deployment (or a
+    hand-written scenario).  Entries are sorted by time.
+    """
+    stream = sorted((ArrivalRequest(name, time) for name, time in entries),
+                    key=lambda a: a.time)
+    if not stream:
+        raise SimulationError("empty arrival trace")
+    return stream

@@ -1,0 +1,102 @@
+"""Regression tests for Kernel Scheduler fixes: one ResourceAnalysis pass
+per request, and vndrange buffers that live until their launch completes."""
+
+import numpy as np
+import pytest
+
+import repro.accelos.scheduler as scheduler_module
+from repro.accelos import AccelOSRuntime
+from repro.cl import NDRange, nvidia_k20m
+from repro.cl.queue import Event
+from repro.kernelc import types as T
+
+SOURCE = """
+kernel void scale(global float* a, float factor)
+{
+    size_t g = get_global_id(0);
+    a[g] = a[g] * factor;
+}
+"""
+
+
+def _runtime_with_requests(count):
+    """An AccelOSRuntime with ``count`` pending kernel execution requests."""
+    runtime = AccelOSRuntime(nvidia_k20m())
+    handles = []
+    for i in range(count):
+        app = runtime.session("app{}".format(i))
+        program = app.create_program(SOURCE).build()
+        kernel = program.create_kernel("scale")
+        buf = app.create_buffer(T.FLOAT, 4096)
+        queue = app.create_queue()
+        queue.enqueue_write_buffer(buf, np.ones(4096, dtype=np.float32))
+        kernel.set_args(buf, 2.0)
+        queue.enqueue_nd_range(kernel, NDRange((4096,), (256,)))
+        handles.append((kernel, buf, queue))
+    return runtime, handles
+
+
+def test_plan_batch_runs_one_resource_analysis_per_request(monkeypatch):
+    """plan_batch already derives each request's KernelRequirements; the
+    per-plan construction must reuse it instead of re-running the IR pass."""
+    real = scheduler_module.ResourceAnalysis
+    calls = []
+
+    class Counting(real):
+        def __init__(self, *args, **kwargs):
+            calls.append(1)
+            real.__init__(self, *args, **kwargs)
+
+    monkeypatch.setattr(scheduler_module, "ResourceAnalysis", Counting)
+    runtime, _ = _runtime_with_requests(3)
+    plans = runtime.drain()
+    assert len(plans) == 3
+    assert len(calls) == 3  # exactly one IR analysis per request
+
+
+def test_vndrange_released_after_synchronous_launch():
+    runtime, _ = _runtime_with_requests(1)
+    free_before = runtime.context.allocator.free_bytes
+    plans = runtime.drain()
+    # the synchronous queue completes at enqueue, so the vndrange buffer is
+    # already gone and device memory is back
+    assert plans[0].vndrange.buffer is None
+    assert runtime.context.allocator.free_bytes == free_before
+
+
+def test_vndrange_survives_until_async_event_completes():
+    """Use-after-free regression: against an asynchronous queue the
+    descriptor buffer must stay live until the launch's event completes."""
+    runtime, handles = _runtime_with_requests(1)
+    kernel, _, real_queue = handles[0]
+    plan = runtime.scheduler.plan_batch([(kernel, NDRange((4096,),
+                                                          (256,)))])[0]
+
+    class AsyncQueue:
+        def __init__(self, inner):
+            self.inner = inner
+
+        def enqueue_nd_range(self, kernel, nd_range):
+            self.inner.enqueue_nd_range(kernel, nd_range)
+            return Event("ndrange", complete=False)
+
+    event = runtime.scheduler.execute_plan(plan, AsyncQueue(real_queue))
+    assert not event.complete
+    assert plan.vndrange.buffer is not None  # still live mid-flight
+    event.mark_complete()
+    assert plan.vndrange.buffer is None      # released on completion
+
+
+def test_event_completion_callbacks():
+    fired = []
+    done = Event("x")
+    done.on_complete(lambda: fired.append("immediate"))
+    assert fired == ["immediate"]
+
+    pending = Event("y", complete=False)
+    pending.on_complete(lambda: fired.append("deferred"))
+    assert fired == ["immediate"]
+    pending.mark_complete()
+    assert fired == ["immediate", "deferred"]
+    pending.mark_complete()  # idempotent
+    assert fired == ["immediate", "deferred"]

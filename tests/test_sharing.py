@@ -118,6 +118,39 @@ def test_share_ratio_validation():
         compute_allocations([req("a")], dev, share_ratio=[-1.0])
 
 
+def test_weighted_saturation_preserves_ratio():
+    """§2.2 regression: with ``saturate=True`` the greedy growth must hand
+    out leftover capacity by *weight-normalised* share, or it erodes the
+    ratio the base allocation just established.  The tiny clamped kernel
+    frees capacity, and the two big kernels must absorb it 3:1."""
+    dev = nvidia_k20m()
+    reqs = [req("a", groups=10_000), req("b", groups=10_000),
+            req("tiny", groups=2)]
+    weights = [3.0, 1.0, 1.0]
+    allocs = compute_allocations(reqs, dev, share_ratio=weights,
+                                 saturate=True)
+    k = len(reqs)
+    norm = [w * k / sum(weights) for w in weights]
+    share_a = allocs[0].threads / norm[0]
+    share_b = allocs[1].threads / norm[1]
+    # within one work-group granule of the requested ratio
+    granule = max(reqs[0].wg_threads / norm[0], reqs[1].wg_threads / norm[1])
+    assert abs(share_a - share_b) <= granule + 1e-9
+    assert total_threads(allocs) <= dev.max_threads
+
+
+def test_weighted_saturation_uses_all_leftovers():
+    dev = nvidia_k20m()
+    reqs = [req("a", groups=10_000), req("b", groups=10_000)]
+    unsat = compute_allocations(reqs, dev, share_ratio=[3.0, 1.0],
+                                saturate=False)
+    sat = compute_allocations(reqs, dev, share_ratio=[3.0, 1.0],
+                              saturate=True)
+    assert total_threads(sat) >= total_threads(unsat)
+    # saturation never breaks the device constraint
+    assert total_threads(sat) <= dev.max_threads
+
+
 def test_empty_batch():
     assert compute_allocations([], nvidia_k20m()) == []
 
