@@ -41,6 +41,6 @@ def test_fig10_fairness_improvement(benchmark, emit, device_name):
     summary = sweep_summary(device_name, 2)
     # accelOS makes fairness materially worse on only a minority of pairs
     # (the paper reports <2%; our coarse timing model leaves ~a quarter of
-    # near-fair small-kernel pairs marginally negative — see EXPERIMENTS.md)
+    # near-fair small-kernel pairs marginally negative — see docs/PAPER_MAPPING.md)
     assert summary.negative_fairness_fraction("accelos") < 0.35
     assert summary.avg_fairness_improvement("accelos") > 2.0

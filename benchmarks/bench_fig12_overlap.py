@@ -1,6 +1,6 @@
 """Figure 12: average kernel execution overlap.
 
-Measurement-protocol note (documented in EXPERIMENTS.md): the paper measures
+Measurement-protocol note (docs/PAPER_MAPPING.md, deviation 1): the paper measures
 overlap in a steady multi-tenant state where applications re-issue their
 requests, so similar shares imply near-total co-execution; our harness
 measures a single launch per request, which bounds the all-kernels

@@ -39,7 +39,7 @@ def test_fig15_single_kernel_impact(benchmark, emit, device_name):
 
     benchmark(run_single_kernel, "sgemm", device)
 
-    # single-kernel impact is the weakest reproduction (see EXPERIMENTS.md):
+    # single-kernel impact is the weakest reproduction (docs/PAPER_MAPPING.md, deviation 2):
     # our hardware model's per-CU queues balance better than real firmware,
     # so the dynamic scheduler's +7-10% win does not materialise; we assert
     # the defensible core: accelOS alone costs at most a few percent

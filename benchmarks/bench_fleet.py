@@ -1,0 +1,126 @@
+"""Fleet evaluation: cross-device placement on homogeneous and
+heterogeneous fleets.
+
+Beyond the paper (which arbitrates a single accelerator), this bench
+scales the open-system methodology to a *fleet*: Poisson request streams
+are placed across devices by each placement policy, every device runs its
+own §3 allocator, and fleet-wide STP/ANTT/unfairness/queueing delay are
+reported alongside the per-device split.
+
+Expected shape of the results:
+
+* on a **homogeneous** fleet, round-robin is near-optimal (it is exactly
+  load balancing), so least-loaded only ties it;
+* on a **heterogeneous** fleet (fast + derated slow device), round-robin
+  sends half the stream to the slow device regardless of backlog — its
+  queue grows and fleet ANTT suffers — while least-loaded placement
+  routes by estimated completion and wins on ANTT (the acceptance
+  criterion of this subsystem);
+* affinity placement trades a little balance for locality: migrations are
+  rare and bounded by the penalty.
+"""
+
+import pytest
+
+from repro.accelos.placement import (AffinityPlacement, LeastLoadedPlacement,
+                                     RoundRobinPlacement)
+from repro.cl import derated_device, nvidia_k20m
+from repro.harness import (FleetOpenSystemExperiment, format_table,
+                           fleet_arrival_rate_for_load)
+from repro.sim import DeviceFleet
+from repro.workloads import poisson_arrivals
+
+STREAM_LENGTH = 32
+SEED = 2016
+LOAD = 1.0
+TENANTS = 6
+SCHEME = "accelos"
+
+FLEETS = {
+    "homogeneous 2x K20m": lambda: DeviceFleet([
+        ("k20m-0", nvidia_k20m()),
+        ("k20m-1", nvidia_k20m()),
+    ]),
+    "heterogeneous fast+slow": lambda: DeviceFleet([
+        ("fast", nvidia_k20m()),
+        ("slow", derated_device(nvidia_k20m(), "K20m-derated",
+                                clock_scale=0.4, cu_scale=0.5)),
+    ]),
+}
+
+POLICIES = (RoundRobinPlacement, LeastLoadedPlacement, AffinityPlacement)
+
+
+def stream(fleet):
+    rate = fleet_arrival_rate_for_load(LOAD, fleet)
+    return poisson_arrivals(rate, STREAM_LENGTH, seed=SEED, tenants=TENANTS)
+
+
+@pytest.mark.parametrize("fleet_name", list(FLEETS))
+def test_fleet_placement_sweep(benchmark, emit, fleet_name):
+    fleet = FLEETS[fleet_name]()
+    experiment = FleetOpenSystemExperiment(fleet)
+    arrivals = stream(fleet)
+
+    results = experiment.run_policies(arrivals, SCHEME,
+                                      [policy() for policy in POLICIES])
+    rows = []
+    for name, result in results.items():
+        share = " ".join("{}={:.0%}".format(device_id, fraction)
+                         for device_id, fraction
+                         in result.device_share.items())
+        rows.append([name, result.overall.unfairness, result.overall.stp,
+                     result.overall.antt,
+                     result.overall.mean_queueing_delay * 1e3,
+                     result.migrations, share])
+    emit(format_table(
+        ["placement", "unfairness", "STP", "ANTT", "queue delay (ms)",
+         "migrations", "device share"],
+        rows,
+        title="Fleet placement sweep — {} ({} {} requests, load {}, seed {})"
+        .format(fleet_name, STREAM_LENGTH, SCHEME, LOAD, SEED)))
+
+    benchmark(experiment.run, arrivals, SCHEME, LeastLoadedPlacement())
+
+    least_loaded = results["least-loaded"]
+    round_robin = results["round-robin"]
+    if "heterogeneous" in fleet_name:
+        # the acceptance criterion: load-aware placement beats blind
+        # round-robin on ANTT when devices differ in speed
+        assert least_loaded.overall.antt < round_robin.overall.antt
+    else:
+        # on identical devices round-robin IS load balancing: least-loaded
+        # must stay in the same ballpark, not unlock anything
+        assert least_loaded.overall.antt \
+            < round_robin.overall.antt * 1.25
+
+    # conservation: every request served exactly once, on some device
+    for result in results.values():
+        assert len(result.overall.records) == STREAM_LENGTH
+        assert sum(len(r.records) for r in result.per_device.values()) \
+            == STREAM_LENGTH
+
+    # determinism: the whole campaign is a pure function of the seed
+    again = experiment.run(stream(fleet), SCHEME, LeastLoadedPlacement())
+    assert again.overall.antt == least_loaded.overall.antt
+    assert [r.finish for r in again.overall.records] \
+        == [r.finish for r in least_loaded.overall.records]
+
+
+def test_fleet_schemes_ranked(emit):
+    """accelOS keeps its single-device ranking when scaled to a fleet."""
+    fleet = FLEETS["heterogeneous fast+slow"]()
+    experiment = FleetOpenSystemExperiment(fleet)
+    arrivals = stream(fleet)
+    results = experiment.run_all(arrivals, LeastLoadedPlacement())
+    rows = [[scheme, r.overall.unfairness, r.overall.stp, r.overall.antt,
+             r.overall.mean_queueing_delay * 1e3]
+            for scheme, r in results.items()]
+    emit(format_table(
+        ["scheme", "unfairness", "STP", "ANTT", "queue delay (ms)"],
+        rows,
+        title="Fleet schemes — heterogeneous fast+slow, least-loaded "
+              "placement"))
+    assert results["accelos"].overall.unfairness \
+        < results["baseline"].overall.unfairness
+    assert results["accelos"].overall.antt < results["ek"].overall.antt

@@ -19,10 +19,17 @@ from repro.accelos.sharing import KernelRequirements, compute_allocations
 from repro.accelos.transform import AccelOSTransform, TransformedKernel
 from repro.accelos.vndrange import VirtualNDRange
 from repro.accelos.runtime import AccelOSRuntime
+from repro.accelos.fleet import FleetRuntime
+from repro.accelos.placement import (
+    AffinityPlacement, LeastLoadedPlacement, PlacementDecision,
+    PlacementPolicy, RoundRobinPlacement, default_policies, place_arrivals)
 
 __all__ = [
     "chunk_size_for", "SchedulingPolicy",
     "KernelRequirements", "compute_allocations",
     "AccelOSTransform", "TransformedKernel",
-    "VirtualNDRange", "AccelOSRuntime",
+    "VirtualNDRange", "AccelOSRuntime", "FleetRuntime",
+    "PlacementPolicy", "PlacementDecision", "RoundRobinPlacement",
+    "LeastLoadedPlacement", "AffinityPlacement", "default_policies",
+    "place_arrivals",
 ]

@@ -1,0 +1,144 @@
+"""FleetRuntime: the accelOS session surface over a device fleet.
+
+The paper's :class:`~repro.accelos.runtime.AccelOSRuntime` is "one accelOS
+instance managing one accelerator" (§4).  ``FleetRuntime`` is the facade
+that extends that contract to N accelerators: applications still call
+``session(app_id)`` and get a ProxyCL context, but the fleet decides —
+via a :mod:`placement <repro.accelos.placement>` policy — *which* device's
+accelOS instance serves the application.  Everything below the session
+boundary is unchanged: each device keeps its own JIT, Kernel Scheduler,
+memory manager and §3 allocator, so per-device fairness guarantees are
+exactly the single-device ones.
+
+Functional-plane placement happens at **session creation**: an
+application's buffers are allocated by the chosen device's memory manager
+and cannot move afterwards, so a session is sticky — returning
+applications are routed by the session map, and the placement policy is
+only consulted for first-time applications (this structural stickiness is
+precisely the locality the evaluation plane's affinity policy charges a
+migration penalty for breaking).  Load, for placement purposes, is the
+number of sessions resident on a device plus its currently pending kernel
+requests.
+"""
+
+from __future__ import annotations
+
+from repro.accelos.placement import LeastLoadedPlacement
+from repro.accelos.runtime import AccelOSRuntime
+from repro.accelos.adaptive import SchedulingPolicy
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.fleet import DeviceFleet
+
+
+class _SessionRequest:
+    """Adapter giving a session-creation request the arrival interface the
+    placement policies consume (name/tenant/device)."""
+
+    __slots__ = ("name", "tenant", "device", "time")
+
+    def __init__(self, app_id, device=None):
+        self.name = app_id
+        self.tenant = app_id
+        self.device = device
+        self.time = 0.0
+
+
+class FleetRuntime:
+    """accelOS over N devices: one session surface, per-device instances.
+
+    ``devices`` is a list of :class:`~repro.cl.DeviceSpec` or
+    ``(id, DeviceSpec)`` pairs (or a :class:`~repro.sim.fleet.DeviceFleet`);
+    ``placement`` defaults to least-loaded and is consulted only for an
+    application's *first* session — returning applications land back on
+    the device holding their buffers structurally, via the sticky session
+    map, not via the policy.  (Consequently an
+    :class:`~repro.accelos.placement.AffinityPlacement` passed here never
+    sees a populated home map and degenerates to least-loaded; migration
+    trade-offs exist only in the evaluation plane.)
+    """
+
+    def __init__(self, devices, policy=SchedulingPolicy.ADAPTIVE,
+                 saturate=True, inline=True, placement=None):
+        try:
+            fleet = devices if isinstance(devices, DeviceFleet) \
+                else DeviceFleet(devices)
+        except SimulationError as error:
+            raise SchedulingError(str(error))
+        self.fleet = fleet
+        self.ids = fleet.ids
+        self.runtimes = [
+            AccelOSRuntime(member.device, policy=policy, saturate=saturate,
+                           inline=inline)
+            for member in fleet
+        ]
+        self.placement = placement if placement is not None \
+            else LeastLoadedPlacement()
+        self.placement.reset()
+        self._session_count = [0] * len(self.runtimes)
+        self._session_device = {}   # app_id -> fleet index
+
+    # -- application sessions ---------------------------------------------
+
+    def session(self, app_id, device=None):
+        """A ProxyCL context for ``app_id`` on a placement-chosen device.
+
+        A known ``app_id`` returns to its existing device (its buffers
+        live there); ``device`` pins a new session to a device id.
+        """
+        if app_id in self._session_device:
+            index = self._session_device[app_id]
+            if device is not None and self.ids[index] != device:
+                raise SchedulingError(
+                    "application {} already lives on {}".format(
+                        app_id, self.ids[index]))
+        elif device is not None:
+            index = self._index_of(device)
+        else:
+            loads = [float(count + len(runtime.pending))
+                     for count, runtime in zip(self._session_count,
+                                               self.runtimes)]
+            index = self.placement.choose(_SessionRequest(app_id), loads,
+                                          [0.0] * len(self.runtimes))
+        if app_id not in self._session_device:
+            self._session_device[app_id] = index
+            self._session_count[index] += 1
+        return self.runtimes[index].session(app_id)
+
+    def device_of(self, app_id):
+        """The fleet device id serving ``app_id`` (after placement)."""
+        return self.ids[self._session_device[app_id]]
+
+    def runtime_for(self, device_id):
+        """The per-device :class:`AccelOSRuntime` behind one fleet id."""
+        return self.runtimes[self._index_of(device_id)]
+
+    def _index_of(self, device_id):
+        try:
+            return self.ids.index(device_id)
+        except ValueError:
+            raise SchedulingError(
+                "no device {!r} in fleet {}".format(device_id, self.ids))
+
+    # -- batch execution ---------------------------------------------------
+
+    def drain(self, share_ratio=None):
+        """Drain every device's arrival batch.
+
+        Returns ``{device_id: [LaunchPlan]}`` — each device schedules its
+        own batch with its own §3 allocator, exactly as a standalone
+        runtime would.
+        """
+        return {device_id: runtime.drain(share_ratio=share_ratio)
+                for device_id, runtime in zip(self.ids, self.runtimes)}
+
+    @property
+    def launch_history(self):
+        """All executed plans, flattened in fleet order."""
+        history = []
+        for runtime in self.runtimes:
+            history.extend(runtime.launch_history)
+        return history
+
+    def __repr__(self):
+        return "<FleetRuntime {} devices, {} sessions>".format(
+            len(self.runtimes), len(self._session_device))

@@ -1,0 +1,232 @@
+"""Cross-device placement policies for a heterogeneous device fleet.
+
+One accelOS instance arbitrates one accelerator (§3–§5); a deployment
+serving heavy traffic runs a *fleet* of them.  Placement is the layer
+above the per-device sharing algorithm: it decides **which device** serves
+a request, after which that device's own §3 allocator decides **how much**
+of the device the request gets.  The split keeps the paper's per-device
+fairness guarantees intact — placement never bypasses an allocator, it
+only routes work to one.
+
+Three policies, all deterministic (no RNG anywhere):
+
+* :class:`RoundRobinPlacement` — cycle through the devices in order;
+  ignores load and heterogeneity.  The baseline every fleet scheduler is
+  measured against.
+* :class:`LeastLoadedPlacement` — send the request where its estimated
+  completion is earliest: outstanding weighted work (the device's backlog
+  of estimated service seconds, a speed-normalised load measure) plus the
+  request's own estimated service time on that device.  On an idle fleet
+  this degenerates to fastest-device-first.
+* :class:`AffinityPlacement` — least-loaded, but aware that a tenant's
+  buffers live on the device that last served it: placing a tenant
+  elsewhere charges a migration penalty (the buffer transfer), modelled as
+  a delay between the request's arrival and its availability on the new
+  device.  Trades load balance against data locality.
+
+Requests pinned to a device (``arrival.device`` set by a device-tagged
+trace) always go to that device; policies are only consulted for unpinned
+requests, and the round-robin cursor does not advance on pinned ones.
+
+The policies operate on plain per-device load estimates, so the same
+implementations drive both planes: the evaluation plane's
+:class:`repro.sim.fleet.DeviceFleet` (seconds of estimated backlog) and
+the functional plane's :class:`repro.accelos.fleet.FleetRuntime` (pending
+request counts).  One asymmetry to know about: ``FleetRuntime`` consults
+the policy only for an application's *first* session — locality is then
+structural (buffers cannot move), so in the functional plane
+:class:`AffinityPlacement` has no home to bias by and behaves exactly
+like :class:`LeastLoadedPlacement`.  Migration trade-offs only exist in
+the evaluation plane, where per-request placement is re-decided.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+
+# Default buffer-migration penalty charged by the affinity policy, in
+# seconds: moving a tenant's working set (tens of MB) across a ~12 GB/s
+# host link before the kernel can launch on the new device.
+DEFAULT_MIGRATION_PENALTY = 2e-3
+
+
+class PlacementDecision:
+    """Where one request goes: fleet device index plus migration penalty."""
+
+    __slots__ = ("arrival", "index", "penalty", "pinned")
+
+    def __init__(self, arrival, index, penalty=0.0, pinned=False):
+        self.arrival = arrival
+        self.index = index
+        self.penalty = float(penalty)
+        self.pinned = pinned
+
+    def __repr__(self):
+        return "<PlacementDecision {} -> device {}{}>".format(
+            self.arrival.name, self.index,
+            " (+{:.1f}ms migration)".format(self.penalty * 1e3)
+            if self.penalty else "")
+
+
+class PlacementPolicy:
+    """Chooses a device index for each request.
+
+    Subclasses implement :meth:`choose`; they may keep state (round-robin
+    cursor, tenant homes) which :meth:`reset` clears so one policy object
+    can place several independent streams reproducibly.
+    """
+
+    name = "abstract"
+    # cost-blind policies (round-robin) set this False so streams are
+    # placed without running the service-time estimator per device
+    uses_costs = True
+
+    def reset(self):
+        """Forget all stream-local state (called before each stream)."""
+
+    def choose(self, arrival, loads, costs):
+        """Pick a device index for ``arrival``.
+
+        ``loads[i]`` is device *i*'s outstanding estimated work (seconds of
+        backlog in the simulation plane; pending request count in the
+        runtime plane).  ``costs[i]`` is the request's own estimated
+        service time on device *i* (zeros when no estimator is available).
+        """
+        raise NotImplementedError
+
+    def migration_penalty(self, arrival, index):
+        """Seconds of data-movement delay for serving ``arrival`` on
+        ``index``; stateful policies update their locality maps here."""
+        return 0.0
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Cycle through devices in fleet order, blind to load and speed."""
+
+    name = "round-robin"
+    uses_costs = False
+
+    def __init__(self):
+        self._next = 0
+
+    def reset(self):
+        self._next = 0
+
+    def choose(self, arrival, loads, costs):
+        index = self._next % len(loads)
+        self._next += 1
+        return index
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Earliest-estimated-completion: min over devices of backlog + own
+    service time.  Ties break toward the lower device index, keeping
+    placement deterministic."""
+
+    name = "least-loaded"
+
+    def choose(self, arrival, loads, costs):
+        finish = [load + cost for load, cost in zip(loads, costs)]
+        return min(range(len(finish)), key=lambda i: (finish[i], i))
+
+
+class AffinityPlacement(PlacementPolicy):
+    """Least-loaded placement that charges for moving a tenant's buffers.
+
+    A tenant's *home* is the device that last served it (set on first
+    placement).  Serving a tenant away from home adds ``penalty`` seconds
+    of buffer migration to the estimated completion — so the policy only
+    migrates when the home device's backlog exceeds the transfer cost —
+    and the migration re-homes the tenant.  Untenanted requests
+    (``arrival.tenant is None``) key on the kernel name, a coarse proxy
+    for "the same application keeps launching the same kernel".
+    """
+
+    name = "affinity"
+
+    def __init__(self, penalty=DEFAULT_MIGRATION_PENALTY):
+        if penalty < 0:
+            raise SchedulingError("migration penalty must be non-negative")
+        self.penalty = float(penalty)
+        self._home = {}
+
+    def reset(self):
+        self._home = {}
+
+    def _key(self, arrival):
+        return arrival.tenant if arrival.tenant is not None else arrival.name
+
+    def choose(self, arrival, loads, costs):
+        home = self._home.get(self._key(arrival))
+        finish = [
+            load + cost + (0.0 if home in (None, i) else self.penalty)
+            for i, (load, cost) in enumerate(zip(loads, costs))
+        ]
+        return min(range(len(finish)), key=lambda i: (finish[i], i))
+
+    def migration_penalty(self, arrival, index):
+        key = self._key(arrival)
+        home = self._home.get(key)
+        self._home[key] = index
+        return 0.0 if home in (None, index) else self.penalty
+
+
+def default_policies():
+    """Fresh instances of the three stock policies, keyed by name."""
+    policies = (RoundRobinPlacement(), LeastLoadedPlacement(),
+                AffinityPlacement())
+    return {p.name: p for p in policies}
+
+
+def place_arrivals(policy, arrivals, devices, estimator, ids=None):
+    """Place one arrival stream across a fleet (the simulation plane).
+
+    Walks the stream in arrival order maintaining a per-device backlog
+    estimate — each device modelled as a single server working through the
+    estimated isolated service times of the requests routed to it — and
+    asks ``policy`` to choose a device for every unpinned request.
+    ``estimator(name, device)`` supplies the service estimate (typically
+    :func:`repro.harness.experiment.isolated_time`).  ``ids`` maps device
+    ids of pinned requests to fleet indices.
+
+    Conservation invariant: returns exactly one
+    :class:`PlacementDecision` per arrival, in the input stream's order.
+    The backlog is an *estimate* used only for routing; real timing comes
+    from each device's simulator afterwards.
+    """
+    if not arrivals:
+        raise SchedulingError("cannot place an empty arrival stream")
+    if not devices:
+        raise SchedulingError("cannot place onto an empty fleet")
+    id_to_index = dict(ids) if ids is not None else {}
+    policy.reset()
+    busy_until = [0.0] * len(devices)
+    order = sorted(range(len(arrivals)),
+                   key=lambda i: (arrivals[i].time, i))
+    placed = [None] * len(arrivals)
+    for i in order:
+        arrival = arrivals[i]
+        if arrival.device is not None:
+            if arrival.device not in id_to_index:
+                raise SchedulingError(
+                    "arrival pinned to unknown device {!r}".format(
+                        arrival.device))
+            index = id_to_index[arrival.device]
+            pinned = True
+        else:
+            loads = [max(0.0, busy - arrival.time) for busy in busy_until]
+            # pinned requests and cost-blind policies never read the cost
+            # vector, so only estimate per device when the policy will
+            costs = ([estimator(arrival.name, device) for device in devices]
+                     if policy.uses_costs else [0.0] * len(devices))
+            index = policy.choose(arrival, loads, costs)
+            if not 0 <= index < len(devices):
+                raise SchedulingError(
+                    "policy {} chose device {} of {}".format(
+                        policy.name, index, len(devices)))
+            pinned = False
+        penalty = policy.migration_penalty(arrival, index)
+        start = max(busy_until[index], arrival.time + penalty)
+        busy_until[index] = start + estimator(arrival.name, devices[index])
+        placed[i] = PlacementDecision(arrival, index, penalty, pinned)
+    return placed

@@ -5,6 +5,17 @@ serves any number of applications through ProxyCL sessions.  Kernel
 execution requests are collected into an *arrival batch* (concurrent
 requests from distinct applications) and scheduled together with the §3
 sharing algorithm when the batch drains.
+
+**Role:** the functional-plane entry point — applications obtain a session
+(:meth:`AccelOSRuntime.session`) and speak ordinary OpenCL to it.
+**Inputs:** one :class:`~repro.cl.DeviceSpec`, a §6.4 scheduling policy
+and the §3 ``saturate`` switch.  **Invariants:** one runtime manages
+exactly one accelerator (N devices are composed by
+:class:`repro.accelos.fleet.FleetRuntime`); every program built through a
+session passes through the accelOS JIT; a drained batch's allocations are
+computed across the whole batch, so concurrent requests always fit the
+device together; ``launch_history`` records every executed plan in
+submission order.
 """
 
 from __future__ import annotations

@@ -14,6 +14,15 @@ Centrally manages kernel execution requests: for every request it
 The scheduler produces a :class:`LaunchPlan` per request, which is both
 executed functionally (correctness plane) and handed to the timing simulator
 (evaluation plane).
+
+**Inputs:** ``(kernel, nd_range)`` request batches whose kernels were
+transformed by the accelOS JIT (untransformed kernels are rejected).
+**Invariants:** one ResourceAnalysis pass per request (requirements are
+computed once and reused by the plan); the launch's work-group size and
+dimensionality are never altered, only the group count; the VNDRange
+buffer lives until the launch's event completes (released via
+``on_complete``, never at enqueue time); physical group counts come
+exclusively from the §3 sharing algorithm over the concurrent batch.
 """
 
 from __future__ import annotations

@@ -11,7 +11,7 @@ answered by :mod:`repro.sim`.
 """
 
 from repro.cl.device import (
-    DeviceSpec, nvidia_k20m, amd_r9_295x2, known_devices)
+    DeviceSpec, nvidia_k20m, amd_r9_295x2, known_devices, derated_device)
 from repro.cl.platform import Platform, get_platforms
 from repro.cl.context import Context
 from repro.cl.memory import Buffer, DeviceAllocator
@@ -21,6 +21,7 @@ from repro.cl.queue import CommandQueue
 
 __all__ = [
     "DeviceSpec", "nvidia_k20m", "amd_r9_295x2", "known_devices",
+    "derated_device",
     "Platform", "get_platforms", "Context", "Buffer", "DeviceAllocator",
     "Program", "Kernel", "NDRange", "CommandQueue",
 ]

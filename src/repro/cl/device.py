@@ -108,3 +108,25 @@ def amd_r9_295x2():
 def known_devices():
     """The two evaluation devices, keyed by vendor (paper §7.1)."""
     return {"NVIDIA": nvidia_k20m(), "AMD": amd_r9_295x2()}
+
+
+def derated_device(base, name, clock_scale=1.0, cu_scale=1.0):
+    """A slower sibling of ``base`` for heterogeneous-fleet studies.
+
+    Scales the clock (and memory bandwidth, which tracks the memory clock)
+    by ``clock_scale`` and the compute-unit count by ``cu_scale``; per-CU
+    capacities — the §3 inputs — are untouched, so the sharing algorithm's
+    per-device guarantees hold unchanged on the derated part.  Models the
+    common fleet reality of mixed generations of the same architecture.
+    """
+    if not 0.0 < clock_scale <= 1.0 or not 0.0 < cu_scale <= 1.0:
+        raise ValueError("derating scales must be in (0, 1]")
+    # copy every field so future DeviceSpec additions survive derating
+    fields = dict(vars(base))
+    fields.update(
+        name=name,
+        num_cus=max(1, int(round(base.num_cus * cu_scale))),
+        clock_mhz=base.clock_mhz * clock_scale,
+        mem_bw_gbs=base.mem_bw_gbs * clock_scale,
+    )
+    return DeviceSpec(**fields)

@@ -6,12 +6,15 @@ from repro.harness.experiment import (
 from repro.harness.sweep import SweepSummary, run_sweep, summarize
 from repro.harness.report import format_table
 from repro.harness.open_system import (
+    FleetOpenSystemExperiment, FleetOpenSystemResult,
     OpenSystemExperiment, OpenSystemResult, RequestRecord,
-    arrival_rate_for_load, sharing_allocator)
+    arrival_rate_for_load, fleet_arrival_rate_for_load, sharing_allocator)
 
 __all__ = [
     "SCHEMES", "WorkloadResult", "isolated_time", "run_single_kernel",
     "run_workload", "SweepSummary", "run_sweep", "summarize", "format_table",
     "OpenSystemExperiment", "OpenSystemResult", "RequestRecord",
-    "arrival_rate_for_load", "sharing_allocator",
+    "FleetOpenSystemExperiment", "FleetOpenSystemResult",
+    "arrival_rate_for_load", "fleet_arrival_rate_for_load",
+    "sharing_allocator",
 ]

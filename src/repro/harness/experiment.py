@@ -187,7 +187,7 @@ def run_workload(names, scheme, device, repetitions=DEFAULT_REPETITIONS,
 # Virtual-group granularity for single-kernel studies: real Parboil grids
 # have far more work groups than the device holds resident; the coarse
 # profile granularity (scale 1) keeps sweeps tractable but under-resolves
-# the §6.4 chunking trade-off (see EXPERIMENTS.md, fig. 15 notes).
+# the §6.4 chunking trade-off (see docs/PAPER_MAPPING.md, deviations).
 SINGLE_KERNEL_DETAIL = 1
 
 _detail_cache = {}

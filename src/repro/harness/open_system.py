@@ -19,6 +19,22 @@ extended with per-request queueing delay:
 Per-request metrics measure turnaround from *arrival* (queueing included),
 normalised by the kernel's isolated execution time — the open-system
 analogue of the paper's individual slowdown.
+
+**Inputs:** an arrival stream (:class:`repro.workloads.arrivals.ArrivalRequest`
+lists, usually from the seeded generators) plus a device — or, for
+:class:`FleetOpenSystemExperiment`, a :class:`repro.sim.fleet.DeviceFleet`
+and a placement policy.  **Invariants:** records are returned in the
+stream's submission order, one per arrival (conservation); every
+experiment is a pure function of its inputs (same stream → bit-identical
+metrics); the accelOS scheme re-runs the §3 allocator on every arrival
+and completion of the device serving the request.
+
+Fleet runs place each request on exactly one device
+(:func:`repro.accelos.placement.place_arrivals`), simulate every device
+independently, and report both per-device results and fleet-wide
+aggregates.  Fleet slowdowns are normalised by the *best* isolated time
+across the fleet, so being routed to a slow device legitimately counts as
+slowdown — the user-perceived metric for a heterogeneous deployment.
 """
 
 from __future__ import annotations
@@ -28,6 +44,7 @@ from collections import deque
 import numpy as np
 
 from repro.accelos.adaptive import SchedulingPolicy, effective_chunk
+from repro.accelos.placement import place_arrivals
 from repro.accelos.sharing import KernelRequirements, compute_allocations
 from repro.baselines.elastic_kernels import ElasticKernelsScheduler
 from repro.errors import SimulationError
@@ -35,6 +52,8 @@ from repro.harness.experiment import (SCHEMES, _base_spec, chunk_for_profile,
                                       isolated_time)
 from repro.metrics import antt, individual_slowdowns, stp, system_unfairness
 from repro.sim import ExecutionMode, GPUSimulator
+from repro.sim.fleet import DeviceFleet
+from repro.workloads.arrivals import ArrivalRequest
 from repro.workloads.parboil import PROFILE_NAMES, profile_by_name
 
 
@@ -153,17 +172,21 @@ class OpenSystemExperiment:
         """Simulate ``arrivals`` (a list of :class:`ArrivalRequest`) under
         ``scheme``; returns an :class:`OpenSystemResult` with records in
         submission order."""
+        records = self.scheme_records(arrivals, scheme)
+        return OpenSystemResult(scheme, self.device.name, records)
+
+    def scheme_records(self, arrivals, scheme):
+        """Per-request records of one scheme over one stream (the building
+        block :class:`FleetOpenSystemExperiment` combines per device)."""
         if not arrivals:
             raise SimulationError("empty arrival stream")
         if scheme == "baseline":
-            records = self._hardware_records(arrivals)
-        elif scheme == "accelos":
-            records = self._accelos_records(arrivals)
-        elif scheme == "ek":
-            records = self._elastic_records(arrivals)
-        else:
-            raise SimulationError("unknown scheme {!r}".format(scheme))
-        return OpenSystemResult(scheme, self.device.name, records)
+            return self._hardware_records(arrivals)
+        if scheme == "accelos":
+            return self._accelos_records(arrivals)
+        if scheme == "ek":
+            return self._elastic_records(arrivals)
+        raise SimulationError("unknown scheme {!r}".format(scheme))
 
     def run_all(self, arrivals, schemes=SCHEMES):
         """All schemes over one stream: ``{scheme: OpenSystemResult}``."""
@@ -239,3 +262,157 @@ class OpenSystemExperiment:
                     isolated_time(a.name, self.device))
             now += trace.makespan
         return records
+
+
+# -- multi-device fleets ------------------------------------------------------
+
+def fleet_arrival_rate_for_load(load, fleet, names=None):
+    """The Poisson rate offering ``load`` to a whole fleet.
+
+    The fleet's service capacity is the sum of the per-device rates
+    ``1 / E[S_d]`` (each device as one server working through isolated
+    service times of the kernel mix); ``load = 1`` saturates the fleet
+    when placement is perfect.
+    """
+    if load <= 0:
+        raise SimulationError("offered load must be positive")
+    capacity = sum(arrival_rate_for_load(1.0, member.device, names=names)
+                   for member in fleet)
+    return load * capacity
+
+
+class FleetOpenSystemResult:
+    """One scheme + placement policy over one stream on one fleet.
+
+    ``overall`` aggregates every request fleet-wide; ``per_device`` maps
+    device ids (only those that served at least one request) to their own
+    :class:`OpenSystemResult`.  All slowdowns are normalised by the best
+    isolated time across the fleet, so the heterogeneity cost of a
+    placement decision is visible in ANTT/unfairness.
+    """
+
+    def __init__(self, scheme, placement_name, fleet, records_by_device,
+                 all_records, decisions):
+        self.scheme = scheme
+        self.placement = placement_name
+        self.fleet_ids = list(fleet.ids)
+        self.overall = OpenSystemResult(
+            scheme, "fleet({})".format("+".join(fleet.ids)), all_records)
+        self.per_device = {
+            device_id: OpenSystemResult(scheme, device_id, records)
+            for device_id, records in records_by_device.items() if records
+        }
+        self.decisions = decisions
+        self.migrations = sum(1 for d in decisions if d.penalty > 0)
+        self.device_share = {
+            device_id: len(records_by_device.get(device_id, ())) /
+            float(len(all_records))
+            for device_id in fleet.ids
+        }
+
+    def __getattr__(self, attr):
+        # convenience passthrough: fleet.antt == fleet.overall.antt
+        if attr in ("antt", "stp", "unfairness", "mean_turnaround",
+                    "mean_queueing_delay", "records", "slowdowns",
+                    "makespan", "request_throughput"):
+            return getattr(self.overall, attr)
+        raise AttributeError(attr)
+
+    def __repr__(self):
+        return ("<FleetOpenSystemResult {}/{} {} reqs on {} devices: "
+                "U={:.2f} ANTT={:.2f}>".format(
+                    self.scheme, self.placement, len(self.overall.records),
+                    len(self.per_device), self.overall.unfairness,
+                    self.overall.antt))
+
+
+class FleetOpenSystemExperiment:
+    """Open-system arrival streams against a heterogeneous device fleet.
+
+    Placement routes each request to one device (pinned requests are
+    honoured, migration penalties delay a request's availability on its
+    new device), every device then simulates its sub-stream exactly as a
+    standalone :class:`OpenSystemExperiment` would — own simulator, own §3
+    allocator — and the records are recombined.  Deterministic end to end:
+    placement has no RNG and device simulation is event-driven.
+    """
+
+    def __init__(self, fleet, policy=SchedulingPolicy.ADAPTIVE,
+                 saturate=True):
+        if not isinstance(fleet, DeviceFleet):
+            fleet = DeviceFleet(fleet)
+        self.fleet = fleet
+        self.experiments = [
+            OpenSystemExperiment(member.device, policy=policy,
+                                 saturate=saturate)
+            for member in fleet
+        ]
+
+    # -- placement ---------------------------------------------------------
+
+    def reference_isolated(self, name):
+        """Best isolated time across the fleet: the slowdown denominator."""
+        return min(isolated_time(name, member.device)
+                   for member in self.fleet)
+
+    def place(self, arrivals, placement):
+        """Placement decisions for one stream (no simulation)."""
+        return place_arrivals(
+            placement, arrivals, self.fleet.devices,
+            estimator=isolated_time, ids=self.fleet.id_to_index())
+
+    # -- simulation --------------------------------------------------------
+
+    def run(self, arrivals, scheme, placement):
+        """One scheme over one stream under one placement policy."""
+        if not arrivals:
+            raise SimulationError("empty arrival stream")
+        decisions = self.place(arrivals, placement)
+        per_device_indices = {i: [] for i in range(len(self.fleet))}
+        for position, decision in enumerate(decisions):
+            per_device_indices[decision.index].append(position)
+
+        all_records = [None] * len(arrivals)
+        records_by_device = {}
+        for index, positions in per_device_indices.items():
+            device_id = self.fleet[index].id
+            if not positions:
+                records_by_device[device_id] = []
+                continue
+            # a migration penalty delays the request's availability on the
+            # device (the buffers move first), so it shifts the effective
+            # arrival; queueing delay is still charged from the original
+            # arrival time below.
+            sub_arrivals = [
+                ArrivalRequest(arrivals[p].name,
+                               arrivals[p].time + decisions[p].penalty,
+                               tenant=arrivals[p].tenant)
+                for p in positions
+            ]
+            sub_records = self.experiments[index].scheme_records(
+                sub_arrivals, scheme)
+            device_records = []
+            for position, record in zip(positions, sub_records):
+                original = arrivals[position]
+                rewritten = RequestRecord(
+                    record.name, original.time, record.start, record.finish,
+                    self.reference_isolated(record.name))
+                device_records.append(rewritten)
+                all_records[position] = rewritten
+            records_by_device[device_id] = device_records
+        if any(record is None for record in all_records):
+            raise SimulationError("fleet run lost a request record")
+        return FleetOpenSystemResult(scheme, placement.name, self.fleet,
+                                     records_by_device, all_records,
+                                     decisions)
+
+    def run_all(self, arrivals, placement, schemes=SCHEMES):
+        """All schemes over one stream: ``{scheme: FleetOpenSystemResult}``."""
+        return {scheme: self.run(arrivals, scheme, placement)
+                for scheme in schemes}
+
+    def run_policies(self, arrivals, scheme, policies):
+        """One scheme under several placement policies:
+        ``{policy_name: FleetOpenSystemResult}``."""
+        return {policy.name: self.run(arrivals, scheme, policy)
+                for policy in policies}

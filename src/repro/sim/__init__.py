@@ -23,9 +23,10 @@ overlap and throughput.
 from repro.sim.engine import EventQueue
 from repro.sim.spec import KernelExecSpec, ExecutionMode
 from repro.sim.gpu import GPUSimulator
+from repro.sim.fleet import DeviceFleet, FleetDevice
 from repro.sim.trace import ExecutionTrace, KernelInterval
 
 __all__ = [
     "EventQueue", "KernelExecSpec", "ExecutionMode", "GPUSimulator",
-    "ExecutionTrace", "KernelInterval",
+    "DeviceFleet", "FleetDevice", "ExecutionTrace", "KernelInterval",
 ]

@@ -1,0 +1,139 @@
+"""A heterogeneous fleet of simulated devices (the multi-device plane).
+
+One :class:`~repro.sim.gpu.GPUSimulator` models one accelerator; a fleet
+models the deployment reality of the ROADMAP's north star — many devices
+of mixed speed and size serving one request stream.  The fleet layer is
+deliberately thin:
+
+* each device keeps its **own** simulator, allocator state and §3
+  guarantees — nothing about single-device simulation changes;
+* a placement policy (:mod:`repro.accelos.placement`) routes every request
+  to exactly one device;
+* per-device traces are combined by the harness
+  (:class:`repro.harness.open_system.FleetOpenSystemExperiment`) into
+  per-device and fleet-wide metrics.
+
+Invariants: a fleet is non-empty, device ids are unique, and a request is
+simulated on exactly one device (conservation — enforced at placement).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.gpu import device_cost_scale
+
+
+class FleetDevice:
+    """One fleet member: a device spec plus its fleet-unique id.
+
+    ``cost_scale`` is the factor turning reference (K20m) work-group costs
+    into this device's costs — the fleet's measure of relative speed
+    (bigger scale = slower device).
+    """
+
+    __slots__ = ("id", "device", "cost_scale")
+
+    def __init__(self, device, device_id=None):
+        self.id = device_id if device_id is not None else device.name
+        self.device = device
+        self.cost_scale = device_cost_scale(device)
+
+    @property
+    def relative_speed(self):
+        """Device throughput relative to the reference device (K20m = 1.0
+        per CU, scaled by the CU count)."""
+        return self.device.num_cus / self.cost_scale
+
+    def __repr__(self):
+        return "<FleetDevice {} ({} CUs, {:.2f}x ref)>".format(
+            self.id, self.device.num_cus, self.relative_speed)
+
+
+class DeviceFleet:
+    """N per-device simulators behind one placement boundary.
+
+    Constructed from device specs or ``(id, spec)`` pairs:
+
+    >>> fleet = DeviceFleet([nvidia_k20m(),
+    ...                      ("slow", derated_device(nvidia_k20m(),
+    ...                                              "K20m-derated", 0.5))])
+
+    The fleet itself holds no scheduling state — per-device simulators are
+    created fresh by whoever runs an experiment — so one fleet object can
+    drive any number of independent experiments deterministically.
+    """
+
+    def __init__(self, devices):
+        members = []
+        for entry in devices:
+            if isinstance(entry, FleetDevice):
+                members.append(entry)
+            elif isinstance(entry, tuple):
+                device_id, device = entry
+                members.append(FleetDevice(device, device_id))
+            else:
+                members.append(FleetDevice(entry))
+        if not members:
+            raise SimulationError("a fleet needs at least one device")
+        ids = [m.id for m in members]
+        if len(set(ids)) != len(ids):
+            raise SimulationError(
+                "fleet device ids must be unique, got {}".format(ids))
+        # Harness caches (isolated_time and friends) key on the device
+        # *name*: two members may share a name only if their specs are
+        # identical, otherwise whichever is queried first silently poisons
+        # every estimate and metric for the other.
+        by_name = {}
+        for member in members:
+            spec = vars(member.device)
+            other = by_name.setdefault(member.device.name, spec)
+            if spec != other:
+                raise SimulationError(
+                    "fleet devices named {!r} have differing specs; give "
+                    "derated/custom devices distinct names".format(
+                        member.device.name))
+        self.members = members
+
+    # -- container surface -------------------------------------------------
+
+    def __len__(self):
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __getitem__(self, index):
+        return self.members[index]
+
+    @property
+    def ids(self):
+        return [m.id for m in self.members]
+
+    @property
+    def devices(self):
+        return [m.device for m in self.members]
+
+    def index_of(self, device_id):
+        for i, member in enumerate(self.members):
+            if member.id == device_id:
+                return i
+        raise SimulationError(
+            "no device {!r} in fleet {}".format(device_id, self.ids))
+
+    def id_to_index(self):
+        """``{device_id: fleet index}`` for pinned-placement lookups."""
+        return {m.id: i for i, m in enumerate(self.members)}
+
+    # -- properties the harness and benchmarks reason about ----------------
+
+    @property
+    def homogeneous(self):
+        """True when every member's spec is identical — including memory
+        bandwidth and firmware scheduler policy, which change simulated
+        timing even at equal compute capacity."""
+        first = vars(self.members[0].device)
+        return all(vars(m.device) == first for m in self.members)
+
+    def __repr__(self):
+        return "<DeviceFleet {} devices: {}>".format(
+            len(self.members), ", ".join(self.ids))

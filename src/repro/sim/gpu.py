@@ -39,6 +39,18 @@ Two pieces of hardware physics the evaluation depends on:
 
 WG costs in specs are for the reference device (K20m CU); other devices
 scale them by relative per-CU throughput.
+
+**Inputs:** a batch of :class:`~repro.sim.spec.KernelExecSpec` (one
+execution mode per batch) plus, for accelOS open-system runs, an
+``allocator(active_specs) -> [groups]`` callback wrapping the §3 sharing
+algorithm.  **Outputs:** an :class:`~repro.sim.trace.ExecutionTrace` of
+per-kernel intervals.  **Invariants:** one simulator simulates one device
+(fleets compose simulators — :mod:`repro.sim.fleet`); simulation is
+deterministic (no RNG; noise enters only through explicit ``cost_jitter``);
+in open-system accelOS runs the allocator is re-run on *every* admission
+and *every* request completion, allocations grow immediately and shrink
+lazily at chunk boundaries, and resident work groups are never preempted
+mid-chunk; every admitted request finishes or the run raises.
 """
 
 from __future__ import annotations

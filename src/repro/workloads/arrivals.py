@@ -8,8 +8,19 @@ request is a kernel name plus the time it enters the system — for the
 open-system simulation path (:meth:`repro.sim.GPUSimulator.run_open`,
 :class:`repro.harness.open_system.OpenSystemExperiment`).
 
+Requests optionally carry two placement tags consumed by the multi-device
+fleet layer (:mod:`repro.sim.fleet`, :mod:`repro.accelos.placement`):
+
+* ``tenant`` — the application the request belongs to.  The affinity
+  placement policy keeps a tenant's requests on the device holding its
+  buffers, charging a migration penalty when it moves.
+* ``device`` — a hard pin: a device id the request *must* run on
+  (device-tagged traces replayed from a real deployment).
+
 All generators are seeded through :func:`repro.util.make_rng`, so a stream
 is a pure function of its parameters: the same seed replays bit-for-bit.
+Streams generated without tenant assignment are unchanged from the
+single-device subsystem (no extra RNG draws are made).
 """
 
 from __future__ import annotations
@@ -20,31 +31,49 @@ from repro.workloads.parboil import PROFILE_NAMES
 
 
 class ArrivalRequest:
-    """One kernel execution request entering the system at ``time``."""
+    """One kernel execution request entering the system at ``time``.
 
-    __slots__ = ("name", "time")
+    ``tenant`` (optional) names the application the request belongs to;
+    ``device`` (optional) pins the request to a fleet device id.
+    """
 
-    def __init__(self, name, time):
+    __slots__ = ("name", "time", "tenant", "device")
+
+    def __init__(self, name, time, tenant=None, device=None):
         if time < 0:
             raise SimulationError("arrival time must be non-negative")
         self.name = name
         self.time = float(time)
+        self.tenant = tenant
+        self.device = device
 
     def __repr__(self):
-        return "<ArrivalRequest {} @ {:.6f}s>".format(self.name, self.time)
+        tags = ""
+        if self.tenant is not None:
+            tags += " tenant={}".format(self.tenant)
+        if self.device is not None:
+            tags += " device={}".format(self.device)
+        return "<ArrivalRequest {} @ {:.6f}s{}>".format(
+            self.name, self.time, tags)
 
     def __eq__(self, other):
         return (isinstance(other, ArrivalRequest)
-                and self.name == other.name and self.time == other.time)
+                and self.name == other.name and self.time == other.time
+                and self.tenant == other.tenant
+                and self.device == other.device)
 
 
-def poisson_arrivals(rate, count, seed=0, names=None):
+def poisson_arrivals(rate, count, seed=0, names=None, tenants=None):
     """A seeded Poisson arrival process over the corpus.
 
     Inter-arrival times are exponential with mean ``1/rate`` (``rate`` in
     requests/second); kernel names are drawn uniformly from ``names``
-    (default: the whole 25-kernel corpus).  Deterministic in
-    ``(rate, count, seed, names)``.
+    (default: the whole 25-kernel corpus).  When ``tenants`` is given (a
+    count or a sequence of tenant ids), each request is additionally
+    tagged with a uniformly drawn tenant — the multi-application stream
+    the fleet's affinity placement consumes.  Deterministic in
+    ``(rate, count, seed, names, tenants)``; without ``tenants`` the
+    stream is bit-identical to the untagged generator.
     """
     if rate <= 0:
         raise SimulationError("arrival rate must be positive")
@@ -53,19 +82,37 @@ def poisson_arrivals(rate, count, seed=0, names=None):
     pool = list(names) if names is not None else list(PROFILE_NAMES)
     if not pool:
         raise SimulationError("empty kernel name pool")
+    tenant_pool = _tenant_pool(tenants)
     rng = make_rng("poisson-arrivals", rate, count, seed, *pool)
     now = 0.0
     stream = []
     for _ in range(count):
         now += float(rng.exponential(1.0 / rate))
-        stream.append(ArrivalRequest(pool[int(rng.integers(len(pool)))], now))
+        name = pool[int(rng.integers(len(pool)))]
+        tenant = (tenant_pool[int(rng.integers(len(tenant_pool)))]
+                  if tenant_pool else None)
+        stream.append(ArrivalRequest(name, now, tenant=tenant))
     return stream
 
 
-def periodic_arrivals(interval, count, names=None, start=0.0):
+def _tenant_pool(tenants):
+    if tenants is None:
+        return None
+    if isinstance(tenants, int):
+        if tenants <= 0:
+            raise SimulationError("tenant count must be positive")
+        return ["app{}".format(i) for i in range(tenants)]
+    pool = list(tenants)
+    if not pool:
+        raise SimulationError("empty tenant pool")
+    return pool
+
+
+def periodic_arrivals(interval, count, names=None, start=0.0, tenants=None):
     """Deterministic constant-interval arrivals, names cycled round-robin.
 
     Useful for tests and worst-case steady-load studies (no burstiness).
+    ``tenants`` (count or sequence) are likewise cycled round-robin.
     """
     if interval <= 0:
         raise SimulationError("arrival interval must be positive")
@@ -74,17 +121,24 @@ def periodic_arrivals(interval, count, names=None, start=0.0):
     pool = list(names) if names is not None else list(PROFILE_NAMES)
     if not pool:
         raise SimulationError("empty kernel name pool")
-    return [ArrivalRequest(pool[i % len(pool)], start + i * interval)
+    tenant_pool = _tenant_pool(tenants)
+    return [ArrivalRequest(
+                pool[i % len(pool)], start + i * interval,
+                tenant=(tenant_pool[i % len(tenant_pool)]
+                        if tenant_pool else None))
             for i in range(count)]
 
 
 def trace_arrivals(entries):
-    """An arrival stream from explicit ``(name, time)`` pairs.
+    """An arrival stream from explicit trace entries.
 
-    The trace-driven path: replay arrival logs from a real deployment (or a
-    hand-written scenario).  Entries are sorted by time.
+    The trace-driven path: replay arrival logs from a real deployment (or
+    a hand-written scenario).  Each entry is ``(name, time)``,
+    ``(name, time, tenant)`` or ``(name, time, tenant, device)`` — the
+    four-element form pins the request to a fleet device id (device-tagged
+    traces).  Entries are sorted by time.
     """
-    stream = sorted((ArrivalRequest(name, time) for name, time in entries),
+    stream = sorted((ArrivalRequest(*entry) for entry in entries),
                     key=lambda a: a.time)
     if not stream:
         raise SimulationError("empty arrival trace")
