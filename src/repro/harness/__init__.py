@@ -4,7 +4,7 @@ aggregates the paper's metrics."""
 from repro.harness.experiment import (
     SCHEMES, WorkloadResult, isolated_time, run_single_kernel, run_workload)
 from repro.harness.sweep import SweepSummary, run_sweep, summarize
-from repro.harness.report import format_table
+from repro.harness.report import TAIL_HEADERS, format_table, tail_cells
 from repro.harness.open_system import (
     FleetOpenSystemExperiment, FleetOpenSystemResult,
     OpenSystemExperiment, OpenSystemResult, RequestRecord,
@@ -13,6 +13,7 @@ from repro.harness.open_system import (
 __all__ = [
     "SCHEMES", "WorkloadResult", "isolated_time", "run_single_kernel",
     "run_workload", "SweepSummary", "run_sweep", "summarize", "format_table",
+    "TAIL_HEADERS", "tail_cells",
     "OpenSystemExperiment", "OpenSystemResult", "RequestRecord",
     "FleetOpenSystemExperiment", "FleetOpenSystemResult",
     "arrival_rate_for_load", "fleet_arrival_rate_for_load",

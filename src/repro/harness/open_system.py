@@ -50,7 +50,8 @@ from repro.baselines.elastic_kernels import ElasticKernelsScheduler
 from repro.errors import SimulationError
 from repro.harness.experiment import (SCHEMES, _base_spec, chunk_for_profile,
                                       isolated_time)
-from repro.metrics import antt, individual_slowdowns, stp, system_unfairness
+from repro.metrics import (antt, individual_slowdowns, request_tails, stp,
+                           system_unfairness)
 from repro.sim import ExecutionMode, GPUSimulator
 from repro.sim.fleet import DeviceFleet
 from repro.workloads.arrivals import ArrivalRequest
@@ -80,31 +81,52 @@ def sharing_allocator(device, saturate=True):
     return allocate
 
 
-def arrival_rate_for_load(load, device, names=None):
-    """The Poisson rate (requests/s) producing offered load ``load``.
+def arrival_rate_for_load(load, device, names=None, weights=None):
+    """The arrival rate (requests/s) producing offered load ``load``.
 
     Offered load is ``rho = lambda * E[S]`` with ``E[S]`` the mean isolated
     service time of the kernel mix; ``rho = 1`` saturates a server that
-    runs requests back to back with no sharing.
+    runs requests back to back with no sharing.  ``weights`` optionally
+    gives the mix's per-kernel selection probabilities (normalised here) —
+    the scenario engine passes its effective mix so weighted traffic
+    offers the load it claims; ``None`` means a uniform mix.
     """
     if load <= 0:
         raise SimulationError("offered load must be positive")
     pool = list(names) if names is not None else list(PROFILE_NAMES)
-    mean_service = float(np.mean([isolated_time(n, device) for n in pool]))
+    if weights is None:
+        mean_service = float(np.mean([isolated_time(n, device)
+                                      for n in pool]))
+    else:
+        if len(weights) != len(pool):
+            raise SimulationError(
+                "need one weight per kernel name ({} != {})".format(
+                    len(weights), len(pool)))
+        total = float(sum(weights))
+        if total <= 0 or any(w < 0 for w in weights):
+            raise SimulationError("weights must be non-negative with a "
+                                  "positive sum")
+        mean_service = sum((w / total) * isolated_time(n, device)
+                           for n, w in zip(pool, weights))
     return load / mean_service
 
 
 class RequestRecord:
-    """Timing of one request through the open system."""
+    """Timing of one request through the open system.
 
-    __slots__ = ("name", "arrival", "start", "finish", "isolated")
+    ``tenant`` carries the arrival's tenant tag (``None`` for untagged
+    streams) so tail metrics can report per-tenant breakdowns.
+    """
 
-    def __init__(self, name, arrival, start, finish, isolated):
+    __slots__ = ("name", "arrival", "start", "finish", "isolated", "tenant")
+
+    def __init__(self, name, arrival, start, finish, isolated, tenant=None):
         self.name = name
         self.arrival = arrival
         self.start = start
         self.finish = finish
         self.isolated = isolated
+        self.tenant = tenant
 
     @property
     def turnaround(self):
@@ -145,6 +167,13 @@ class OpenSystemResult:
         self.mean_queueing_delay = float(
             np.mean([r.queueing_delay for r in records]))
         self.makespan = max(r.finish for r in records)
+        (self.slowdown_tails, self.queueing_tails,
+         self.tenant_slowdown_tails) = request_tails(records)
+
+    @property
+    def p99_slowdown(self):
+        """The headline tail metric: 99th-percentile request slowdown."""
+        return self.slowdown_tails.p99
 
     @property
     def request_throughput(self):
@@ -197,7 +226,8 @@ class OpenSystemExperiment:
     def _records_from_trace(self, arrivals, trace):
         return [
             RequestRecord(a.name, a.time, iv.start, iv.finish,
-                          isolated_time(a.name, self.device))
+                          isolated_time(a.name, self.device),
+                          tenant=a.tenant)
             for a, iv in zip(arrivals, trace.intervals)
         ]
 
@@ -259,24 +289,27 @@ class OpenSystemExperiment:
                 a = arrivals[i]
                 records[i] = RequestRecord(
                     a.name, a.time, now + iv.start, now + iv.finish,
-                    isolated_time(a.name, self.device))
+                    isolated_time(a.name, self.device), tenant=a.tenant)
             now += trace.makespan
         return records
 
 
 # -- multi-device fleets ------------------------------------------------------
 
-def fleet_arrival_rate_for_load(load, fleet, names=None):
-    """The Poisson rate offering ``load`` to a whole fleet.
+def fleet_arrival_rate_for_load(load, fleet, names=None, weights=None):
+    """The arrival rate offering ``load`` to a whole fleet.
 
     The fleet's service capacity is the sum of the per-device rates
     ``1 / E[S_d]`` (each device as one server working through isolated
     service times of the kernel mix); ``load = 1`` saturates the fleet
-    when placement is perfect.
+    when placement is perfect.  ``weights`` has the same meaning as in
+    :func:`arrival_rate_for_load` — pass a scenario's effective mix so
+    weighted traffic offers the fleet the load it claims.
     """
     if load <= 0:
         raise SimulationError("offered load must be positive")
-    capacity = sum(arrival_rate_for_load(1.0, member.device, names=names)
+    capacity = sum(arrival_rate_for_load(1.0, member.device, names=names,
+                                         weights=weights)
                    for member in fleet)
     return load * capacity
 
@@ -314,7 +347,9 @@ class FleetOpenSystemResult:
         # convenience passthrough: fleet.antt == fleet.overall.antt
         if attr in ("antt", "stp", "unfairness", "mean_turnaround",
                     "mean_queueing_delay", "records", "slowdowns",
-                    "makespan", "request_throughput"):
+                    "makespan", "request_throughput", "slowdown_tails",
+                    "queueing_tails", "tenant_slowdown_tails",
+                    "p99_slowdown"):
             return getattr(self.overall, attr)
         raise AttributeError(attr)
 
@@ -396,7 +431,8 @@ class FleetOpenSystemExperiment:
                 original = arrivals[position]
                 rewritten = RequestRecord(
                     record.name, original.time, record.start, record.finish,
-                    self.reference_isolated(record.name))
+                    self.reference_isolated(record.name),
+                    tenant=original.tenant)
                 device_records.append(rewritten)
                 all_records[position] = rewritten
             records_by_device[device_id] = device_records

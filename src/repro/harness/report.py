@@ -2,6 +2,17 @@
 
 from __future__ import annotations
 
+# Column headers for one TailSummary rendered via tail_cells(); benches
+# append them to their scheme/scenario columns so every tail report reads
+# the same way.
+TAIL_HEADERS = ("p50", "p95", "p99", "max/mean")
+
+
+def tail_cells(summary):
+    """The :data:`TAIL_HEADERS` cells of one
+    :class:`repro.metrics.tails.TailSummary`."""
+    return [summary.p50, summary.p95, summary.p99, summary.max_over_mean]
+
 
 def format_table(headers, rows, title=None):
     """Render a simple aligned table."""

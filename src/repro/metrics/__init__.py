@@ -4,6 +4,7 @@ Fairness: individual slowdown, system unfairness [9], fairness improvement.
 Throughput: system throughput speedup, STP [10].
 Turnaround: ANTT and worst-case ANTT [31].
 Sharing: kernel execution overlap.
+Tails: exact percentile summaries of slowdown/queueing populations.
 """
 
 from repro.metrics.fairness import (
@@ -11,8 +12,12 @@ from repro.metrics.fairness import (
 from repro.metrics.throughput import throughput_speedup, stp
 from repro.metrics.antt import antt, worst_antt
 from repro.metrics.overlap import execution_overlap
+from repro.metrics.tails import (
+    TailSummary, per_tenant_tails, percentile, request_tails, tail_summary)
 
 __all__ = [
     "individual_slowdowns", "system_unfairness", "fairness_improvement",
     "throughput_speedup", "stp", "antt", "worst_antt", "execution_overlap",
+    "TailSummary", "percentile", "tail_summary", "per_tenant_tails",
+    "request_tails",
 ]

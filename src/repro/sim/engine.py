@@ -4,12 +4,21 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 
 from repro.errors import SimulationError
 
 
 class EventQueue:
-    """Priority queue of (time, payload) events with stable FIFO ties."""
+    """Priority queue of (time, payload) events with stable FIFO ties.
+
+    Heap entries are ``(time, seq, payload)`` where ``seq`` is a monotonic
+    insertion counter: equal-time events pop in insertion order and the
+    payload itself is never compared — payloads of any (mutually
+    non-comparable) type are safe.  ``push`` rejects NaN times outright:
+    NaN compares false against everything, so a NaN entry would neither
+    raise nor order correctly but silently scramble the heap invariant.
+    """
 
     def __init__(self):
         self._heap = []
@@ -17,6 +26,8 @@ class EventQueue:
         self.now = 0.0
 
     def push(self, time, payload):
+        if math.isnan(time):
+            raise SimulationError("event scheduled at NaN time")
         if time < self.now - 1e-12:
             raise SimulationError(
                 "event scheduled in the past ({} < {})".format(time, self.now))

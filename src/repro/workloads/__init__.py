@@ -15,10 +15,17 @@ from repro.workloads.generator import (
     pairwise_workloads, random_workloads, alphabetic_pairs)
 from repro.workloads.arrivals import (
     ArrivalRequest, poisson_arrivals, periodic_arrivals, trace_arrivals)
+from repro.workloads.scenarios import (
+    SCENARIOS, DiurnalScenario, MMPPScenario, MultiTenantScenario,
+    PoissonScenario, TrafficScenario, from_name, heavy_tailed_weights,
+    reference_demand, scenario)
 
 __all__ = [
     "KernelProfile", "all_profiles", "profile_by_name", "PROFILE_NAMES",
     "pairwise_workloads", "random_workloads", "alphabetic_pairs",
     "ArrivalRequest", "poisson_arrivals", "periodic_arrivals",
     "trace_arrivals",
+    "SCENARIOS", "TrafficScenario", "PoissonScenario", "MMPPScenario",
+    "DiurnalScenario", "MultiTenantScenario", "heavy_tailed_weights",
+    "reference_demand", "scenario", "from_name",
 ]

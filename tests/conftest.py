@@ -11,6 +11,19 @@ from repro.interp import KernelLauncher
 from repro.interp.memory import alloc_buffer
 from repro.kernelc import types as T
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens", action="store_true", default=False,
+        help="rewrite the golden-trace fixtures under tests/goldens/ from "
+             "the current simulator output (then commit the diff "
+             "deliberately — see tests/test_golden_traces.py)")
+
+
+@pytest.fixture
+def regen_goldens(request):
+    return request.config.getoption("--regen-goldens")
+
+
 _NUMPY_TO_ELEM = {
     np.dtype(np.int32): T.INT,
     np.dtype(np.uint32): T.UINT,

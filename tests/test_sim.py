@@ -56,6 +56,42 @@ def test_event_queue_empty_pop():
         EventQueue().pop()
 
 
+def test_event_queue_ties_never_compare_payloads():
+    """Equal-time events pop in insertion order via the sequence counter
+    even when the payloads themselves are mutually non-comparable (tuples
+    vs None vs objects — exactly what the simulator pushes)."""
+
+    class Opaque:
+        __lt__ = None  # comparing two of these raises TypeError
+
+    payloads = [("chunk", object(), 1), None, Opaque(), ("arrival", None),
+                Opaque()]
+    q = EventQueue()
+    for payload in payloads:
+        q.push(1.0, payload)
+    q.push(0.5, "early")
+    popped = [q.pop()[1] for _ in range(len(payloads) + 1)]
+    assert popped[0] == "early"
+    assert popped[1:] == payloads  # identity order preserved on the tie
+
+
+def test_event_queue_interleaved_ties_stay_fifo():
+    """Ties pushed across pops still break by insertion order."""
+    q = EventQueue()
+    q.push(1.0, "a")
+    q.push(1.0, "b")
+    assert q.pop()[1] == "a"
+    q.push(1.0, "c")  # same timestamp, pushed later than b
+    assert [q.pop()[1], q.pop()[1]] == ["b", "c"]
+
+
+def test_event_queue_rejects_nan_time():
+    q = EventQueue()
+    with pytest.raises(SimulationError, match="NaN"):
+        q.push(float("nan"), "x")
+    assert not q  # nothing was enqueued
+
+
 # -- resources -----------------------------------------------------------------
 
 def test_cu_admit_release_roundtrip():
