@@ -2,10 +2,13 @@
 heterogeneous fleets.
 
 Beyond the paper (which arbitrates a single accelerator), this bench
-scales the open-system methodology to a *fleet*: Poisson request streams
-are placed across devices by each placement policy, every device runs its
-own §3 allocator, and fleet-wide STP/ANTT/unfairness/queueing delay are
-reported alongside the per-device split.
+scales the open-system methodology to a *fleet*: a multi-tenant request
+stream is placed across devices by each registered placement policy,
+every device runs its own §3 allocator, and fleet-wide
+STP/ANTT/unfairness/queueing delay are reported alongside the per-device
+split.  The whole campaign is one declarative
+:class:`repro.api.ExperimentSpec` per fleet — topology (derated
+heterogeneity included) and placement grid are data, not wiring.
 
 Expected shape of the results:
 
@@ -22,55 +25,57 @@ Expected shape of the results:
 
 import pytest
 
-from repro.accelos.placement import (AffinityPlacement, LeastLoadedPlacement,
-                                     RoundRobinPlacement)
-from repro.cl import derated_device, nvidia_k20m
-from repro.harness import (FleetOpenSystemExperiment, format_table,
-                           fleet_arrival_rate_for_load)
+from repro.api import (ExperimentSpec, build_device, build_stream,
+                       placement_from_name, placement_names, run)
+from repro.harness import FleetOpenSystemExperiment, format_table
 from repro.sim import DeviceFleet
-from repro.workloads import poisson_arrivals
 
 STREAM_LENGTH = 32
 SEED = 2016
 LOAD = 1.0
-TENANTS = 6
 SCHEME = "accelos"
+SCENARIO = "multi-tenant"
 
 FLEETS = {
-    "homogeneous 2x K20m": lambda: DeviceFleet([
-        ("k20m-0", nvidia_k20m()),
-        ("k20m-1", nvidia_k20m()),
-    ]),
-    "heterogeneous fast+slow": lambda: DeviceFleet([
-        ("fast", nvidia_k20m()),
-        ("slow", derated_device(nvidia_k20m(), "K20m-derated",
-                                clock_scale=0.4, cu_scale=0.5)),
-    ]),
+    "homogeneous 2x K20m": (
+        {"id": "k20m-0", "base": "nvidia-k20m"},
+        {"id": "k20m-1", "base": "nvidia-k20m"},
+    ),
+    "heterogeneous fast+slow": (
+        {"id": "fast", "base": "nvidia-k20m"},
+        {"id": "slow", "base": "nvidia-k20m",
+         "clock_scale": 0.4, "cu_scale": 0.5},
+    ),
 }
 
-POLICIES = (RoundRobinPlacement, LeastLoadedPlacement, AffinityPlacement)
 
-
-def stream(fleet):
-    rate = fleet_arrival_rate_for_load(LOAD, fleet)
-    return poisson_arrivals(rate, STREAM_LENGTH, seed=SEED, tenants=TENANTS)
+def spec_for(fleet_name, schemes=(SCHEME,), placements=None,
+             scenario_name=SCENARIO):
+    return ExperimentSpec(
+        scenario=scenario_name,
+        schemes=schemes,
+        loads=(LOAD,),
+        seeds=(SEED,),
+        count=STREAM_LENGTH,
+        devices=FLEETS[fleet_name],
+        placements=placements if placements is not None
+        else placement_names(),
+        metrics=("unfairness", "stp", "antt", "mean_queueing_delay"),
+    )
 
 
 @pytest.mark.parametrize("fleet_name", list(FLEETS))
 def test_fleet_placement_sweep(benchmark, emit, fleet_name):
-    fleet = FLEETS[fleet_name]()
-    experiment = FleetOpenSystemExperiment(fleet)
-    arrivals = stream(fleet)
+    results = run(spec_for(fleet_name))
 
-    results = experiment.run_policies(arrivals, SCHEME,
-                                      [policy() for policy in POLICIES])
     rows = []
-    for name, result in results.items():
+    for placement in placement_names():
+        result = results.get(placement=placement)
         share = " ".join("{}={:.0%}".format(device_id, fraction)
                          for device_id, fraction
                          in result.device_share.items())
-        rows.append([name, result.overall.unfairness, result.overall.stp,
-                     result.overall.antt,
+        rows.append([placement, result.overall.unfairness,
+                     result.overall.stp, result.overall.antt,
                      result.overall.mean_queueing_delay * 1e3,
                      result.migrations, share])
     emit(format_table(
@@ -80,10 +85,21 @@ def test_fleet_placement_sweep(benchmark, emit, fleet_name):
         title="Fleet placement sweep — {} ({} {} requests, load {}, seed {})"
         .format(fleet_name, STREAM_LENGTH, SCHEME, LOAD, SEED)))
 
-    benchmark(experiment.run, arrivals, SCHEME, LeastLoadedPlacement())
+    # the timed probe keeps the pre-port target exactly: one scheme under
+    # one placement over a pre-built fleet and stream — spec plumbing
+    # (validation, device build, calibration, stream generation) stays
+    # outside the measured region.  build_stream is the driver's own
+    # stream derivation, so the probe simulates the same workload as the
+    # asserted results above.
+    spec = spec_for(fleet_name)
+    fleet = DeviceFleet([(entry.id, build_device(entry))
+                         for entry in spec.devices])
+    stream = build_stream(spec, LOAD, SEED, 0, fleet=fleet)
+    benchmark(FleetOpenSystemExperiment(fleet).run, stream, SCHEME,
+              placement_from_name("least-loaded"))
 
-    least_loaded = results["least-loaded"]
-    round_robin = results["round-robin"]
+    least_loaded = results.get(placement="least-loaded")
+    round_robin = results.get(placement="round-robin")
     if "heterogeneous" in fleet_name:
         # the acceptance criterion: load-aware placement beats blind
         # round-robin on ANTT when devices differ in speed
@@ -95,32 +111,65 @@ def test_fleet_placement_sweep(benchmark, emit, fleet_name):
             < round_robin.overall.antt * 1.25
 
     # conservation: every request served exactly once, on some device
-    for result in results.values():
+    for _, result in results:
         assert len(result.overall.records) == STREAM_LENGTH
         assert sum(len(r.records) for r in result.per_device.values()) \
             == STREAM_LENGTH
 
-    # determinism: the whole campaign is a pure function of the seed
-    again = experiment.run(stream(fleet), SCHEME, LeastLoadedPlacement())
-    assert again.overall.antt == least_loaded.overall.antt
-    assert [r.finish for r in again.overall.records] \
+    # determinism: the whole campaign is a pure function of the spec
+    again = run(spec_for(fleet_name, placements=("least-loaded",)))
+    assert again.antt(placement="least-loaded") == least_loaded.overall.antt
+    assert [r.finish for r in again.records(placement="least-loaded")] \
         == [r.finish for r in least_loaded.overall.records]
 
 
 def test_fleet_schemes_ranked(emit):
-    """accelOS keeps its single-device ranking when scaled to a fleet."""
-    fleet = FLEETS["heterogeneous fast+slow"]()
-    experiment = FleetOpenSystemExperiment(fleet)
-    arrivals = stream(fleet)
-    results = experiment.run_all(arrivals, LeastLoadedPlacement())
-    rows = [[scheme, r.overall.unfairness, r.overall.stp, r.overall.antt,
-             r.overall.mean_queueing_delay * 1e3]
-            for scheme, r in results.items()]
+    """accelOS keeps its single-device ranking when scaled to a fleet.
+
+    Steady traffic: the ranking claim mirrors the single-device bench.
+    """
+    results = run(spec_for("heterogeneous fast+slow",
+                           schemes=("baseline", "ek", "accelos"),
+                           placements=("least-loaded",),
+                           scenario_name="steady"))
+    rows = [[scheme, results.unfairness(scheme=scheme),
+             results.stp(scheme=scheme), results.antt(scheme=scheme),
+             results.metric("mean_queueing_delay", scheme=scheme) * 1e3]
+            for scheme in ("baseline", "ek", "accelos")]
     emit(format_table(
         ["scheme", "unfairness", "STP", "ANTT", "queue delay (ms)"],
         rows,
         title="Fleet schemes — heterogeneous fast+slow, least-loaded "
               "placement"))
-    assert results["accelos"].overall.unfairness \
-        < results["baseline"].overall.unfairness
-    assert results["accelos"].overall.antt < results["ek"].overall.antt
+    assert results.unfairness(scheme="accelos") \
+        < results.unfairness(scheme="baseline")
+    assert results.antt(scheme="accelos") < results.antt(scheme="ek")
+
+
+def test_fleet_schemes_ranked_under_bursty_multi_tenant(emit):
+    """The rankings that survive realistic traffic, pinned by CI.
+
+    Under bursty multi-tenant surges on a fast+slow fleet, accelOS still
+    wins on ANTT and tail slowdown against both baselines — but its
+    *unfairness* edge over the standard stack does NOT survive (the
+    fleet-wide slowdown spread is dominated by which device a burst
+    lands on, not by per-device sharing; see ROADMAP open items).  This
+    test asserts the former so a regression is visible, and documents
+    the latter instead of pretending it holds.
+    """
+    results = run(spec_for("heterogeneous fast+slow",
+                           schemes=("baseline", "ek", "accelos"),
+                           placements=("least-loaded",)))
+    rows = [[scheme, results.unfairness(scheme=scheme),
+             results.antt(scheme=scheme),
+             results.p99_slowdown(scheme=scheme)]
+            for scheme in ("baseline", "ek", "accelos")]
+    emit(format_table(
+        ["scheme", "unfairness", "ANTT", "p99 slowdown"],
+        rows,
+        title="Fleet schemes — heterogeneous, bursty multi-tenant "
+              "traffic"))
+    assert results.antt(scheme="accelos") < results.antt(scheme="baseline")
+    assert results.antt(scheme="accelos") < results.antt(scheme="ek")
+    assert results.p99_slowdown(scheme="accelos") \
+        < results.p99_slowdown(scheme="baseline")

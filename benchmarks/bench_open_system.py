@@ -1,72 +1,93 @@
 """Open-system evaluation: streaming arrivals versus offered load.
 
 Beyond the paper's closed batches (§7.2 submits every kernel at t=0), this
-bench drives the three schemes with a seeded Poisson arrival stream over
-the Parboil corpus and reports per-request unfairness, STP, ANTT and mean
-queueing delay as offered load grows.  The paper's qualitative claims
-should extend to the streaming regime: the standard stack serialises
-(later arrivals starve), Elastic Kernels' static merging degrades further
-(arrivals cannot join a running merged launch), and accelOS's continuous
-re-allocation keeps slowdowns even.
+bench drives every registered scheme with a seeded steady (Poisson)
+arrival stream over the Parboil corpus and reports per-request
+unfairness, STP, ANTT and mean queueing delay as offered load grows.  The
+paper's qualitative claims should extend to the streaming regime: the
+standard stack serialises (later arrivals starve), Elastic Kernels'
+static merging degrades further (arrivals cannot join a running merged
+launch), and accelOS's continuous re-allocation keeps slowdowns even.
+
+The whole campaign is one declarative :class:`repro.api.ExperimentSpec`
+run through ``repro.api.run`` — no hand-wired device/stream/scheme
+plumbing (docs/API.md).
 """
 
 import pytest
 
-from benchmarks.conftest import DEVICES
-from repro.harness import (OpenSystemExperiment, arrival_rate_for_load,
-                           format_table)
-from repro.workloads import poisson_arrivals
+from repro.api import ExperimentSpec, build_device, build_stream, run
+from repro.harness import OpenSystemExperiment, format_table
 
 STREAM_LENGTH = 32   # requests per stream (acceptance floor)
 SEED = 2016
 LOADS = (0.5, 1.0, 2.0)  # offered load rho = lambda * E[S_isolated]
 SCHEME_ORDER = ("baseline", "ek", "accelos")
 
+DEVICE_BASES = {
+    "NVIDIA K20m": "nvidia-k20m",
+    "AMD R9 295X2": "amd-r9-295x2",
+}
 
-def stream(device, load):
-    """The seeded Poisson stream for one (device, load) point."""
-    rate = arrival_rate_for_load(load, device)
-    return poisson_arrivals(rate, STREAM_LENGTH, seed=SEED)
+
+def spec_for(base, loads=LOADS, count=STREAM_LENGTH,
+             schemes=SCHEME_ORDER):
+    """The declarative campaign for one device."""
+    return ExperimentSpec(
+        scenario="steady",
+        schemes=schemes,
+        loads=loads,
+        seeds=(SEED,),
+        count=count,
+        devices=({"id": base, "base": base},),
+        metrics=("unfairness", "stp", "antt", "mean_queueing_delay"),
+    )
 
 
-@pytest.mark.parametrize("device_name", list(DEVICES))
+@pytest.mark.parametrize("device_name", list(DEVICE_BASES))
 def test_open_system_streaming(benchmark, emit, device_name):
-    device = DEVICES[device_name]()
-    experiment = OpenSystemExperiment(device)
+    spec = spec_for(DEVICE_BASES[device_name])
+    results = run(spec)
 
-    results_by_load = {}
     rows = []
     for load in LOADS:
-        results = experiment.run_all(stream(device, load))
-        results_by_load[load] = results
         for scheme in SCHEME_ORDER:
-            r = results[scheme]
+            r = results.get(scheme=scheme, load=load)
             rows.append([load, scheme, r.unfairness, r.stp, r.antt,
                          r.mean_queueing_delay * 1e3])
     emit(format_table(
         ["load", "scheme", "unfairness", "STP", "ANTT", "queue delay (ms)"],
         rows,
-        title="Open system ({}) — {} Poisson requests per stream, seed {}"
+        title="Open system ({}) — {} steady requests per stream, seed {}"
         .format(device_name, STREAM_LENGTH, SEED)))
 
-    benchmark(experiment.run, stream(device, 1.0), "accelos")
+    # the timed probe keeps the pre-port target exactly: one accelos
+    # simulation over a pre-built stream — spec validation, device build
+    # and stream generation stay outside the measured region so the CI
+    # perf trajectory keeps tracking the simulator, not the plumbing.
+    # build_stream is the driver's own stream derivation, so the probe
+    # simulates the same workload as the asserted results above.
+    device = build_device(spec.devices[0])
+    stream = build_stream(spec, 1.0, SEED, 0, device=device)
+    benchmark(OpenSystemExperiment(device).run, stream, "accelos")
 
-    for load, results in results_by_load.items():
+    for load in LOADS:
         # accelOS's continuous re-allocation keeps per-request slowdowns
         # even; FIFO queueing starves late arrivals on the standard stack.
-        assert (results["accelos"].unfairness
-                < results["baseline"].unfairness), load
+        assert (results.unfairness(scheme="accelos", load=load)
+                < results.unfairness(scheme="baseline", load=load)), load
         # static merging cannot adapt to arrivals: EK never beats accelOS
-        assert results["accelos"].antt < results["ek"].antt, load
+        assert (results.antt(scheme="accelos", load=load)
+                < results.antt(scheme="ek", load=load)), load
 
-    # the whole campaign is a pure function of the seed: a re-run with the
-    # same stream is bit-identical
-    rerun = experiment.run_all(stream(device, 1.0))
-    for scheme, result in results_by_load[1.0].items():
-        again = rerun[scheme]
-        assert again.unfairness == result.unfairness
-        assert again.stp == result.stp
-        assert again.antt == result.antt
-        assert again.mean_queueing_delay == result.mean_queueing_delay
-        assert ([r.finish for r in again.records]
-                == [r.finish for r in result.records])
+    # the whole campaign is a pure function of the spec: re-running the
+    # load-1.0 sub-spec (the pre-port check's cost) reproduces those
+    # cells bit-identically
+    again = run(spec_for(DEVICE_BASES[device_name], loads=(1.0,)))
+    for scheme in SCHEME_ORDER:
+        for metric in spec.metrics:
+            assert again.metric(metric, scheme=scheme) \
+                == results.metric(metric, scheme=scheme, load=1.0)
+    assert ([r.finish for r in again.records(scheme="accelos")]
+            == [r.finish for r in results.records(scheme="accelos",
+                                                  load=1.0)])

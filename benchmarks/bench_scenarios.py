@@ -4,7 +4,10 @@ Runs every registered traffic scenario (steady / bursty MMPP / diurnal /
 heavy-tailed / multi-tenant — :mod:`repro.workloads.scenarios`) through
 the open-system harness under all three sharing schemes and reports the
 tail statistics that mean ANTT/STP hide: p50/p95/p99 per-request slowdown,
-p99 queueing delay and the max/mean ratio.
+p99 queueing delay and the max/mean ratio.  Each scenario is one
+declarative :class:`repro.api.ExperimentSpec` run through
+``repro.api.run`` (docs/API.md); the emitted JSON document is unchanged
+from the pre-API harness (bit-identical streams and metrics).
 
 The qualitative expectation extends the paper's claims to realistic
 traffic: FIFO queueing hurts most when arrivals bunch (bursty, diurnal
@@ -28,10 +31,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if __package__ in (None, ""):  # CLI invocation: make src/ importable
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.cl import nvidia_k20m
-from repro.harness import TAIL_HEADERS, format_table, tail_cells
-from repro.harness.open_system import OpenSystemExperiment
-from repro.workloads import SCENARIOS, from_name
+from repro.api import ExperimentSpec, device_from_name, run
+from repro.harness import TAIL_HEADERS, format_table
+from repro.workloads import SCENARIOS
 
 STREAM_LENGTH = 24
 SMOKE_STREAM_LENGTH = 10
@@ -39,19 +41,33 @@ SEED = 2016
 LOAD = 1.2  # past saturation so queueing tails are non-trivial
 SCHEME_ORDER = ("baseline", "ek", "accelos")
 
+DEVICE_BASE = "nvidia-k20m"
+DEVICE_NAME = device_from_name(DEVICE_BASE).name
 
-def sweep(device, count=STREAM_LENGTH, seed=SEED, load=LOAD,
-          scenario_names=None):
+
+def scenario_spec(scenario_name, count=STREAM_LENGTH, seed=SEED, load=LOAD):
+    """One scenario's declarative campaign (all schemes, one stream)."""
+    return ExperimentSpec(
+        scenario=scenario_name,
+        schemes=SCHEME_ORDER,
+        loads=(load,),
+        seeds=(seed,),
+        count=count,
+        devices=({"id": DEVICE_BASE, "base": DEVICE_BASE},),
+        metrics=("antt", "stp", "unfairness", "p99_slowdown"),
+    )
+
+
+def sweep(count=STREAM_LENGTH, seed=SEED, load=LOAD, scenario_names=None):
     """{scenario: {scheme: metrics dict}} over the registered scenarios."""
     names = list(scenario_names) if scenario_names else sorted(SCENARIOS)
-    experiment = OpenSystemExperiment(device)
     report = {}
     for scenario_name in names:
-        stream = from_name(scenario_name, seed=seed, load=load, count=count,
-                           device=device)
+        results = run(scenario_spec(scenario_name, count=count, seed=seed,
+                                    load=load))
         per_scheme = {}
         for scheme in SCHEME_ORDER:
-            result = experiment.run(stream, scheme)
+            result = results.get(scheme=scheme)
             per_scheme[scheme] = {
                 "slowdown": result.slowdown_tails.as_dict(),
                 "queueing_delay": result.queueing_tails.as_dict(),
@@ -98,9 +114,8 @@ def json_report(report, device_name, count, seed, load):
 # -- pytest entry point -------------------------------------------------------
 
 def test_scenario_traffic_sweep(benchmark, emit):
-    device = nvidia_k20m()
-    report = sweep(device)
-    emit(render(report, device.name, STREAM_LENGTH, SEED, LOAD))
+    report = sweep()
+    emit(render(report, DEVICE_NAME, STREAM_LENGTH, SEED, LOAD))
 
     for scenario_name, per_scheme in report.items():
         for scheme, metrics in per_scheme.items():
@@ -117,11 +132,11 @@ def test_scenario_traffic_sweep(benchmark, emit):
                 < per_scheme["baseline"]["slowdown"]["p99"]), scenario_name
 
     # same seed => bit-identical report, twice in a row
-    again = sweep(device)
-    assert json_report(again, device.name, STREAM_LENGTH, SEED, LOAD) \
-        == json_report(report, device.name, STREAM_LENGTH, SEED, LOAD)
+    again = sweep()
+    assert json_report(again, DEVICE_NAME, STREAM_LENGTH, SEED, LOAD) \
+        == json_report(report, DEVICE_NAME, STREAM_LENGTH, SEED, LOAD)
 
-    benchmark(lambda: sweep(device, count=SMOKE_STREAM_LENGTH,
+    benchmark(lambda: sweep(count=SMOKE_STREAM_LENGTH,
                             scenario_names=["bursty"]))
 
 
@@ -148,12 +163,11 @@ def main(argv=None):
 
     count = args.count if args.count is not None else \
         (SMOKE_STREAM_LENGTH if args.smoke else STREAM_LENGTH)
-    device = nvidia_k20m()
-    report = sweep(device, count=count, seed=args.seed, load=args.load,
+    report = sweep(count=count, seed=args.seed, load=args.load,
                    scenario_names=args.scenarios)
-    print(render(report, device.name, count, args.seed, args.load))
+    print(render(report, DEVICE_NAME, count, args.seed, args.load))
     if args.json:
-        document = json_report(report, device.name, count, args.seed,
+        document = json_report(report, DEVICE_NAME, count, args.seed,
                                args.load)
         Path(args.json).write_text(document, encoding="utf-8")
         print("wrote {}".format(args.json))

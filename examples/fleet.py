@@ -1,9 +1,10 @@
 """Multi-device accelOS: a heterogeneous fleet serving streaming arrivals.
 
 One accelOS instance arbitrates one accelerator; a deployment runs many.
-This example builds a two-device fleet — a full-speed K20m and a derated
-sibling (40% clock, half the CUs) — and serves the same seeded Poisson
-request stream under each cross-device placement policy:
+This example declares a two-device fleet — a full-speed K20m and a
+derated sibling (40% clock, half the CUs) — as one serializable
+:class:`repro.api.ExperimentSpec` and sweeps every registered
+cross-device placement policy over the same multi-tenant stream:
 
 * round-robin      — blind alternation (the fleet baseline),
 * least-loaded     — route to the earliest estimated completion,
@@ -25,18 +26,14 @@ Run:  python examples/fleet.py
 import numpy as np
 
 from repro.accelos import FleetRuntime
-from repro.accelos.placement import default_policies
+from repro.api import ExperimentSpec, placement_names, run
 from repro.cl import NDRange, derated_device, nvidia_k20m
-from repro.harness import (FleetOpenSystemExperiment, format_table,
-                           fleet_arrival_rate_for_load)
+from repro.harness import format_table
 from repro.kernelc import types as T
-from repro.sim import DeviceFleet
-from repro.workloads import poisson_arrivals
 
 REQUESTS = 32
 SEED = 7
 LOAD = 1.0
-TENANTS = 5
 
 SAXPY = """
 kernel void saxpy(global const float* x, global float* y, float a)
@@ -47,21 +44,26 @@ kernel void saxpy(global const float* x, global float* y, float a)
 """
 
 
-def build_fleet():
-    fast = nvidia_k20m()
-    slow = derated_device(fast, "K20m-derated", clock_scale=0.4,
-                          cu_scale=0.5)
-    return DeviceFleet([("fast", fast), ("slow", slow)])
-
-
-def evaluation_plane(fleet):
-    experiment = FleetOpenSystemExperiment(fleet)
-    rate = fleet_arrival_rate_for_load(LOAD, fleet)
-    arrivals = poisson_arrivals(rate, REQUESTS, seed=SEED, tenants=TENANTS)
+def evaluation_plane():
+    spec = ExperimentSpec(
+        scenario="multi-tenant",
+        schemes=("accelos",),
+        loads=(LOAD,),
+        seeds=(SEED,),
+        count=REQUESTS,
+        devices=(
+            {"id": "fast", "base": "nvidia-k20m"},
+            {"id": "slow", "base": "nvidia-k20m",
+             "clock_scale": 0.4, "cu_scale": 0.5},
+        ),
+        placements=placement_names(),
+        metrics=("unfairness", "stp", "antt"),
+    )
+    results = run(spec)
 
     rows = []
-    for name, policy in default_policies().items():
-        result = experiment.run(arrivals, "accelos", policy)
+    for name in placement_names():
+        result = results.get(placement=name)
         share = " ".join("{}={:.0%}".format(device_id, fraction)
                          for device_id, fraction
                          in result.device_share.items())
@@ -71,8 +73,8 @@ def evaluation_plane(fleet):
         ["placement", "unfairness", "STP", "ANTT", "migrations",
          "device share"],
         rows,
-        title="Heterogeneous fleet ({} Poisson requests, load {})".format(
-            REQUESTS, LOAD)))
+        title="Heterogeneous fleet ({} multi-tenant requests, load {})"
+        .format(REQUESTS, LOAD)))
 
 
 def functional_plane():
@@ -104,7 +106,7 @@ def functional_plane():
 
 
 def main():
-    evaluation_plane(build_fleet())
+    evaluation_plane()
     print()
     functional_plane()
 

@@ -1,20 +1,19 @@
 """Open-system accelOS: serving a stream of kernel requests over time.
 
 The paper's accelOS is a daemon that serves applications continuously, not
-a batch scheduler.  This example drives the three schemes with a seeded
-Poisson arrival stream over the Parboil corpus at increasing offered load
-and prints the paper's metrics (unfairness, STP, ANTT) plus mean queueing
-delay.  Watch the standard stack's unfairness explode as late arrivals
-queue behind earlier kernels, while accelOS's continuous re-allocation of
-the §3 shares keeps slowdowns even.
+a batch scheduler.  This example declares the whole campaign as one
+serializable :class:`repro.api.ExperimentSpec` — steady traffic over the
+Parboil corpus at increasing offered load, every registered scheme — and
+runs it through the one driver, streaming progress cell by cell.  Watch
+the standard stack's unfairness explode as late arrivals queue behind
+earlier kernels, while accelOS's continuous re-allocation of the §3
+shares keeps slowdowns even.
 
 Run:  python examples/open_system.py
 """
 
-from repro.cl import nvidia_k20m
-from repro.harness import (OpenSystemExperiment, arrival_rate_for_load,
-                           format_table)
-from repro.workloads import poisson_arrivals
+from repro.api import ExperimentSpec, ResultSet, iter_runs
+from repro.harness import format_table
 
 REQUESTS = 32
 SEED = 7
@@ -22,24 +21,32 @@ LOADS = (0.5, 1.0, 2.0)
 
 
 def main():
-    device = nvidia_k20m()
-    experiment = OpenSystemExperiment(device)
+    spec = ExperimentSpec(
+        scenario="steady",
+        schemes=("baseline", "ek", "accelos"),
+        loads=LOADS,
+        seeds=(SEED,),
+        count=REQUESTS,
+        devices=({"id": "k20m", "base": "nvidia-k20m"},),
+        metrics=("unfairness", "stp", "antt", "mean_queueing_delay"),
+    )
 
-    rows = []
-    for load in LOADS:
-        rate = arrival_rate_for_load(load, device)
-        arrivals = poisson_arrivals(rate, REQUESTS, seed=SEED)
-        results = experiment.run_all(arrivals)
-        for scheme in ("baseline", "ek", "accelos"):
-            r = results[scheme]
-            rows.append([load, scheme, r.unfairness, r.stp, r.antt,
-                         "{:.3f}".format(r.mean_queueing_delay * 1e3)])
+    cells = []
+    for cell, result in iter_runs(spec):  # streams as the grid fills
+        print("ran {:8s} at load {}".format(cell.scheme, cell.load))
+        cells.append((cell, result))
+    results = ResultSet(spec, cells)
+
+    rows = [[cell.load, cell.scheme, r.unfairness, r.stp, r.antt,
+             "{:.3f}".format(r.mean_queueing_delay * 1e3)]
+            for cell, r in results]
+    print()
     print(format_table(
         ["offered load", "scheme", "unfairness", "STP", "ANTT",
          "queue delay (ms)"],
         rows,
-        title="Streaming arrivals on {} ({} Poisson requests per stream)"
-        .format(device.name, REQUESTS)))
+        title="Streaming arrivals ({} steady requests per stream)"
+        .format(REQUESTS)))
 
 
 if __name__ == "__main__":

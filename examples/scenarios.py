@@ -1,40 +1,39 @@
 """Scenario traffic: realistic arrival patterns against the three schemes.
 
-The open-system example (examples/open_system.py) drives plain Poisson
+The open-system example (examples/open_system.py) drives plain steady
 load; production traffic is rarely that polite.  This example replays the
 registered traffic scenarios — bursty Markov-modulated arrivals, diurnal
 rate swings, heavy-tailed service-demand mixes, multi-tenant blends
-(see docs/SCENARIOS.md) — and reports the tail statistics that mean ANTT
-hides: p50/p95/p99 per-request slowdown and the max/mean ratio.  Watch the
-standard stack's p99 explode whenever arrivals bunch, while accelOS's
-continuous re-allocation keeps the tail near the median; the multi-tenant
-scenario additionally prints the per-tenant p99 split.
+(see docs/SCENARIOS.md) — each as one declarative
+:class:`repro.api.ExperimentSpec`, and reports the tail statistics that
+mean ANTT hides: p50/p95/p99 per-request slowdown and the max/mean ratio.
+Watch the standard stack's p99 explode whenever arrivals bunch, while
+accelOS's continuous re-allocation keeps the tail near the median; the
+multi-tenant scenario additionally prints the per-tenant p99 split.
 
 Run:  python examples/scenarios.py
 """
 
-from repro.cl import nvidia_k20m
-from repro.harness import (TAIL_HEADERS, OpenSystemExperiment, format_table,
-                           tail_cells)
-from repro.workloads import SCENARIOS, from_name, scenario
+from repro.api import ExperimentSpec, run
+from repro.harness import TAIL_HEADERS, format_table, tail_cells
+from repro.workloads import SCENARIOS, scenario
 
 REQUESTS = 24
 SEED = 7
 LOAD = 1.2
+SCHEMES = ("baseline", "ek", "accelos")
 
 
 def main():
-    device = nvidia_k20m()
-    experiment = OpenSystemExperiment(device)
-
     rows = []
     tenant_rows = []
     for name in sorted(SCENARIOS):
-        stream = from_name(name, seed=SEED, load=LOAD, count=REQUESTS,
-                           device=device)
-        results = experiment.run_all(stream)
-        for scheme in ("baseline", "ek", "accelos"):
-            result = results[scheme]
+        results = run(ExperimentSpec(
+            scenario=name, schemes=SCHEMES, loads=(LOAD,), seeds=(SEED,),
+            count=REQUESTS, devices=({"id": "k20m", "base": "nvidia-k20m"},),
+            metrics=("antt", "p99_slowdown")))
+        for scheme in SCHEMES:
+            result = results.get(scheme=scheme)
             rows.append([name, scheme, *tail_cells(result.slowdown_tails),
                          result.queueing_tails.p99 * 1e3, result.antt])
             for tenant, tails in result.tenant_slowdown_tails.items():
@@ -45,8 +44,8 @@ def main():
     print(format_table(
         ["scenario", "scheme", *TAIL_HEADERS, "queue p99 (ms)", "ANTT"],
         rows,
-        title="Traffic scenarios on {} ({} requests, load {}, seed {})"
-        .format(device.name, REQUESTS, LOAD, SEED)))
+        title="Traffic scenarios ({} requests, load {}, seed {})"
+        .format(REQUESTS, LOAD, SEED)))
     print()
     print(format_table(
         ["scenario", "scheme", "tenant", "p50", "p99"],

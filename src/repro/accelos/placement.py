@@ -172,10 +172,14 @@ class AffinityPlacement(PlacementPolicy):
 
 
 def default_policies():
-    """Fresh instances of the three stock policies, keyed by name."""
-    policies = (RoundRobinPlacement(), LeastLoadedPlacement(),
-                AffinityPlacement())
-    return {p.name: p for p in policies}
+    """Compatibility alias for :func:`repro.api.placements.default_policies`.
+
+    The registry above this module is the single source of policy-name
+    truth; prefer importing from :mod:`repro.api.placements`.  Imported
+    lazily — this layer must not depend on the api layer at import time.
+    """
+    from repro.api.placements import default_policies as registry_policies
+    return registry_policies()
 
 
 def place_arrivals(policy, arrivals, devices, estimator, ids=None):

@@ -1,0 +1,130 @@
+"""``run(spec)``: one driver for every experiment the spec grid names.
+
+Routes single-device specs through
+:class:`~repro.harness.open_system.OpenSystemExperiment` and fleet specs
+through :class:`~repro.harness.open_system.FleetOpenSystemExperiment`
+(one run per placement policy), generating each stream from the named
+traffic scenario at the calibrated offered load.  :func:`iter_runs`
+yields ``(cell, result)`` pairs as they finish — streaming progress for
+long grids — and :func:`run` collects them into a
+:class:`~repro.api.results.ResultSet`.
+
+Grid order is deterministic: loads x seeds x repetitions x placements x
+schemes, each axis in spec order.  Repetition 0 uses the spec seed
+verbatim (historical streams reproduce bit-for-bit); repetition ``k > 0``
+derives an independent child seed through :func:`repro.util.make_rng`.
+
+The harness sits *above* the registries this package defines, so this
+module imports it lazily — ``import repro.api`` never drags the harness
+in, and the harness can import the registries at module top.
+"""
+
+from __future__ import annotations
+
+from repro.api.kernels import (arrival_rate_for_load,
+                               fleet_arrival_rate_for_load)
+from repro.api.devices import build_device
+from repro.api.placements import placement_from_name
+from repro.api.results import ResultSet
+from repro.api.spec import Cell, ExperimentSpec
+from repro.errors import SimulationError
+from repro.util import make_rng
+from repro.workloads.scenarios import scenario as scenario_from_name
+
+
+def stream_seed(seed, repetition):
+    """The per-repetition stream seed: repetition 0 is the spec seed
+    itself, later repetitions draw independent child seeds."""
+    if repetition == 0:
+        return seed
+    return int(make_rng("spec-repetition", seed, repetition)
+               .integers(2**32))
+
+
+def _coerce(spec):
+    if isinstance(spec, ExperimentSpec):
+        return spec
+    if isinstance(spec, dict):
+        return ExperimentSpec.from_dict(spec)
+    if isinstance(spec, str):
+        return ExperimentSpec.from_json(spec)
+    raise SimulationError(
+        "run() takes an ExperimentSpec, a spec dict or spec JSON, got "
+        "{!r}".format(type(spec).__name__))
+
+
+def build_stream(spec, load, seed, repetition, device=None, fleet=None):
+    """One grid point's arrival stream (the spec's scenario at the
+    calibrated offered load).  Public so benchmarks and tools can
+    reproduce exactly the stream ``run(spec)`` would simulate — which
+    is why the calibration target is checked: exactly one of ``device``
+    (single-device spec) or ``fleet`` (fleet spec) must be given."""
+    spec = _coerce(spec)
+    if (device is None) == (fleet is None):
+        raise SimulationError(
+            "build_stream needs exactly one calibration target: device= "
+            "for single-device specs, fleet= for fleet specs")
+    if (fleet is not None) != spec.is_fleet:
+        raise SimulationError(
+            "calibration target does not match the spec topology: this "
+            "spec has {} device(s), so pass {}".format(
+                len(spec.devices),
+                "fleet=" if spec.is_fleet else "device="))
+    model = scenario_from_name(spec.scenario)
+    mix = model.mix_weights()
+    if fleet is not None:
+        rate = fleet_arrival_rate_for_load(load, fleet, names=list(mix),
+                                           weights=list(mix.values()))
+    else:
+        rate = arrival_rate_for_load(load, device, names=list(mix),
+                                     weights=list(mix.values()))
+    return model.generate(rate, spec.count,
+                          seed=stream_seed(seed, repetition))
+
+
+def iter_runs(spec):
+    """Yield ``(cell, result)`` pairs of ``spec``'s grid as they finish."""
+    spec = _coerce(spec)
+    # lazy: the harness imports this package's registries at module top
+    from repro.harness.open_system import (FleetOpenSystemExperiment,
+                                           OpenSystemExperiment)
+    from repro.sim.fleet import DeviceFleet
+
+    if spec.is_fleet:
+        fleet = DeviceFleet([(entry.id, build_device(entry))
+                             for entry in spec.devices])
+        experiment = FleetOpenSystemExperiment(fleet, policy=spec.policy,
+                                               saturate=spec.saturate)
+        for load in spec.loads:
+            for seed in spec.seeds:
+                for repetition in range(spec.repetitions):
+                    arrivals = build_stream(spec, load, seed, repetition,
+                                            fleet=fleet)
+                    for placement in spec.placements:
+                        for scheme in spec.schemes:
+                            result = experiment.run(
+                                arrivals, scheme,
+                                placement_from_name(placement))
+                            yield (Cell(scheme=scheme, load=load, seed=seed,
+                                        repetition=repetition,
+                                        placement=placement), result)
+        return
+
+    device = build_device(spec.devices[0])
+    experiment = OpenSystemExperiment(device, policy=spec.policy,
+                                      saturate=spec.saturate)
+    for load in spec.loads:
+        for seed in spec.seeds:
+            for repetition in range(spec.repetitions):
+                arrivals = build_stream(spec, load, seed, repetition,
+                                        device=device)
+                for scheme in spec.schemes:
+                    yield (Cell(scheme=scheme, load=load, seed=seed,
+                                repetition=repetition),
+                           experiment.run(arrivals, scheme))
+
+
+def run(spec):
+    """Run the whole grid; returns a :class:`ResultSet` in grid order."""
+    spec = _coerce(spec)
+    return ResultSet(spec, iter_runs(spec))

@@ -1,0 +1,67 @@
+"""The cross-device placement-policy registry (fleet experiments).
+
+Placement policies are stateful (round-robin cursors, tenant homes), so
+the registry stores *factories*: :func:`placement_from_name` returns a
+fresh instance per call and two experiments can never share cursor
+state.  The three stock policies of :mod:`repro.accelos.placement` are
+pre-registered; ``register_placement`` adds a user policy, after which
+fleet specs (:class:`repro.api.spec.ExperimentSpec`) and the fleet
+harness accept its name everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.accelos.placement import (AffinityPlacement, LeastLoadedPlacement,
+                                     PlacementPolicy, RoundRobinPlacement)
+from repro.api.registry import Registry
+from repro.errors import SimulationError
+
+PLACEMENTS = Registry("placement policy")
+
+
+def register_placement(name, factory, replace=False):
+    """Register a zero-argument factory of :class:`PlacementPolicy`."""
+    if not callable(factory):
+        raise SimulationError(
+            "placement factories must be callable, got {!r}".format(
+                type(factory).__name__))
+    PLACEMENTS.register(name, factory, replace=replace)
+    return factory
+
+
+def unregister_placement(name):
+    """Remove a registered placement (tests clean up their toys)."""
+    PLACEMENTS.unregister(name)
+
+
+def placement_from_name(placement):
+    """A fresh policy instance for ``placement`` (a registered name); a
+    :class:`PlacementPolicy` instance passes through unchanged.  Unknown
+    names raise listing every registered policy."""
+    if isinstance(placement, PlacementPolicy):
+        return placement
+    policy = PLACEMENTS.from_name(placement)()
+    if not isinstance(policy, PlacementPolicy):
+        raise SimulationError(
+            "placement factory {!r} built {!r}, not a "
+            "PlacementPolicy".format(placement, type(policy).__name__))
+    return policy
+
+
+def placement_names():
+    """All registered placement names, in registration order."""
+    return PLACEMENTS.names()
+
+
+def default_policies():
+    """Fresh instances of every registered policy, keyed by name.
+
+    User-registered policies appear here too; one fresh instance per
+    call, so shared-cursor state can never leak between experiments.
+    """
+    return {name: placement_from_name(name) for name in placement_names()}
+
+
+register_placement(RoundRobinPlacement.name, RoundRobinPlacement)
+register_placement(LeastLoadedPlacement.name, LeastLoadedPlacement)
+register_placement(AffinityPlacement.name, AffinityPlacement)

@@ -1,0 +1,64 @@
+"""A tiny ordered registry shared by schemes, placements, devices, metrics.
+
+One pattern, four instances: named extension points where the built-ins
+and user registrations live side by side, lookups fail with the full list
+of valid names (actionable errors, not echoes of the bad string), and
+iteration order is registration order so reports stay stable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class Registry:
+    """Name -> entry mapping with actionable unknown-name errors."""
+
+    def __init__(self, kind):
+        self.kind = kind
+        self._entries = {}
+
+    def register(self, name, entry, replace=False):
+        """Bind ``name`` to ``entry``; re-binding requires ``replace``."""
+        if not isinstance(name, str) or not name:
+            raise SimulationError(
+                "{} names must be non-empty strings, got {!r}".format(
+                    self.kind, name))
+        if name in self._entries and not replace:
+            raise SimulationError(
+                "{} {!r} is already registered (pass replace=True to "
+                "override)".format(self.kind, name))
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name):
+        """Remove one entry (tests register toy entries and clean up)."""
+        self.from_name(name)  # unknown names get the actionable error
+        del self._entries[name]
+
+    def from_name(self, name):
+        """The entry registered under ``name``; unknown names raise with
+        the registered-name list so the caller can self-correct."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise SimulationError(
+                "unknown {} {!r} (registered: {})".format(
+                    self.kind, name, ", ".join(self.names()) or "<none>"))
+
+    def names(self):
+        """Registered names, in registration order."""
+        return tuple(self._entries)
+
+    def __contains__(self, name):
+        return name in self._entries
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __repr__(self):
+        return "<Registry {} [{}]>".format(self.kind,
+                                           ", ".join(self._entries))

@@ -1,0 +1,181 @@
+"""``ResultSet``: uniform accessors over one experiment grid's results.
+
+``run(spec)`` returns one of these.  Every cell's result (single-device
+:class:`~repro.harness.open_system.OpenSystemResult` or fleet
+:class:`~repro.harness.open_system.FleetOpenSystemResult`) already
+exposes the same metric surface, so the set offers uniform selection —
+``antt(scheme="accelos", load=1.0)`` — plus deterministic ``to_json``
+keyed by the spec's metric selection.
+
+:data:`METRICS` is the metric-name registry the spec validates against;
+each entry maps a result object to one float.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api.registry import Registry
+from repro.errors import SimulationError
+
+# name -> extractor over OpenSystemResult / FleetOpenSystemResult;
+# registration order is report order.
+METRICS = Registry("metric")
+
+
+def register_metric(name, extractor, replace=False):
+    """Register a result-to-float extractor under ``name``; specs can
+    then select it and ``ResultSet`` reports it like any built-in."""
+    if not callable(extractor):
+        raise SimulationError(
+            "metric extractors must be callable, got {!r}".format(
+                type(extractor).__name__))
+    METRICS.register(name, extractor, replace=replace)
+    return extractor
+
+
+def unregister_metric(name):
+    """Remove a registered metric (tests clean up their toys)."""
+    METRICS.unregister(name)
+
+
+def metric_names():
+    """All selectable metric names, in report order."""
+    return METRICS.names()
+
+
+def metric_value(name, result):
+    """One metric of one result, by registry name."""
+    return float(METRICS.from_name(name)(result))
+
+
+register_metric("antt", lambda r: r.antt)
+register_metric("stp", lambda r: r.stp)
+register_metric("unfairness", lambda r: r.unfairness)
+register_metric("mean_turnaround", lambda r: r.mean_turnaround)
+register_metric("mean_queueing_delay", lambda r: r.mean_queueing_delay)
+register_metric("makespan", lambda r: r.makespan)
+register_metric("request_throughput", lambda r: r.request_throughput)
+register_metric("p50_slowdown", lambda r: r.slowdown_tails.p50)
+register_metric("p95_slowdown", lambda r: r.slowdown_tails.p95)
+register_metric("p99_slowdown", lambda r: r.slowdown_tails.p99)
+register_metric("max_slowdown", lambda r: r.slowdown_tails.max)
+register_metric("max_over_mean_slowdown",
+                lambda r: r.slowdown_tails.max_over_mean)
+register_metric("p99_queueing_delay", lambda r: r.queueing_tails.p99)
+
+
+class ResultSet:
+    """All ``(cell, result)`` pairs of one spec run, in grid order."""
+
+    def __init__(self, spec, cells):
+        self.spec = spec
+        self.cells = list(cells)
+
+    def __len__(self):
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    # -- selection -----------------------------------------------------------
+
+    def select(self, **criteria):
+        """Every ``(cell, result)`` whose cell matches ``criteria``."""
+        return [(cell, result) for cell, result in self.cells
+                if cell.matches(**criteria)]
+
+    def get(self, **criteria):
+        """The one result matching ``criteria`` (error if 0 or many)."""
+        matches = self.select(**criteria)
+        if not matches:
+            # summarise the grid instead of dumping every cell: large
+            # grids would bury the actual criteria mismatch
+            axes = {
+                field: sorted({getattr(c, field) for c, _ in self.cells},
+                              key=repr)
+                for field in ("scheme", "load", "seed", "repetition",
+                              "placement")
+            }
+            raise SimulationError(
+                "no result cell matches {!r} among {} cells; grid axes: "
+                "{}".format(criteria, len(self.cells), axes))
+        if len(matches) > 1:
+            raise SimulationError(
+                "{} result cells match {!r}; narrow the criteria (e.g. "
+                "scheme=, load=, seed=, repetition=, placement=)".format(
+                    len(matches), criteria))
+        return matches[0][1]
+
+    # -- uniform metric accessors --------------------------------------------
+
+    def metric(self, name, **criteria):
+        """One registered metric of the single cell ``criteria`` selects."""
+        return metric_value(name, self.get(**criteria))
+
+    def antt(self, **criteria):
+        return self.metric("antt", **criteria)
+
+    def stp(self, **criteria):
+        return self.metric("stp", **criteria)
+
+    def unfairness(self, **criteria):
+        return self.metric("unfairness", **criteria)
+
+    def p99_slowdown(self, **criteria):
+        return self.metric("p99_slowdown", **criteria)
+
+    def slowdown_tails(self, **criteria):
+        """The full :class:`~repro.metrics.tails.TailSummary` of one cell."""
+        return self.get(**criteria).slowdown_tails
+
+    def queueing_tails(self, **criteria):
+        return self.get(**criteria).queueing_tails
+
+    def records(self, **criteria):
+        """The per-request records of one cell (submission order)."""
+        return self.get(**criteria).records
+
+    # -- reporting -----------------------------------------------------------
+
+    def rows(self, metrics=None):
+        """One report row per cell: cell fields + the selected metrics."""
+        names = tuple(metrics) if metrics is not None else self.spec.metrics
+        rows = []
+        for cell, result in self.cells:
+            row = [cell.scheme]
+            if self.spec.is_fleet:
+                row.append(cell.placement)
+            row += [cell.load, cell.seed, cell.repetition]
+            row += [metric_value(name, result) for name in names]
+            rows.append(row)
+        return rows
+
+    def headers(self, metrics=None):
+        """Column headers matching :meth:`rows`."""
+        names = tuple(metrics) if metrics is not None else self.spec.metrics
+        head = ["scheme"]
+        if self.spec.is_fleet:
+            head.append("placement")
+        return head + ["load", "seed", "rep", *names]
+
+    def to_dict(self):
+        """Canonical plain-data form: the spec plus per-cell metrics."""
+        return {
+            "spec": self.spec.to_dict(),
+            "cells": [
+                {"cell": cell.to_dict(),
+                 "metrics": {name: metric_value(name, result)
+                             for name in self.spec.metrics}}
+                for cell, result in self.cells
+            ],
+        }
+
+    def to_json(self):
+        """Deterministic JSON: same spec + same streams => identical
+        bytes (floats serialize via their shortest round-trip repr)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def __repr__(self):
+        return "<ResultSet {} cells of {!r}/{} schemes>".format(
+            len(self.cells), self.spec.scenario, len(self.spec.schemes))

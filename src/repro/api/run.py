@@ -1,0 +1,86 @@
+"""CLI: run a JSON ``ExperimentSpec`` end to end.
+
+    python -m repro.api.run spec.json [--out results.json] [--quiet]
+
+Reads the spec, runs the grid (streaming one progress line per cell to
+stderr), prints the metric table, and optionally writes the
+deterministic result JSON — the document CI diffs against its checked-in
+golden (same spec => bit-identical bytes).
+
+Note: *importing* this module (rather than running it with ``-m``)
+shadows the ``repro.api.run`` function attribute with this module
+object — a Python submodule-import quirk.  To keep that harmless, the
+module makes itself *callable*: ``repro.api.run(spec)`` delegates to
+:func:`repro.api.driver.run` whether the name resolves to the function
+or to this module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import types
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct invocation: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+
+from repro.api.driver import iter_runs
+from repro.api.results import ResultSet
+from repro.api.spec import ExperimentSpec
+
+
+class _CallableCLIModule(types.ModuleType):
+    """Importing ``repro.api.run`` rebinds the package's ``run``
+    attribute from the driver function to this module; delegating calls
+    keeps ``repro.api.run(spec)`` working either way."""
+
+    def __call__(self, spec):
+        from repro.api.driver import run as _run
+        return _run(spec)
+
+
+if __name__ != "__main__":
+    sys.modules[__name__].__class__ = _CallableCLIModule
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api.run",
+        description="run a declarative experiment spec (see docs/API.md)")
+    parser.add_argument("spec", metavar="SPEC.json",
+                        help="path to the ExperimentSpec JSON document")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the result JSON here (deterministic: "
+                             "same spec => bit-identical bytes)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the progress lines and metric table")
+    args = parser.parse_args(argv)
+
+    spec = ExperimentSpec.from_json(
+        Path(args.spec).read_text(encoding="utf-8"))
+
+    cells = []
+    total = spec.cell_count()
+    for cell, result in iter_runs(spec):
+        cells.append((cell, result))
+        if not args.quiet:
+            print("[{}/{}] {}".format(len(cells), total, cell.to_dict()),
+                  file=sys.stderr)
+    results = ResultSet(spec, cells)
+
+    if not args.quiet:
+        from repro.harness.report import format_table
+        print(format_table(
+            results.headers(), results.rows(),
+            title="{} · {} requests/stream · schemes: {}".format(
+                spec.scenario, spec.count, ", ".join(spec.schemes))))
+    if args.out:
+        Path(args.out).write_text(results.to_json(), encoding="utf-8")
+        if not args.quiet:
+            print("wrote {}".format(args.out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

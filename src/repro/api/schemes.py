@@ -1,0 +1,428 @@
+"""First-class scheduling schemes behind one registry.
+
+Historically every entry point re-implemented scheme dispatch with
+string ``if/elif`` branches — the closed harness's ``_run_once``, the
+open-system experiment's ``scheme_records``, the fleet path, every
+benchmark.  Here a scheme is an *object* owning all of its execution
+logic, and the registry is the single source of truth for which schemes
+exist:
+
+* :meth:`SchedulingScheme.open_records` — per-request
+  :class:`RequestRecord` timing of one arrival stream (the open system);
+* :meth:`SchedulingScheme.run_closed` — one closed-batch repetition
+  (everything submitted at t=0, the paper's §7.2 methodology);
+* :meth:`SchedulingScheme.run_single` — single-kernel studies (fig. 15),
+  optional — schemes without a single-kernel mode raise.
+
+The paper's three schemes are pre-registered in report order:
+
+* ``baseline`` — standard stack, firmware FIFO/exclusive scheduler;
+* ``ek``       — Elastic Kernels' static merged launches (§7.3);
+* ``accelos``  — the §3 sharing algorithm with §6.4 chunking.
+
+``register_scheme`` adds a user scheme; it then runs through every
+harness (:class:`~repro.harness.open_system.OpenSystemExperiment`,
+:class:`~repro.harness.open_system.FleetOpenSystemExperiment`,
+:func:`~repro.harness.experiment.run_workload`), the declarative
+``run(spec)`` driver and the golden-trace tooling unchanged.  See
+docs/API.md for the 20-line extension recipe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.accelos.adaptive import SchedulingPolicy, effective_chunk
+from repro.accelos.sharing import compute_allocations
+from repro.api.kernels import (base_spec, chunk_for_profile, detailed_spec,
+                               isolated_time, requirements_from_spec,
+                               sharing_allocator)
+from repro.api.registry import Registry
+from repro.baselines.elastic_kernels import ElasticKernelsScheduler
+from repro.errors import SimulationError
+from repro.sim import ExecutionMode, GPUSimulator
+from repro.workloads.parboil import profile_by_name
+
+
+class RequestRecord:
+    """Timing of one request through the open system.
+
+    ``tenant`` carries the arrival's tenant tag (``None`` for untagged
+    streams) so tail metrics can report per-tenant breakdowns.
+    """
+
+    __slots__ = ("name", "arrival", "start", "finish", "isolated", "tenant")
+
+    def __init__(self, name, arrival, start, finish, isolated, tenant=None):
+        self.name = name
+        self.arrival = arrival
+        self.start = start
+        self.finish = finish
+        self.isolated = isolated
+        self.tenant = tenant
+
+    @property
+    def turnaround(self):
+        """Arrival-to-completion time (queueing + service)."""
+        return self.finish - self.arrival
+
+    @property
+    def queueing_delay(self):
+        """Arrival-to-first-dispatch time."""
+        return self.start - self.arrival
+
+    @property
+    def slowdown(self):
+        """Turnaround normalised by isolated execution time (IS_i)."""
+        return self.turnaround / self.isolated
+
+    def __repr__(self):
+        return "<RequestRecord {} arr={:.4f} turn={:.4f}>".format(
+            self.name, self.arrival, self.turnaround)
+
+
+class SchedulingScheme:
+    """One way of sharing a device among concurrent kernel requests.
+
+    Stateless by contract: methods are pure functions of their arguments
+    (device, stream, policy knobs), so one registered instance can serve
+    every experiment concurrently and deterministically.  ``name`` is the
+    registry key and report label; ``is_reference`` marks the standard
+    stack every other scheme's improvements are measured against.
+    """
+
+    name = None
+    description = ""
+    is_reference = False
+
+    # -- open system --------------------------------------------------------
+
+    def open_records(self, arrivals, device,
+                     policy=SchedulingPolicy.ADAPTIVE, saturate=True):
+        """Per-request :class:`RequestRecord` list for one arrival stream,
+        in the stream's submission order (conservation: one per arrival)."""
+        raise _missing_mode_error(self, "open-system", "open_records",
+                                  open_scheme_names)
+
+    # -- closed batches ------------------------------------------------------
+
+    def run_closed(self, names, device, jitter=None,
+                   policy=SchedulingPolicy.ADAPTIVE, saturate=True):
+        """One everything-at-t=0 repetition.
+
+        Returns ``(turnarounds, intervals)`` with one entry per workload
+        member, in input order; ``jitter`` is the per-kernel cost factor
+        array of this repetition (``None`` = no jitter).
+        """
+        raise _missing_mode_error(self, "closed-batch", "run_closed",
+                                  closed_scheme_names)
+
+    # -- capabilities --------------------------------------------------------
+
+    @property
+    def supports_open(self):
+        """True when the scheme implements :meth:`open_records`."""
+        return type(self).open_records is not SchedulingScheme.open_records
+
+    @property
+    def supports_closed(self):
+        """True when the scheme implements :meth:`run_closed`."""
+        return type(self).run_closed is not SchedulingScheme.run_closed
+
+    @property
+    def supports_single(self):
+        """True when the scheme implements :meth:`run_single`."""
+        return type(self).run_single is not SchedulingScheme.run_single
+
+    # -- single-kernel studies ----------------------------------------------
+
+    def run_single(self, name, device, policy=SchedulingPolicy.ADAPTIVE):
+        """Single-kernel execution time at fine granularity (fig. 15).
+
+        Returns ``(time, isolated_baseline_time)``.  Optional: schemes
+        with no single-kernel mode keep this default, which raises.
+        """
+        raise SimulationError(
+            "scheme {!r} has no single-kernel mode (schemes with one: "
+            "{})".format(self.name, ", ".join(
+                s for s in SCHEMES
+                if SCHEMES.from_name(s).supports_single)))
+
+    # -- shared helpers ------------------------------------------------------
+
+    @staticmethod
+    def records_from_trace(arrivals, trace, device):
+        """Zip one open-system trace back onto its arrival stream."""
+        return [
+            RequestRecord(a.name, a.time, iv.start, iv.finish,
+                          isolated_time(a.name, device), tenant=a.tenant)
+            for a, iv in zip(arrivals, trace.intervals)
+        ]
+
+    def __repr__(self):
+        return "<{} {!r}>".format(type(self).__name__, self.name)
+
+
+class BaselineScheme(SchedulingScheme):
+    """The standard stack: unmodified kernels, firmware scheduler.
+
+    Requests join the firmware scheduler's queue at arrival and dispatch
+    in arrival order (FIFO drain-overlap or exclusive, per device).
+    """
+
+    name = "baseline"
+    description = "standard OpenCL stack, firmware FIFO/exclusive scheduler"
+    is_reference = True
+
+    def open_records(self, arrivals, device,
+                     policy=SchedulingPolicy.ADAPTIVE, saturate=True):
+        specs = [base_spec(a.name).with_arrival(a.time) for a in arrivals]
+        trace = GPUSimulator(device).run_open(specs)
+        return self.records_from_trace(arrivals, trace, device)
+
+    def run_closed(self, names, device, jitter=None,
+                   policy=SchedulingPolicy.ADAPTIVE, saturate=True):
+        trace = GPUSimulator(device).run([base_spec(n) for n in names],
+                                         cost_jitter=jitter)
+        return trace.turnarounds, [(iv.start, iv.finish)
+                                   for iv in trace.intervals]
+
+    def run_single(self, name, device, policy=SchedulingPolicy.ADAPTIVE):
+        iso = GPUSimulator(device).run([detailed_spec(name)]).makespan
+        return iso, iso
+
+
+class AccelOSScheme(SchedulingScheme):
+    """The paper's system: §3 sharing + §6 transformed kernels.
+
+    Open-system runs re-run the sharing algorithm over the active request
+    set on every arrival and completion; allocations grow immediately and
+    shrink lazily at chunk boundaries (the re-allocation path
+    generalising ``rebalance``).
+    """
+
+    name = "accelos"
+    description = "§3 fair sharing, §6.4 adaptive chunking (the paper)"
+
+    # -- spec construction ---------------------------------------------------
+
+    def admission_spec(self, arrival, device,
+                       policy=SchedulingPolicy.ADAPTIVE, saturate=True):
+        """One request's spec: the Kernel Scheduler fixes the §6.4 dequeue
+        chunk at admission (from the solo allocation); the physical group
+        count itself is re-decided by the allocator as the active set
+        changes."""
+        base = base_spec(arrival.name)
+        solo = compute_allocations([requirements_from_spec(base)], device,
+                                   saturate=saturate)[0].groups
+        chunk = effective_chunk(
+            chunk_for_profile(profile_by_name(arrival.name), policy),
+            base.total_groups, solo)
+        return base.with_mode(ExecutionMode.ACCELOS, physical_groups=solo,
+                              chunk=chunk).with_arrival(arrival.time)
+
+    def batch_specs(self, names, device, policy=SchedulingPolicy.ADAPTIVE,
+                    saturate=True):
+        """Closed-batch specs: one §3 allocation across the whole batch."""
+        specs = [base_spec(n) for n in names]
+        allocations = compute_allocations(
+            [requirements_from_spec(s) for s in specs], device,
+            saturate=saturate)
+        out = []
+        for name, spec, allocation in zip(names, specs, allocations):
+            chunk = effective_chunk(
+                chunk_for_profile(profile_by_name(name), policy),
+                spec.total_groups, allocation.groups)
+            out.append(spec.with_mode(ExecutionMode.ACCELOS,
+                                      physical_groups=allocation.groups,
+                                      chunk=chunk))
+        return out
+
+    # -- execution -----------------------------------------------------------
+
+    def open_records(self, arrivals, device,
+                     policy=SchedulingPolicy.ADAPTIVE, saturate=True):
+        specs = [self.admission_spec(a, device, policy=policy,
+                                     saturate=saturate) for a in arrivals]
+        trace = GPUSimulator(device).run_open(
+            specs, allocator=sharing_allocator(device, saturate=saturate))
+        return self.records_from_trace(arrivals, trace, device)
+
+    def run_closed(self, names, device, jitter=None,
+                   policy=SchedulingPolicy.ADAPTIVE, saturate=True):
+        specs = self.batch_specs(names, device, policy=policy,
+                                 saturate=saturate)
+        trace = GPUSimulator(device).run(specs, cost_jitter=jitter)
+        return trace.turnarounds, [(iv.start, iv.finish)
+                                   for iv in trace.intervals]
+
+    def run_single(self, name, device, policy=SchedulingPolicy.ADAPTIVE):
+        spec = detailed_spec(name)
+        iso = GPUSimulator(device).run([spec]).makespan
+        allocation = compute_allocations([requirements_from_spec(spec)],
+                                         device)[0]
+        chunk = effective_chunk(
+            chunk_for_profile(profile_by_name(name), policy),
+            spec.total_groups, allocation.groups)
+        accel = spec.with_mode(ExecutionMode.ACCELOS,
+                               physical_groups=allocation.groups,
+                               chunk=chunk)
+        return GPUSimulator(device).run([accel]).makespan, iso
+
+
+class ElasticKernelsScheme(SchedulingScheme):
+    """Elastic Kernels (§7.3): static merging, serialised merged launches."""
+
+    name = "ek"
+    description = "Elastic Kernels: static merged launches, serialised"
+
+    def open_records(self, arrivals, device,
+                     policy=SchedulingPolicy.ADAPTIVE, saturate=True):
+        """Serialised merged-launch replay.
+
+        EK decides merges statically at launch: requests arriving while a
+        merged launch runs cannot join it, so they queue until the device
+        drains, then the queue head is packed into the next merged launch
+        (arrival order, bounded by the merge width and static split
+        floor).
+        """
+        scheduler = ElasticKernelsScheduler(device)
+        order = sorted(range(len(arrivals)),
+                       key=lambda i: (arrivals[i].time, i))
+        records = [None] * len(arrivals)
+        waiting = deque()
+        now = 0.0
+        next_arrival = 0
+        while next_arrival < len(order) or waiting:
+            if not waiting:
+                now = max(now, arrivals[order[next_arrival]].time)
+            while (next_arrival < len(order)
+                   and arrivals[order[next_arrival]].time <= now + 1e-12):
+                waiting.append(order[next_arrival])
+                next_arrival += 1
+            specs = [base_spec(arrivals[i].name) for i in waiting]
+            head = scheduler.pack(specs)[0]
+            launched = [waiting.popleft() for _ in head.specs]
+            trace = GPUSimulator(device).run(
+                scheduler.to_sim_specs(head))
+            for i, iv in zip(launched, trace.intervals):
+                a = arrivals[i]
+                records[i] = RequestRecord(
+                    a.name, a.time, now + iv.start, now + iv.finish,
+                    isolated_time(a.name, device), tenant=a.tenant)
+            now += trace.makespan
+        return records
+
+    def run_closed(self, names, device, jitter=None,
+                   policy=SchedulingPolicy.ADAPTIVE, saturate=True):
+        scheduler = ElasticKernelsScheduler(device)
+        groups = scheduler.pack([base_spec(n) for n in names])
+        offset = 0.0
+        turnarounds = [None] * len(names)
+        intervals = [None] * len(names)
+        cursor = 0
+        for group in groups:
+            specs = scheduler.to_sim_specs(group)
+            group_jitter = jitter[cursor:cursor + len(specs)] \
+                if jitter is not None else None
+            # fresh simulator per merged launch: launches serialise
+            trace = GPUSimulator(device).run(specs,
+                                             cost_jitter=group_jitter)
+            for local_index, iv in enumerate(trace.intervals):
+                index = cursor + local_index
+                turnarounds[index] = offset + iv.finish
+                intervals[index] = (offset + iv.start, offset + iv.finish)
+            offset += trace.makespan
+            cursor += len(specs)
+        return turnarounds, intervals
+
+
+def _missing_mode_error(scheme, mode, method, capable_names):
+    return SimulationError(
+        "scheme {!r} has no {} mode; implement {}, or pass schemes= "
+        "explicitly ({}-capable: {})".format(
+            scheme.name, mode, method,
+            mode.split("-")[0], ", ".join(capable_names())))
+
+
+def require_closed(scheme):
+    """Raise the actionable capability error unless ``scheme`` can run
+    closed batches (harness fail-fast, before any simulation)."""
+    if not scheme.supports_closed:
+        raise _missing_mode_error(scheme, "closed-batch", "run_closed",
+                                  closed_scheme_names)
+    return scheme
+
+
+# -- registry -----------------------------------------------------------------
+
+SCHEMES = Registry("scheme")
+
+
+def register_scheme(scheme, replace=False):
+    """Register a :class:`SchedulingScheme` (instance or zero-arg class).
+
+    Returns the registered instance, so it doubles as a class decorator.
+    """
+    if isinstance(scheme, type):
+        scheme = scheme()
+    if not isinstance(scheme, SchedulingScheme):
+        raise SimulationError(
+            "schemes must subclass SchedulingScheme, got {!r}".format(
+                type(scheme).__name__))
+    SCHEMES.register(scheme.name, scheme, replace=replace)
+    return scheme
+
+
+def unregister_scheme(name):
+    """Remove a registered scheme (tests clean up their toys)."""
+    SCHEMES.unregister(name)
+
+
+def scheme_from_name(scheme):
+    """Resolve a scheme name (or pass a scheme instance through).
+
+    Unknown names raise listing every registered scheme, so harnesses and
+    benchmarks can never drift from the registry.
+    """
+    if isinstance(scheme, SchedulingScheme):
+        return scheme
+    return SCHEMES.from_name(scheme)
+
+
+def scheme_names():
+    """All registered scheme names, in registration (= report) order."""
+    return SCHEMES.names()
+
+
+def open_scheme_names():
+    """Registered schemes that can serve open-system arrival streams —
+    the live default of :meth:`OpenSystemExperiment.run_all`."""
+    return tuple(n for n in SCHEMES
+                 if SCHEMES.from_name(n).supports_open)
+
+
+def closed_scheme_names():
+    """Registered schemes that can run closed batches — the live default
+    of :func:`repro.harness.sweep.run_sweep` (an open-system-only user
+    scheme must not break closed sweeps)."""
+    return tuple(n for n in SCHEMES
+                 if SCHEMES.from_name(n).supports_closed)
+
+
+def reference_scheme():
+    """The scheme improvements are measured against (the standard stack)."""
+    for name in SCHEMES:
+        entry = SCHEMES.from_name(name)
+        if entry.is_reference:
+            return entry
+    raise SimulationError("no reference scheme registered")
+
+
+register_scheme(BaselineScheme)
+register_scheme(ElasticKernelsScheme)
+register_scheme(AccelOSScheme)
+
+# The paper's report order: reference first, then the comparison systems.
+BUILTIN_SCHEMES = scheme_names()
+assert BUILTIN_SCHEMES == ("baseline", "ek", "accelos")

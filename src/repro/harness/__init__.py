@@ -1,5 +1,10 @@
-"""Experiment harness: runs workloads under the three schemes and
-aggregates the paper's metrics."""
+"""Experiment harness: runs workloads under registered schemes and
+aggregates the paper's metrics.
+
+Scheme and placement dispatch go through the registries in
+:mod:`repro.api`; the declarative front door over this harness is
+:func:`repro.api.run` (see docs/API.md).
+"""
 
 from repro.harness.experiment import (
     SCHEMES, WorkloadResult, isolated_time, run_single_kernel, run_workload)
@@ -8,7 +13,8 @@ from repro.harness.report import TAIL_HEADERS, format_table, tail_cells
 from repro.harness.open_system import (
     FleetOpenSystemExperiment, FleetOpenSystemResult,
     OpenSystemExperiment, OpenSystemResult, RequestRecord,
-    arrival_rate_for_load, fleet_arrival_rate_for_load, sharing_allocator)
+    arrival_rate_for_load, fleet_arrival_rate_for_load,
+    mean_isolated_service, sharing_allocator)
 
 __all__ = [
     "SCHEMES", "WorkloadResult", "isolated_time", "run_single_kernel",
@@ -17,5 +23,5 @@ __all__ = [
     "OpenSystemExperiment", "OpenSystemResult", "RequestRecord",
     "FleetOpenSystemExperiment", "FleetOpenSystemResult",
     "arrival_rate_for_load", "fleet_arrival_rate_for_load",
-    "sharing_allocator",
+    "mean_isolated_service", "sharing_allocator",
 ]

@@ -1,10 +1,10 @@
-"""Run one workload under one scheme on one device.
+"""Run one workload under one scheme on one device (closed batches).
 
-Schemes (paper §7.3):
-
-* ``baseline`` — standard OpenCL: unmodified kernels, firmware scheduler.
-* ``ek``       — Elastic Kernels: static merging, serialised merged groups.
-* ``accelos``  — the paper's system: §3 sharing + transformed kernels.
+Schemes are first-class registry objects (:mod:`repro.api.schemes`) —
+``baseline`` / ``ek`` / ``accelos`` pre-registered, user schemes welcome
+— and this harness dispatches every run through
+:func:`repro.api.schemes.scheme_from_name`, so the registry is the
+single source of truth for what a scheme name means.
 
 The accelOS path uses the *real* pipeline outputs: the dequeue chunk comes
 from the JIT transformation of the actual kernel (instruction-count keyed,
@@ -19,66 +19,35 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.accelos.adaptive import (SchedulingPolicy, chunk_size_for,
-                                    effective_chunk)
-from repro.accelos.sharing import KernelRequirements, compute_allocations
-from repro.accelos.transform import AccelOSTransform
-from repro.baselines.elastic_kernels import ElasticKernelsScheduler
-from repro.errors import SimulationError
+from repro.accelos.adaptive import SchedulingPolicy
+from repro.api.kernels import (SINGLE_KERNEL_DETAIL, base_spec,
+                               chunk_for_profile, isolated_time,
+                               transform_chunks)
+from repro.api.schemes import (BUILTIN_SCHEMES, require_closed,
+                               scheme_from_name)
 from repro.metrics import (antt, individual_slowdowns, stp,
                            system_unfairness)
 from repro.metrics.overlap import execution_overlap
-from repro.sim import ExecutionMode, GPUSimulator
 from repro.util import make_rng
-from repro.workloads.parboil import (compiled_module, profile_by_name)
 
-SCHEMES = ("baseline", "ek", "accelos")
+# The built-in scheme trio, in the paper's report order — always exactly
+# these three, whatever else gets registered.  Harness entry points that
+# default to "every scheme" (run_all, run_sweep) resolve the live
+# registry at call time instead, so user registrations are included.
+SCHEMES = BUILTIN_SCHEMES
 
 DEFAULT_REPETITIONS = 3
 JITTER_SIGMA = 0.01
 
-_spec_cache = {}
-_iso_cache = {}
-_chunk_cache = {}
+# Historical alias: the helper now lives in repro.api.kernels.
+_base_spec = base_spec
 
 
-def _base_spec(name):
-    spec = _spec_cache.get(name)
-    if spec is None:
-        spec = profile_by_name(name).exec_spec()
-        _spec_cache[name] = spec
-    return spec
-
-
-def transform_chunks(benchmark, policy=SchedulingPolicy.ADAPTIVE):
-    """Run the real JIT over a benchmark module; returns {kernel: chunk}."""
-    key = (benchmark, policy)
-    chunks = _chunk_cache.get(key)
-    if chunks is None:
-        module = compiled_module(benchmark)
-        _, infos = AccelOSTransform(policy=policy).run(module)
-        chunks = {name: info.chunk for name, info in infos.items()}
-        _chunk_cache[key] = chunks
-    return chunks
-
-
-def chunk_for_profile(profile, policy=SchedulingPolicy.ADAPTIVE):
-    """The §6.4 dequeue chunk of one corpus kernel under ``policy``."""
-    if policy == SchedulingPolicy.NAIVE:
-        return 1
-    return transform_chunks(profile.benchmark, policy)[profile.kernel]
-
-
-def isolated_time(name, device):
-    """Isolated standard-OpenCL execution time — the IS denominator."""
-    key = (name, device.name)
-    value = _iso_cache.get(key)
-    if value is None:
-        sim = GPUSimulator(device)
-        trace = sim.run([_base_spec(name)])
-        value = trace.makespan
-        _iso_cache[key] = value
-    return value
+def _accelos_specs(names, device, policy, saturate=True):
+    """Closed-batch accelOS specs (kept for ablation benchmarks; the
+    logic lives on the registered scheme object)."""
+    return scheme_from_name("accelos").batch_specs(
+        names, device, policy=policy, saturate=saturate)
 
 
 class WorkloadResult:
@@ -105,101 +74,26 @@ class WorkloadResult:
                         self.unfairness, self.makespan))
 
 
-def _accelos_specs(names, device, policy, saturate=True):
-    specs = [_base_spec(n) for n in names]
-    requirements = [
-        KernelRequirements(
-            name=s.name, wg_threads=s.wg_threads,
-            local_mem_bytes=s.local_mem_per_wg,
-            registers_per_thread=s.registers_per_thread,
-            total_groups=s.total_groups)
-        for s in specs
-    ]
-    allocations = compute_allocations(requirements, device, saturate=saturate)
-    out = []
-    for name, spec, allocation in zip(names, specs, allocations):
-        chunk = effective_chunk(
-            chunk_for_profile(profile_by_name(name), policy),
-            spec.total_groups, allocation.groups)
-        out.append(spec.with_mode(ExecutionMode.ACCELOS,
-                                  physical_groups=allocation.groups,
-                                  chunk=chunk))
-    return out
-
-
-def _run_once(names, scheme, device, jitter, policy, saturate):
-    """One repetition; returns (turnarounds, intervals)."""
-    sim = GPUSimulator(device)
-    if scheme == "baseline":
-        specs = [_base_spec(n) for n in names]
-        trace = sim.run(specs, cost_jitter=jitter)
-        return trace.turnarounds, [(iv.start, iv.finish)
-                                   for iv in trace.intervals]
-    if scheme == "accelos":
-        specs = _accelos_specs(names, device, policy, saturate)
-        trace = sim.run(specs, cost_jitter=jitter)
-        return trace.turnarounds, [(iv.start, iv.finish)
-                                   for iv in trace.intervals]
-    if scheme == "ek":
-        base = [_base_spec(n) for n in names]
-        scheduler = ElasticKernelsScheduler(device)
-        groups = scheduler.pack(base)
-        offset = 0.0
-        turnarounds = [None] * len(names)
-        intervals = [None] * len(names)
-        cursor = 0
-        for group in groups:
-            specs = scheduler.to_sim_specs(group)
-            group_jitter = jitter[cursor:cursor + len(specs)] \
-                if jitter is not None else None
-            trace = sim.run(specs, cost_jitter=group_jitter)
-            for local_index, iv in enumerate(trace.intervals):
-                index = cursor + local_index
-                turnarounds[index] = offset + iv.finish
-                intervals[index] = (offset + iv.start, offset + iv.finish)
-            offset += trace.makespan
-            cursor += len(specs)
-            sim = GPUSimulator(device)  # fresh state per merged launch
-        return turnarounds, intervals
-    raise SimulationError("unknown scheme {!r}".format(scheme))
-
-
 def run_workload(names, scheme, device, repetitions=DEFAULT_REPETITIONS,
                  policy=SchedulingPolicy.ADAPTIVE, saturate=True, seed=0):
     """Run a workload ``repetitions`` times; metrics on mean times."""
     names = list(names)
+    # fail fast with the capability error before simulating anything
+    scheme_obj = require_closed(scheme_from_name(scheme))
     iso = [isolated_time(n, device) for n in names]
     sums = np.zeros(len(names))
     interval_sums = np.zeros((len(names), 2))
-    rng = make_rng("jitter", scheme, device.name, seed, *names)
+    rng = make_rng("jitter", scheme_obj.name, device.name, seed, *names)
     for _ in range(repetitions):
         jitter = np.exp(rng.normal(0.0, JITTER_SIGMA, size=len(names)))
-        turnarounds, intervals = _run_once(names, scheme, device, jitter,
-                                           policy, saturate)
+        turnarounds, intervals = scheme_obj.run_closed(
+            names, device, jitter=jitter, policy=policy, saturate=saturate)
         sums += np.asarray(turnarounds)
         interval_sums += np.asarray(intervals)
     mean_turnarounds = (sums / repetitions).tolist()
     mean_intervals = [tuple(row) for row in interval_sums / repetitions]
-    return WorkloadResult(names, scheme, device.name, mean_turnarounds,
-                          mean_intervals, iso)
-
-
-# Virtual-group granularity for single-kernel studies: real Parboil grids
-# have far more work groups than the device holds resident; the coarse
-# profile granularity (scale 1) keeps sweeps tractable but under-resolves
-# the §6.4 chunking trade-off (see docs/PAPER_MAPPING.md, deviations).
-SINGLE_KERNEL_DETAIL = 1
-
-_detail_cache = {}
-
-
-def _detailed_spec(name):
-    spec = _detail_cache.get(name)
-    if spec is None:
-        spec = profile_by_name(name).exec_spec(
-            detail_scale=SINGLE_KERNEL_DETAIL)
-        _detail_cache[name] = spec
-    return spec
+    return WorkloadResult(names, scheme_obj.name, device.name,
+                          mean_turnarounds, mean_intervals, iso)
 
 
 def run_single_kernel(name, device, policy=SchedulingPolicy.ADAPTIVE,
@@ -207,25 +101,7 @@ def run_single_kernel(name, device, policy=SchedulingPolicy.ADAPTIVE,
     """Single-kernel execution time under a scheme (fig. 15 and §8.5).
 
     Returns ``(time, isolated_baseline_time)``.  Both sides run at the fine
-    virtual-group granularity of real Parboil grids.
+    virtual-group granularity of real Parboil grids.  Schemes without a
+    single-kernel mode (e.g. ``ek``) raise.
     """
-    spec = _detailed_spec(name)
-    iso = GPUSimulator(device).run([spec]).makespan
-    if scheme == "baseline":
-        return iso, iso
-    if scheme != "accelos":
-        raise SimulationError(
-            "unknown single-kernel scheme {!r}".format(scheme))
-    requirements = [KernelRequirements(
-        name=spec.name, wg_threads=spec.wg_threads,
-        local_mem_bytes=spec.local_mem_per_wg,
-        registers_per_thread=spec.registers_per_thread,
-        total_groups=spec.total_groups)]
-    allocation = compute_allocations(requirements, device)[0]
-    chunk = effective_chunk(
-        chunk_for_profile(profile_by_name(name), policy),
-        spec.total_groups, allocation.groups)
-    accel = spec.with_mode(ExecutionMode.ACCELOS,
-                           physical_groups=allocation.groups, chunk=chunk)
-    trace = GPUSimulator(device).run([accel])
-    return trace.makespan, iso
+    return scheme_from_name(scheme).run_single(name, device, policy=policy)

@@ -1,20 +1,17 @@
-"""Open-system experiments: continuous arrivals under the three schemes.
+"""Open-system experiments: continuous arrivals under pluggable schemes.
 
 The closed-batch harness (:mod:`repro.harness.experiment`) submits every
 kernel at t=0 and measures one drain; a real accelOS deployment instead
 serves a *stream* of requests.  This module evaluates that steady-state
 regime with the paper's STP/ANTT methodology (Eyerman & Eeckhout [10])
-extended with per-request queueing delay:
+extended with per-request queueing delay.
 
-* ``baseline`` — the standard stack: requests join the firmware scheduler's
-  queue at arrival and dispatch in arrival order (FIFO drain-overlap or
-  exclusive, per device).
-* ``ek``       — Elastic Kernels: a merged launch is static, so newly
-  arrived requests must wait for the current launch to drain before being
-  merged; arrivals serialise into successive merged launches.
-* ``accelos``  — the §3 sharing algorithm re-runs over the active request
-  set on every arrival and completion; allocations grow and shrink at
-  chunk boundaries (the re-allocation path generalising ``rebalance``).
+Scheme execution itself lives on the registered scheme objects
+(:mod:`repro.api.schemes`): ``baseline`` (firmware FIFO/exclusive queue),
+``ek`` (Elastic Kernels' serialised merged launches) and ``accelos``
+(the §3 sharing algorithm re-run on every arrival and completion) are
+pre-registered, and any user-registered scheme runs through these
+experiments unchanged — the harness only zips records into metrics.
 
 Per-request metrics measure turnaround from *arrival* (queueing included),
 normalised by the kernel's isolated execution time — the open-system
@@ -39,113 +36,23 @@ slowdown — the user-perceived metric for a heterogeneous deployment.
 
 from __future__ import annotations
 
-from collections import deque
-
 import numpy as np
 
-from repro.accelos.adaptive import SchedulingPolicy, effective_chunk
+from repro.accelos.adaptive import SchedulingPolicy
 from repro.accelos.placement import place_arrivals
-from repro.accelos.sharing import KernelRequirements, compute_allocations
-from repro.baselines.elastic_kernels import ElasticKernelsScheduler
+# re-exported under their historical home: these primitives now live in
+# repro.api.kernels so schemes below the harness can share them
+from repro.api.kernels import (arrival_rate_for_load,  # noqa: F401
+                               fleet_arrival_rate_for_load, isolated_time,
+                               mean_isolated_service, requirements_from_spec,
+                               sharing_allocator)
+from repro.api.schemes import (RequestRecord, open_scheme_names,
+                               scheme_from_name)
 from repro.errors import SimulationError
-from repro.harness.experiment import (SCHEMES, _base_spec, chunk_for_profile,
-                                      isolated_time)
 from repro.metrics import (antt, individual_slowdowns, request_tails, stp,
                            system_unfairness)
-from repro.sim import ExecutionMode, GPUSimulator
 from repro.sim.fleet import DeviceFleet
 from repro.workloads.arrivals import ArrivalRequest
-from repro.workloads.parboil import PROFILE_NAMES, profile_by_name
-
-
-def requirements_from_spec(spec):
-    """The §3 inputs of one simulator spec (resource demands per WG)."""
-    return KernelRequirements(
-        name=spec.name, wg_threads=spec.wg_threads,
-        local_mem_bytes=spec.local_mem_per_wg,
-        registers_per_thread=spec.registers_per_thread,
-        total_groups=spec.total_groups)
-
-
-def sharing_allocator(device, saturate=True):
-    """An allocator callback for :meth:`GPUSimulator.run_open`.
-
-    Wraps the §3 sharing algorithm: given the specs of the currently-active
-    kernels, returns their physical-group targets.
-    """
-    def allocate(specs):
-        requirements = [requirements_from_spec(s) for s in specs]
-        allocations = compute_allocations(requirements, device,
-                                          saturate=saturate)
-        return [a.groups for a in allocations]
-    return allocate
-
-
-def arrival_rate_for_load(load, device, names=None, weights=None):
-    """The arrival rate (requests/s) producing offered load ``load``.
-
-    Offered load is ``rho = lambda * E[S]`` with ``E[S]`` the mean isolated
-    service time of the kernel mix; ``rho = 1`` saturates a server that
-    runs requests back to back with no sharing.  ``weights`` optionally
-    gives the mix's per-kernel selection probabilities (normalised here) —
-    the scenario engine passes its effective mix so weighted traffic
-    offers the load it claims; ``None`` means a uniform mix.
-    """
-    if load <= 0:
-        raise SimulationError("offered load must be positive")
-    pool = list(names) if names is not None else list(PROFILE_NAMES)
-    if weights is None:
-        mean_service = float(np.mean([isolated_time(n, device)
-                                      for n in pool]))
-    else:
-        if len(weights) != len(pool):
-            raise SimulationError(
-                "need one weight per kernel name ({} != {})".format(
-                    len(weights), len(pool)))
-        total = float(sum(weights))
-        if total <= 0 or any(w < 0 for w in weights):
-            raise SimulationError("weights must be non-negative with a "
-                                  "positive sum")
-        mean_service = sum((w / total) * isolated_time(n, device)
-                           for n, w in zip(pool, weights))
-    return load / mean_service
-
-
-class RequestRecord:
-    """Timing of one request through the open system.
-
-    ``tenant`` carries the arrival's tenant tag (``None`` for untagged
-    streams) so tail metrics can report per-tenant breakdowns.
-    """
-
-    __slots__ = ("name", "arrival", "start", "finish", "isolated", "tenant")
-
-    def __init__(self, name, arrival, start, finish, isolated, tenant=None):
-        self.name = name
-        self.arrival = arrival
-        self.start = start
-        self.finish = finish
-        self.isolated = isolated
-        self.tenant = tenant
-
-    @property
-    def turnaround(self):
-        """Arrival-to-completion time (queueing + service)."""
-        return self.finish - self.arrival
-
-    @property
-    def queueing_delay(self):
-        """Arrival-to-first-dispatch time."""
-        return self.start - self.arrival
-
-    @property
-    def slowdown(self):
-        """Turnaround normalised by isolated execution time (IS_i)."""
-        return self.turnaround / self.isolated
-
-    def __repr__(self):
-        return "<RequestRecord {} arr={:.4f} turn={:.4f}>".format(
-            self.name, self.arrival, self.turnaround)
 
 
 class OpenSystemResult:
@@ -187,7 +94,7 @@ class OpenSystemResult:
 
 
 class OpenSystemExperiment:
-    """Runs one arrival stream under the paper's three schemes."""
+    """Runs one arrival stream under registered scheduling schemes."""
 
     def __init__(self, device, policy=SchedulingPolicy.ADAPTIVE,
                  saturate=True):
@@ -199,120 +106,33 @@ class OpenSystemExperiment:
 
     def run(self, arrivals, scheme):
         """Simulate ``arrivals`` (a list of :class:`ArrivalRequest`) under
-        ``scheme``; returns an :class:`OpenSystemResult` with records in
-        submission order."""
-        records = self.scheme_records(arrivals, scheme)
-        return OpenSystemResult(scheme, self.device.name, records)
+        ``scheme`` (a registered name or scheme object); returns an
+        :class:`OpenSystemResult` with records in submission order."""
+        scheme_obj = scheme_from_name(scheme)
+        records = self.scheme_records(arrivals, scheme_obj)
+        return OpenSystemResult(scheme_obj.name, self.device.name, records)
 
     def scheme_records(self, arrivals, scheme):
         """Per-request records of one scheme over one stream (the building
-        block :class:`FleetOpenSystemExperiment` combines per device)."""
+        block :class:`FleetOpenSystemExperiment` combines per device).
+        Unknown scheme names raise listing the registered schemes."""
         if not arrivals:
             raise SimulationError("empty arrival stream")
-        if scheme == "baseline":
-            return self._hardware_records(arrivals)
-        if scheme == "accelos":
-            return self._accelos_records(arrivals)
-        if scheme == "ek":
-            return self._elastic_records(arrivals)
-        raise SimulationError("unknown scheme {!r}".format(scheme))
+        return scheme_from_name(scheme).open_records(
+            arrivals, self.device, policy=self.policy,
+            saturate=self.saturate)
 
-    def run_all(self, arrivals, schemes=SCHEMES):
-        """All schemes over one stream: ``{scheme: OpenSystemResult}``."""
-        return {scheme: self.run(arrivals, scheme) for scheme in schemes}
-
-    # -- scheme implementations --------------------------------------------
-
-    def _records_from_trace(self, arrivals, trace):
-        return [
-            RequestRecord(a.name, a.time, iv.start, iv.finish,
-                          isolated_time(a.name, self.device),
-                          tenant=a.tenant)
-            for a, iv in zip(arrivals, trace.intervals)
-        ]
-
-    def _hardware_records(self, arrivals):
-        specs = [_base_spec(a.name).with_arrival(a.time) for a in arrivals]
-        trace = GPUSimulator(self.device).run_open(specs)
-        return self._records_from_trace(arrivals, trace)
-
-    def _accelos_records(self, arrivals):
-        specs = [self._accelos_spec(a) for a in arrivals]
-        allocator = sharing_allocator(self.device, saturate=self.saturate)
-        trace = GPUSimulator(self.device).run_open(specs,
-                                                   allocator=allocator)
-        return self._records_from_trace(arrivals, trace)
-
-    def _accelos_spec(self, arrival):
-        """One request's spec: the Kernel Scheduler fixes the §6.4 dequeue
-        chunk at admission (from the solo allocation); the physical group
-        count itself is re-decided by the allocator as the active set
-        changes."""
-        base = _base_spec(arrival.name)
-        solo = compute_allocations([requirements_from_spec(base)],
-                                   self.device,
-                                   saturate=self.saturate)[0].groups
-        chunk = effective_chunk(
-            chunk_for_profile(profile_by_name(arrival.name), self.policy),
-            base.total_groups, solo)
-        return base.with_mode(ExecutionMode.ACCELOS, physical_groups=solo,
-                              chunk=chunk).with_arrival(arrival.time)
-
-    def _elastic_records(self, arrivals):
-        """Serialised merged-launch replay.
-
-        EK decides merges statically at launch: requests arriving while a
-        merged launch runs cannot join it, so they queue until the device
-        drains, then the queue head is packed into the next merged launch
-        (arrival order, bounded by the merge width and static split floor).
-        """
-        scheduler = ElasticKernelsScheduler(self.device)
-        order = sorted(range(len(arrivals)),
-                       key=lambda i: (arrivals[i].time, i))
-        records = [None] * len(arrivals)
-        waiting = deque()
-        now = 0.0
-        next_arrival = 0
-        while next_arrival < len(order) or waiting:
-            if not waiting:
-                now = max(now, arrivals[order[next_arrival]].time)
-            while (next_arrival < len(order)
-                   and arrivals[order[next_arrival]].time <= now + 1e-12):
-                waiting.append(order[next_arrival])
-                next_arrival += 1
-            specs = [_base_spec(arrivals[i].name) for i in waiting]
-            head = scheduler.pack(specs)[0]
-            launched = [waiting.popleft() for _ in head.specs]
-            trace = GPUSimulator(self.device).run(
-                scheduler.to_sim_specs(head))
-            for i, iv in zip(launched, trace.intervals):
-                a = arrivals[i]
-                records[i] = RequestRecord(
-                    a.name, a.time, now + iv.start, now + iv.finish,
-                    isolated_time(a.name, self.device), tenant=a.tenant)
-            now += trace.makespan
-        return records
+    def run_all(self, arrivals, schemes=None):
+        """All schemes over one stream: ``{scheme: OpenSystemResult}``.
+        ``schemes=None`` means every registered *open-capable* scheme,
+        resolved at call time — user registrations included."""
+        if schemes is None:
+            schemes = open_scheme_names()
+        return {scheme_from_name(s).name: self.run(arrivals, s)
+                for s in schemes}
 
 
 # -- multi-device fleets ------------------------------------------------------
-
-def fleet_arrival_rate_for_load(load, fleet, names=None, weights=None):
-    """The arrival rate offering ``load`` to a whole fleet.
-
-    The fleet's service capacity is the sum of the per-device rates
-    ``1 / E[S_d]`` (each device as one server working through isolated
-    service times of the kernel mix); ``load = 1`` saturates the fleet
-    when placement is perfect.  ``weights`` has the same meaning as in
-    :func:`arrival_rate_for_load` — pass a scenario's effective mix so
-    weighted traffic offers the fleet the load it claims.
-    """
-    if load <= 0:
-        raise SimulationError("offered load must be positive")
-    capacity = sum(arrival_rate_for_load(1.0, member.device, names=names,
-                                         weights=weights)
-                   for member in fleet)
-    return load * capacity
-
 
 class FleetOpenSystemResult:
     """One scheme + placement policy over one stream on one fleet.
@@ -367,9 +187,10 @@ class FleetOpenSystemExperiment:
     Placement routes each request to one device (pinned requests are
     honoured, migration penalties delay a request's availability on its
     new device), every device then simulates its sub-stream exactly as a
-    standalone :class:`OpenSystemExperiment` would — own simulator, own §3
-    allocator — and the records are recombined.  Deterministic end to end:
-    placement has no RNG and device simulation is event-driven.
+    standalone :class:`OpenSystemExperiment` would — own simulator, own
+    scheme logic from the registry — and the records are recombined.
+    Deterministic end to end: placement has no RNG and device simulation
+    is event-driven.
     """
 
     def __init__(self, fleet, policy=SchedulingPolicy.ADAPTIVE,
@@ -402,6 +223,7 @@ class FleetOpenSystemExperiment:
         """One scheme over one stream under one placement policy."""
         if not arrivals:
             raise SimulationError("empty arrival stream")
+        scheme_obj = scheme_from_name(scheme)
         decisions = self.place(arrivals, placement)
         per_device_indices = {i: [] for i in range(len(self.fleet))}
         for position, decision in enumerate(decisions):
@@ -425,7 +247,7 @@ class FleetOpenSystemExperiment:
                 for p in positions
             ]
             sub_records = self.experiments[index].scheme_records(
-                sub_arrivals, scheme)
+                sub_arrivals, scheme_obj)
             device_records = []
             for position, record in zip(positions, sub_records):
                 original = arrivals[position]
@@ -438,14 +260,18 @@ class FleetOpenSystemExperiment:
             records_by_device[device_id] = device_records
         if any(record is None for record in all_records):
             raise SimulationError("fleet run lost a request record")
-        return FleetOpenSystemResult(scheme, placement.name, self.fleet,
-                                     records_by_device, all_records,
-                                     decisions)
+        return FleetOpenSystemResult(scheme_obj.name, placement.name,
+                                     self.fleet, records_by_device,
+                                     all_records, decisions)
 
-    def run_all(self, arrivals, placement, schemes=SCHEMES):
-        """All schemes over one stream: ``{scheme: FleetOpenSystemResult}``."""
-        return {scheme: self.run(arrivals, scheme, placement)
-                for scheme in schemes}
+    def run_all(self, arrivals, placement, schemes=None):
+        """All schemes over one stream: ``{scheme: FleetOpenSystemResult}``.
+        ``schemes=None`` means every registered open-capable scheme, at
+        call time."""
+        if schemes is None:
+            schemes = open_scheme_names()
+        return {scheme_from_name(s).name: self.run(arrivals, s, placement)
+                for s in schemes}
 
     def run_policies(self, arrivals, scheme, policies):
         """One scheme under several placement policies:

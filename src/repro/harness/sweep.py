@@ -11,8 +11,8 @@ import os
 
 import numpy as np
 
-from repro.harness.experiment import (DEFAULT_REPETITIONS, SCHEMES,
-                                      run_workload)
+from repro.api.schemes import closed_scheme_names, reference_scheme
+from repro.harness.experiment import DEFAULT_REPETITIONS, run_workload
 from repro.metrics import fairness_improvement, throughput_speedup, worst_antt
 from repro.workloads import pairwise_workloads, random_workloads
 
@@ -34,12 +34,17 @@ def default_workload_sets(pair_limit=None):
     }
 
 
-def run_sweep(workloads, device, schemes=SCHEMES,
+def run_sweep(workloads, device, schemes=None,
               repetitions=DEFAULT_REPETITIONS):
     """Run every workload under every scheme.
 
     Returns ``{scheme: [WorkloadResult]}`` with matching workload order.
+    ``schemes=None`` means every registered *closed-capable* scheme,
+    resolved at call time — user registrations included, but an
+    open-system-only scheme cannot break a closed sweep.
     """
+    if schemes is None:
+        schemes = closed_scheme_names()
     results = {scheme: [] for scheme in schemes}
     for workload in workloads:
         for scheme in schemes:
@@ -54,7 +59,8 @@ class SweepSummary:
 
     def __init__(self, results):
         self.results = results
-        base = results["baseline"]
+        reference = reference_scheme().name
+        base = results[reference]
         self.count = len(base)
 
         self.avg_unfairness = {
@@ -64,7 +70,7 @@ class SweepSummary:
         self.fairness_improvements = {}
         self.throughput_speedups = {}
         for scheme, rows in results.items():
-            if scheme == "baseline":
+            if scheme == reference:
                 continue
             self.fairness_improvements[scheme] = [
                 fairness_improvement(b.unfairness, r.unfairness)

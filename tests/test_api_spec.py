@@ -1,0 +1,223 @@
+"""ExperimentSpec serialization round-trips and registry validation.
+
+The declarative surface's contract: a spec is plain data (JSON → spec →
+JSON bit-identical), and every name in it — scheme, scenario, placement,
+device, metric — is validated eagerly against its registry with an error
+that lists the valid names (actionable, not an echo of the bad string).
+"""
+
+import json
+
+import pytest
+
+from repro.api import (DeviceEntry, ExperimentSpec, Registry,
+                       device_names, metric_names, placement_names,
+                       scheme_names)
+from repro.api.spec import Cell
+from repro.errors import SimulationError
+
+
+# -- round-trips --------------------------------------------------------------
+
+def full_spec():
+    """A spec exercising every field away from its default."""
+    return ExperimentSpec(
+        scenario="multi-tenant",
+        schemes=("accelos", "baseline"),
+        loads=(0.5, 1.5),
+        seeds=(3, 11),
+        count=9,
+        repetitions=2,
+        devices=(
+            {"id": "fast", "base": "nvidia-k20m"},
+            {"id": "slow", "base": "nvidia-k20m",
+             "clock_scale": 0.4, "cu_scale": 0.5},
+            {"id": "amd", "base": "amd-r9-295x2"},
+        ),
+        placements=("least-loaded", "round-robin"),
+        metrics=("antt", "p99_slowdown"),
+        policy="naive",
+        saturate=False,
+    )
+
+
+def test_dict_round_trip_is_identity():
+    spec = full_spec()
+    assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_json_round_trip_is_bit_identical():
+    spec = full_spec()
+    text = spec.to_json()
+    again = ExperimentSpec.from_json(text)
+    assert again == spec
+    assert again.to_json() == text
+
+
+def test_default_spec_round_trips():
+    spec = ExperimentSpec()
+    assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+
+def test_checked_in_smoke_spec_is_canonical(tmp_path):
+    """The CI smoke spec is the canonical serialization of itself."""
+    from pathlib import Path
+    path = Path(__file__).parent / "goldens" / "spec_smoke.json"
+    text = path.read_text(encoding="utf-8")
+    assert ExperimentSpec.from_json(text).to_json() == text
+
+
+def test_lists_and_tuples_serialize_identically():
+    a = ExperimentSpec(loads=[0.5, 1.0], seeds=[1, 2])
+    b = ExperimentSpec(loads=(0.5, 1.0), seeds=(1, 2))
+    assert a == b and a.to_json() == b.to_json()
+
+
+def test_device_entry_shorthand_and_scales():
+    entry = DeviceEntry.from_dict("nvidia-k20m")
+    assert entry.id == "nvidia-k20m" and entry.clock_scale == 1.0
+    derated = DeviceEntry.from_dict(
+        {"id": "slow", "base": "nvidia-k20m", "clock_scale": 0.5})
+    assert derated.cu_scale == 1.0
+    assert DeviceEntry.from_dict(derated.to_dict()) == derated
+
+
+# -- eager validation with actionable errors ----------------------------------
+
+def _assert_lists_names(excinfo, names):
+    message = str(excinfo.value)
+    for name in names:
+        assert name in message, (name, message)
+
+
+def test_unknown_scheme_lists_registered_names():
+    with pytest.raises(SimulationError, match="unknown scheme") as excinfo:
+        ExperimentSpec(schemes=("baseline", "fifo2"))
+    _assert_lists_names(excinfo, scheme_names())
+
+
+def test_unknown_scenario_lists_registered_names():
+    with pytest.raises(SimulationError,
+                       match="unknown scenario") as excinfo:
+        ExperimentSpec(scenario="tsunami")
+    _assert_lists_names(excinfo, ("steady", "bursty", "multi-tenant"))
+
+
+def test_unknown_placement_lists_registered_names():
+    with pytest.raises(SimulationError,
+                       match="unknown placement") as excinfo:
+        ExperimentSpec(devices=("nvidia-k20m", {"id": "b"}),
+                       placements=("best-fit",))
+    _assert_lists_names(excinfo, placement_names())
+
+
+def test_unknown_device_lists_registered_names():
+    with pytest.raises(SimulationError, match="unknown device") as excinfo:
+        ExperimentSpec(devices=({"id": "x", "base": "tpu-v9"},))
+    _assert_lists_names(excinfo, device_names())
+
+
+def test_unknown_metric_lists_registered_names():
+    with pytest.raises(SimulationError, match="unknown metric") as excinfo:
+        ExperimentSpec(metrics=("latency99",))
+    _assert_lists_names(excinfo, metric_names())
+
+
+def test_unknown_spec_key_lists_valid_keys():
+    with pytest.raises(SimulationError, match="unknown experiment spec"):
+        ExperimentSpec.from_dict({"scenario": "steady", "loadz": [1.0]})
+
+
+def test_invalid_json_is_actionable():
+    with pytest.raises(SimulationError, match="not valid JSON"):
+        ExperimentSpec.from_json("{nope")
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"schemes": ()},
+    {"schemes": ("accelos", "accelos")},
+    {"loads": ()},
+    {"loads": (0.0,)},
+    {"loads": (-1.0,)},
+    {"loads": (1, 1.0)},  # duplicates after float coercion
+    {"seeds": ()},
+    {"seeds": (1.5,)},
+    {"seeds": (2, 2)},
+    {"count": 0},
+    {"count": "many"},
+    {"repetitions": 0},
+    {"devices": ()},
+    {"saturate": "yes"},
+    {"policy": "aggressive"},
+    {"schemes": "accelos"},  # bare string, not a sequence
+    {"metrics": ("antt", "antt")},
+])
+def test_invalid_field_values_raise(kwargs):
+    with pytest.raises(SimulationError):
+        ExperimentSpec(**kwargs)
+
+
+def test_device_entry_without_id_is_actionable():
+    with pytest.raises(SimulationError, match="needs an 'id'"):
+        ExperimentSpec(devices=({"base": "nvidia-k20m"},))
+
+
+def test_duplicate_device_ids_raise():
+    with pytest.raises(SimulationError, match="unique"):
+        ExperimentSpec(devices=({"id": "a"}, {"id": "a"}))
+
+
+def test_placements_rejected_on_single_device():
+    with pytest.raises(SimulationError, match="placements only apply"):
+        ExperimentSpec(placements=("least-loaded",))
+
+
+def test_fleet_defaults_to_least_loaded_placement():
+    spec = ExperimentSpec(devices=({"id": "a"}, {"id": "b"}))
+    assert spec.placements == ("least-loaded",)
+    assert spec.is_fleet
+
+
+def test_bad_device_scales_raise():
+    for bad in ({"clock_scale": 0.0}, {"clock_scale": 1.5},
+                {"cu_scale": -0.1}, {"clock_scale": True},
+                {"cu_scale": False}):
+        with pytest.raises(SimulationError):
+            DeviceEntry(id="x", base="nvidia-k20m", **bad)
+
+
+def test_cell_count_covers_the_grid():
+    spec = full_spec()
+    assert spec.cell_count() == (len(spec.loads) * len(spec.seeds)
+                                 * spec.repetitions * len(spec.placements)
+                                 * len(spec.schemes))
+
+
+def test_cell_matching_rejects_unknown_fields():
+    cell = Cell(scheme="accelos", load=1.0, seed=0)
+    assert cell.matches(scheme="accelos", load=1.0)
+    assert not cell.matches(scheme="baseline")
+    with pytest.raises(SimulationError, match="unknown cell field"):
+        cell.matches(color="red")
+
+
+# -- the generic registry ------------------------------------------------------
+
+def test_registry_reports_valid_names_on_miss():
+    registry = Registry("widget")
+    registry.register("a", 1)
+    registry.register("b", 2)
+    with pytest.raises(SimulationError, match="unknown widget 'c'") as e:
+        registry.from_name("c")
+    assert "a, b" in str(e.value)
+
+
+def test_registry_rejects_silent_rebinding():
+    registry = Registry("widget")
+    registry.register("a", 1)
+    with pytest.raises(SimulationError, match="already registered"):
+        registry.register("a", 2)
+    registry.register("a", 2, replace=True)
+    assert registry.from_name("a") == 2
+    registry.unregister("a")
+    assert "a" not in registry

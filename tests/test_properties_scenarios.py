@@ -20,6 +20,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.accelos.sharing import KernelRequirements, compute_allocations
+from repro.api.schemes import scheme_from_name
 from repro.cl import nvidia_k20m
 from repro.harness.experiment import isolated_time
 from repro.harness.open_system import (OpenSystemExperiment,
@@ -91,8 +92,8 @@ def spying_allocator(device):
 def test_allocations_fit_device_under_scenario_traffic(scenario_name, seed,
                                                        load):
     arrivals = stream_for(scenario_name, seed, load)
-    experiment = OpenSystemExperiment(DEVICE)
-    specs = [experiment._accelos_spec(a) for a in arrivals]
+    accelos = scheme_from_name("accelos")
+    specs = [accelos.admission_spec(a, DEVICE) for a in arrivals]
     allocator, calls = spying_allocator(DEVICE)
     sim = GPUSimulator(DEVICE)
     sim.run_open(specs, allocator=allocator)
