@@ -9,12 +9,21 @@ cross-device placement policy over the same multi-tenant stream:
 * round-robin      — blind alternation (the fleet baseline),
 * least-loaded     — route to the earliest estimated completion,
 * affinity         — least-loaded, but moving a tenant's buffers off the
-                     device that holds them costs a migration penalty.
+                     device that holds them costs a migration penalty,
+* burst-aware      — closed-loop only: places against *live* simulator
+                     backlog with short-horizon burst detection,
+* work-stealing    — burst-aware plus a re-balancer that migrates
+                     still-queued requests to idle devices.
 
 Every device keeps its own §3 allocator, so the paper's per-device
 fairness guarantees are untouched; placement only decides *which* device
 a request shares.  Watch round-robin drown the slow device while
 least-loaded placement wins on ANTT.
+
+The second table pushes the same fleet past saturation and compares the
+offline pre-pass against the closed loop (docs/PLACEMENT.md): online
+placement reads actual outstanding work instead of a single-server
+estimate, which is exactly what bursty multi-tenant traffic punishes.
 
 It also shows the functional plane: FleetRuntime places application
 sessions across devices while each kernel still executes bit-for-bit
@@ -77,6 +86,35 @@ def evaluation_plane():
         .format(REQUESTS, LOAD)))
 
 
+def closed_loop():
+    spec = ExperimentSpec(
+        scenario="multi-tenant",
+        schemes=("baseline", "accelos"),
+        loads=(1.5,),                  # past saturation: bursts queue
+        seeds=(SEED,),
+        count=REQUESTS,
+        devices=(
+            {"id": "fast", "base": "nvidia-k20m"},
+            {"id": "slow", "base": "nvidia-k20m",
+             "clock_scale": 0.4, "cu_scale": 0.5},
+        ),
+        placements=("least-loaded", "burst-aware"),
+        metrics=("unfairness", "antt", "p99_slowdown"),
+    )
+    results = run(spec)
+    rows = []
+    for scheme in spec.schemes:
+        for placement in spec.placements:
+            result = results.get(scheme=scheme, placement=placement)
+            rows.append([scheme, placement, result.overall.unfairness,
+                         result.overall.antt, result.p99_slowdown])
+    print(format_table(
+        ["scheme", "placement", "unfairness", "ANTT", "p99 slowdown"],
+        rows,
+        title="Offline estimate vs closed-loop burst-aware placement "
+              "(load 1.5)"))
+
+
 def functional_plane():
     fleet = FleetRuntime([
         ("fast", nvidia_k20m()),
@@ -107,6 +145,8 @@ def functional_plane():
 
 def main():
     evaluation_plane()
+    print()
+    closed_loop()
     print()
     functional_plane()
 

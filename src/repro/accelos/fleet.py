@@ -66,6 +66,7 @@ class FleetRuntime:
             raise SchedulingError(str(error))
         self.fleet = fleet
         self.ids = fleet.ids
+        self._index_by_id = fleet.id_to_index()
         self.runtimes = [
             AccelOSRuntime(member.device, policy=policy, saturate=saturate,
                            inline=inline)
@@ -114,8 +115,8 @@ class FleetRuntime:
 
     def _index_of(self, device_id):
         try:
-            return self.ids.index(device_id)
-        except ValueError:
+            return self._index_by_id[device_id]
+        except KeyError:
             raise SchedulingError(
                 "no device {!r} in fleet {}".format(device_id, self.ids))
 

@@ -8,7 +8,23 @@ of the device the request gets.  The split keeps the paper's per-device
 fairness guarantees intact — placement never bypasses an allocator, it
 only routes work to one.
 
-Three policies, all deterministic (no RNG anywhere):
+Two protocols live here, one per evaluation plane:
+
+* :class:`PlacementPolicy` — the **offline** protocol:
+  :func:`place_arrivals` walks the whole stream against a single-server
+  backlog *estimate* before any device simulates.  Fast, simple, and
+  blind to what actually happens on the devices.
+* :class:`OnlinePlacementPolicy` — the **closed-loop** protocol driven
+  per-arrival by :class:`repro.sim.fleet.FleetSimulator`: ``observe``
+  arrivals, ``choose`` against live fleet state
+  (:class:`~repro.sim.fleet.FleetStatus`), and optionally ``rebalance``
+  still-queued requests between devices at completion/idle events.
+  :class:`OfflinePolicyAdapter` runs any offline policy inside the loop
+  — in *estimate* mode it reproduces :func:`place_arrivals`' decisions
+  bit-identically; in *live* mode the same ``choose`` logic sees real
+  simulator backlog instead.
+
+Offline policies, all deterministic (no RNG anywhere):
 
 * :class:`RoundRobinPlacement` — cycle through the devices in order;
   ignores load and heterogeneity.  The baseline every fleet scheduler is
@@ -24,9 +40,21 @@ Three policies, all deterministic (no RNG anywhere):
   a delay between the request's arrival and its availability on the new
   device.  Trades load balance against data locality.
 
+Online policies (closed-loop only): :class:`BurstAwareOnlinePlacement`
+(queue-aware least-work with short-horizon burst detection) and
+:class:`WorkStealingRebalance` (wraps any online policy with an idle
+work-stealing re-balancer).
+
 Requests pinned to a device (``arrival.device`` set by a device-tagged
 trace) always go to that device; policies are only consulted for unpinned
 requests, and the round-robin cursor does not advance on pinned ones.
+Pinned placements still run :meth:`PlacementPolicy.migration_penalty`:
+a pinned request whose tenant's buffers live elsewhere pays the transfer
+(the pin forces the buffers to move) and re-homes the tenant — so a
+pinned request can change which device a *later* unpinned request of the
+same tenant is charged for leaving.  This is intended (locked by
+regression tests): the home map tracks where the buffers physically are,
+and a hard pin moves them like any other placement.
 
 The policies operate on plain per-device load estimates, so the same
 implementations drive both planes: the evaluation plane's
@@ -171,6 +199,273 @@ class AffinityPlacement(PlacementPolicy):
         return 0.0 if home in (None, index) else self.penalty
 
 
+# -- the closed-loop (online) protocol ----------------------------------------
+
+class OnlinePlacementPolicy:
+    """Chooses devices inside the closed-loop fleet co-simulation.
+
+    Driven per-arrival by :class:`repro.sim.fleet.FleetSimulator`:
+
+    * :meth:`observe_arrival` — every arrival (pinned ones included)
+      passes through here first, so rate trackers see all traffic;
+    * :meth:`choose` — pick a device for an unpinned arrival against the
+      live :class:`~repro.sim.fleet.FleetStatus` (actual outstanding
+      work, queue depths, active counts — not a pre-pass estimate);
+    * :meth:`rebalance` — called after completions and idle transitions;
+      may return :class:`~repro.sim.fleet.MigrationOrder`s migrating
+      still-queued requests between devices (each charged its order's
+      migration penalty).
+
+    Like offline policies, online policies may keep state which
+    :meth:`reset` clears, so one object can drive several independent
+    streams reproducibly.  Determinism contract: no RNG; decisions are
+    pure functions of the observed event history.
+    """
+
+    name = "abstract-online"
+    uses_costs = True
+    # policies that ignore the live snapshot (the estimate-mode adapter)
+    # set this False so the loop can skip building it per arrival
+    uses_status = True
+
+    @property
+    def wants_rebalance(self):
+        """True when the policy overrides :meth:`rebalance` — the loop
+        only snapshots fleet state at completion/idle events for
+        policies that will actually read it."""
+        return type(self).rebalance is not OnlinePlacementPolicy.rebalance
+
+    def reset(self):
+        """Forget all stream-local state (called before each stream)."""
+
+    def observe_arrival(self, arrival):
+        """Every arrival flows through here before placement."""
+
+    def choose(self, arrival, status, costs):
+        """Pick a device index for ``arrival``.
+
+        ``status`` is the live :class:`~repro.sim.fleet.FleetStatus`;
+        ``costs[i]`` the request's own estimated service time on device
+        *i* (zeros when ``uses_costs`` is False).
+        """
+        raise NotImplementedError
+
+    def migration_penalty(self, arrival, index):
+        """Seconds of data-movement delay for serving ``arrival`` on
+        ``index``; stateful policies update their locality maps here."""
+        return 0.0
+
+    def placed(self, arrival, index, penalty, cost):
+        """Notification that ``arrival`` was routed (pinned ones too)."""
+
+    def rebalance(self, status):
+        """Migration orders at a completion/idle event (default: none)."""
+        return ()
+
+
+class OfflinePolicyAdapter(OnlinePlacementPolicy):
+    """Runs a legacy offline :class:`PlacementPolicy` inside the loop.
+
+    ``mode="estimate"`` replays :func:`place_arrivals`' single-server
+    backlog estimate — same loads, same ``choose`` calls, same penalty
+    bookkeeping — so the closed loop reproduces the offline plane's
+    placement decisions **bit-identically** (regression-tested).
+    ``mode="live"`` feeds the same legacy ``choose`` the fleet's real
+    outstanding work instead: the cheapest way to make an existing
+    policy load-aware in the closed loop.
+    """
+
+    def __init__(self, policy, mode="estimate"):
+        if mode not in ("estimate", "live"):
+            raise SchedulingError(
+                "offline adapter mode must be 'estimate' or 'live', "
+                "got {!r}".format(mode))
+        self.policy = policy
+        self.mode = mode
+        self.name = policy.name
+        self.uses_costs = policy.uses_costs
+        # estimate mode never reads the live snapshot (loads come from
+        # the replayed busy-until bookkeeping), so the loop may skip it
+        self.uses_status = mode == "live"
+        self._busy_until = {}
+
+    def reset(self):
+        self.policy.reset()
+        self._busy_until = {}
+
+    def choose(self, arrival, status, costs):
+        if self.mode == "estimate":
+            loads = [max(0.0, self._busy_until.get(j, 0.0) - arrival.time)
+                     for j in range(len(costs))]
+        else:
+            loads = [d.backlog_seconds for d in status.devices]
+        return self.policy.choose(arrival, loads, costs)
+
+    def migration_penalty(self, arrival, index):
+        return self.policy.migration_penalty(arrival, index)
+
+    def placed(self, arrival, index, penalty, cost):
+        if self.mode != "estimate":
+            return
+        start = max(self._busy_until.get(index, 0.0),
+                    arrival.time + penalty)
+        self._busy_until[index] = start + cost
+
+
+class BurstAwareOnlinePlacement(OnlinePlacementPolicy):
+    """Queue-aware least-work placement with short-horizon burst detection.
+
+    Steady state: earliest-estimated-completion against **live** backlog
+    (the device's actual outstanding estimated work, which under accelOS
+    space sharing drains very differently from the offline single-server
+    estimate) — min over devices of ``backlog + own service time``.
+
+    Burst mode: the policy tracks the arrival rate over the last
+    ``horizon`` arrivals; when it exceeds ``surge`` times the stream's
+    long-run average, a burst is in progress.  Bursts are when placement
+    decides fleet-wide fairness (ROADMAP, PR 4 observation): overflowing
+    a surge onto a slow device gives those requests multiples of the
+    fast-device service time — pure slowdown spread — while queueing on
+    a fast device costs every burst request a little.  So during a burst
+    the *extra* service time a slower device would add is weighted by
+    ``slow_penalty``, biasing the overflow toward queueing on fast
+    devices unless the slow device is genuinely idle enough to win by a
+    margin.
+    """
+
+    name = "burst-aware"
+
+    def __init__(self, horizon=8, surge=2.0, slow_penalty=4.0):
+        if horizon < 2:
+            raise SchedulingError("burst horizon needs >= 2 arrivals")
+        if surge <= 1.0:
+            raise SchedulingError("surge threshold must exceed 1.0")
+        if slow_penalty < 0:
+            raise SchedulingError("slow_penalty must be non-negative")
+        self.horizon = int(horizon)
+        self.surge = float(surge)
+        self.slow_penalty = float(slow_penalty)
+        self._recent = []
+        self._first_time = None
+        self._count = 0
+
+    def reset(self):
+        self._recent = []
+        self._first_time = None
+        self._count = 0
+
+    def observe_arrival(self, arrival):
+        if self._first_time is None:
+            self._first_time = arrival.time
+        self._count += 1
+        self._recent.append(arrival.time)
+        if len(self._recent) > self.horizon:
+            self._recent.pop(0)
+
+    def burst_factor(self, now):
+        """Short-horizon arrival rate over the stream's long-run rate
+        (1.0 until enough history has accumulated)."""
+        if (self._count <= self.horizon
+                or now <= self._first_time
+                or len(self._recent) < 2):
+            return 1.0
+        span = now - self._recent[0]
+        if span <= 0:
+            return self.surge + 1.0   # several arrivals at one instant
+        short_rate = (len(self._recent) - 1) / span
+        long_rate = (self._count - 1) / (now - self._first_time)
+        if long_rate <= 0:
+            return 1.0
+        return short_rate / long_rate
+
+    def bursting(self, now):
+        return self.burst_factor(now) > self.surge
+
+    def choose(self, arrival, status, costs):
+        loads = [d.backlog_seconds for d in status.devices]
+        finish = [load + cost for load, cost in zip(loads, costs)]
+        if self.bursting(arrival.time):
+            best_cost = min(costs)
+            finish = [f + (cost - best_cost) * self.slow_penalty
+                      for f, cost in zip(finish, costs)]
+        return min(range(len(finish)), key=lambda i: (finish[i], i))
+
+
+class WorkStealingRebalance(OnlinePlacementPolicy):
+    """Wraps an online policy with an idle work-stealing re-balancer.
+
+    Placement decisions are delegated to ``inner`` (default: a
+    :class:`BurstAwareOnlinePlacement`).  At every completion/idle event
+    a device whose own queue is empty may steal the *youngest* queued
+    (not-yet-started) request of a more backlogged device — youngest
+    first because it has waited least, so redirecting it forfeits the
+    least queueing progress.  A steal happens only when it pays even
+    after the buffer transfer: projected completion on the thief
+    (``backlog + penalty + service there``) must beat the source
+    device's current backlog by ``margin`` times the transfer penalty.
+    Stolen requests are charged ``penalty`` exactly like an affinity
+    migration.
+    """
+
+    def __init__(self, inner=None, penalty=DEFAULT_MIGRATION_PENALTY,
+                 margin=1.0, name="work-stealing"):
+        if penalty < 0:
+            raise SchedulingError("migration penalty must be non-negative")
+        if margin < 0:
+            raise SchedulingError("steal margin must be non-negative")
+        self.inner = inner if inner is not None \
+            else BurstAwareOnlinePlacement()
+        self.penalty = float(penalty)
+        self.margin = float(margin)
+        self.name = name
+
+    @property
+    def uses_costs(self):
+        return self.inner.uses_costs
+
+    @property
+    def uses_status(self):
+        return self.inner.uses_status
+
+    def reset(self):
+        self.inner.reset()
+
+    def observe_arrival(self, arrival):
+        self.inner.observe_arrival(arrival)
+
+    def choose(self, arrival, status, costs):
+        return self.inner.choose(arrival, status, costs)
+
+    def migration_penalty(self, arrival, index):
+        return self.inner.migration_penalty(arrival, index)
+
+    def placed(self, arrival, index, penalty, cost):
+        self.inner.placed(arrival, index, penalty, cost)
+
+    def rebalance(self, status):
+        from repro.sim.fleet import MigrationOrder
+        thieves = sorted(status.devices,
+                         key=lambda d: (d.backlog_seconds, d.index))
+        for thief in thieves:
+            if thief.queue_depth:
+                continue   # a device with its own queue never steals
+            for source in sorted(status.devices,
+                                 key=lambda d: (-d.backlog_seconds,
+                                                d.index)):
+                if source.index == thief.index or not source.queued:
+                    continue
+                prey = source.queued[-1]
+                cost = status.estimate(prey.name, thief.index)
+                projected = (thief.backlog_seconds + self.penalty + cost
+                             + self.margin * self.penalty)
+                if projected < source.backlog_seconds:
+                    # one order per hook call: the next completion/idle
+                    # event re-evaluates against fresh state
+                    return (MigrationOrder(prey.key, source.index,
+                                           thief.index, self.penalty),)
+        return ()
+
+
 def default_policies():
     """Compatibility alias for :func:`repro.api.placements.default_policies`.
 
@@ -198,6 +493,11 @@ def place_arrivals(policy, arrivals, devices, estimator, ids=None):
     The backlog is an *estimate* used only for routing; real timing comes
     from each device's simulator afterwards.
     """
+    if isinstance(policy, OnlinePlacementPolicy):
+        raise SchedulingError(
+            "policy {!r} is closed-loop-only (online); the offline "
+            "pre-pass cannot drive it — run it through the fleet "
+            "harness or repro.sim.fleet.FleetSimulator".format(policy.name))
     if not arrivals:
         raise SchedulingError("cannot place an empty arrival stream")
     if not devices:
@@ -208,8 +508,23 @@ def place_arrivals(policy, arrivals, devices, estimator, ids=None):
     order = sorted(range(len(arrivals)),
                    key=lambda i: (arrivals[i].time, i))
     placed = [None] * len(arrivals)
+    # The estimator is a pure function of (kernel, device) but typically
+    # simulates an isolated run on a miss: memoise it across the stream
+    # so a long stream over a large fleet pays one estimate per distinct
+    # (kernel, device), not one per request per device.
+    estimates = {}
+
+    def estimate(name, device_index):
+        key = (name, device_index)
+        value = estimates.get(key)
+        if value is None:
+            value = estimator(name, devices[device_index])
+            estimates[key] = value
+        return value
+
     for i in order:
         arrival = arrivals[i]
+        costs = None
         if arrival.device is not None:
             if arrival.device not in id_to_index:
                 raise SchedulingError(
@@ -221,9 +536,12 @@ def place_arrivals(policy, arrivals, devices, estimator, ids=None):
             loads = [max(0.0, busy - arrival.time) for busy in busy_until]
             # pinned requests and cost-blind policies never read the cost
             # vector, so only estimate per device when the policy will
-            costs = ([estimator(arrival.name, device) for device in devices]
-                     if policy.uses_costs else [0.0] * len(devices))
-            index = policy.choose(arrival, loads, costs)
+            costs = ([estimate(arrival.name, j)
+                      for j in range(len(devices))]
+                     if policy.uses_costs else None)
+            index = policy.choose(arrival, loads,
+                                  costs if costs is not None
+                                  else [0.0] * len(devices))
             if not 0 <= index < len(devices):
                 raise SchedulingError(
                     "policy {} chose device {} of {}".format(
@@ -231,6 +549,10 @@ def place_arrivals(policy, arrivals, devices, estimator, ids=None):
             pinned = False
         penalty = policy.migration_penalty(arrival, index)
         start = max(busy_until[index], arrival.time + penalty)
-        busy_until[index] = start + estimator(arrival.name, devices[index])
+        # reuse the chosen device's cost from the vector we just built
+        # instead of estimating the same (kernel, device) pair again
+        service = (costs[index] if costs is not None
+                   else estimate(arrival.name, index))
+        busy_until[index] = start + service
         placed[i] = PlacementDecision(arrival, index, penalty, pinned)
     return placed

@@ -9,8 +9,11 @@ This package turns that grid into data:
   Kernels and the paper's §3 system are pre-registered, and a scheme
   registered from user code runs through every harness, benchmark and
   report unchanged.
-* :mod:`repro.api.placements` — the parallel :class:`PlacementPolicy`
-  registry for cross-device placement in fleet experiments.
+* :mod:`repro.api.placements` — the parallel placement registry for
+  cross-device placement in fleet experiments: offline
+  :class:`PlacementPolicy` pre-passes, closed-loop
+  :class:`OnlinePlacementPolicy` policies (burst-aware, work-stealing)
+  and the :data:`REBALANCERS` registry of cross-device re-balancers.
 * :mod:`repro.api.devices` — named device models plus serializable
   derated variants for heterogeneous fleets.
 * :mod:`repro.api.spec` — :class:`ExperimentSpec`, a frozen, eagerly
@@ -36,8 +39,10 @@ from repro.api.kernels import (
 from repro.api.devices import (
     DEVICES, build_device, device_from_name, device_names, register_device)
 from repro.api.placements import (
-    PLACEMENTS, default_policies, placement_from_name, placement_names,
-    register_placement)
+    PLACEMENTS, REBALANCERS, default_policies, is_online_placement,
+    placement_from_name, placement_names, rebalancer_from_name,
+    rebalancer_names, register_placement, register_rebalancer,
+    unregister_rebalancer)
 # note: the scheme registry object itself (repro.api.schemes.SCHEMES) is
 # deliberately not re-exported — repro.harness.SCHEMES is the pinned
 # builtin trio, and exporting a same-named registry here would invite
@@ -59,8 +64,10 @@ __all__ = [
     "requirements_from_spec", "sharing_allocator", "transform_chunks",
     "DEVICES", "build_device", "device_from_name", "device_names",
     "register_device",
-    "PLACEMENTS", "default_policies", "placement_from_name",
-    "placement_names", "register_placement",
+    "PLACEMENTS", "REBALANCERS", "default_policies",
+    "is_online_placement", "placement_from_name", "placement_names",
+    "rebalancer_from_name", "rebalancer_names", "register_placement",
+    "register_rebalancer", "unregister_rebalancer",
     "RequestRecord", "SchedulingScheme", "closed_scheme_names",
     "open_scheme_names", "reference_scheme", "register_scheme",
     "scheme_from_name", "scheme_names", "unregister_scheme",

@@ -104,7 +104,9 @@ def iter_runs(spec):
                         for scheme in spec.schemes:
                             result = experiment.run(
                                 arrivals, scheme,
-                                placement_from_name(placement))
+                                placement_from_name(placement),
+                                mode=spec.placement_mode,
+                                rebalance=spec.rebalance)
                             yield (Cell(scheme=scheme, load=load, seed=seed,
                                         repetition=repetition,
                                         placement=placement), result)

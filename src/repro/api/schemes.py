@@ -30,6 +30,7 @@ docs/API.md for the 20-line extension recipe.
 
 from __future__ import annotations
 
+import bisect
 from collections import deque
 
 from repro.accelos.adaptive import SchedulingPolicy, effective_chunk
@@ -40,7 +41,7 @@ from repro.api.kernels import (base_spec, chunk_for_profile, detailed_spec,
 from repro.api.registry import Registry
 from repro.baselines.elastic_kernels import ElasticKernelsScheduler
 from repro.errors import SimulationError
-from repro.sim import ExecutionMode, GPUSimulator
+from repro.sim import ExecutionMode, GPUSimulator, QueuedRequest
 from repro.workloads.parboil import profile_by_name
 
 
@@ -81,6 +82,178 @@ class RequestRecord:
             self.name, self.arrival, self.turnaround)
 
 
+class GpuOpenSession:
+    """One device's incremental open-system session (simulator-backed).
+
+    The device-session protocol of
+    :class:`repro.sim.fleet.FleetSimulator`, on top of the
+    advance-to-next-event interface of
+    :meth:`repro.sim.GPUSimulator.open_begin` — the closed-loop form of
+    every scheme whose open system runs directly on the GPU simulator
+    (baseline's firmware queue, accelOS's re-allocating sharing).
+    ``build_spec(arrival, effective_time)`` turns one arrival into the
+    scheme's :class:`~repro.sim.spec.KernelExecSpec`.
+    """
+
+    def __init__(self, device, mode, build_spec, allocator=None):
+        self.device = device
+        self._sim = GPUSimulator(device)
+        self._sim.open_begin(mode, allocator=allocator)
+        self._build = build_spec
+        self._entries = {}            # key -> (arrival, run)
+        self._order = []              # submission-ordered keys
+        self._finished_seen = 0
+
+    def submit(self, key, arrival, effective_time):
+        spec = self._build(arrival, effective_time)
+        run = self._sim.open_submit(spec)
+        self._entries[key] = (arrival, run)
+        self._order.append(key)
+
+    def peek(self):
+        return self._sim.open_peek()
+
+    def step(self):
+        time = self._sim.open_step()
+        finished = self._sim.finished_requests - self._finished_seen
+        self._finished_seen = self._sim.finished_requests
+        return time, finished
+
+    def queued(self):
+        out = []
+        for key in self._order:
+            arrival, run = self._entries[key]
+            if self._sim.open_withdrawable(run):
+                out.append(QueuedRequest(key, arrival.name, arrival.tenant,
+                                         run.spec.arrival_time))
+        return out
+
+    def withdraw(self, key):
+        arrival, run = self._entries[key]
+        self._sim.open_withdraw(run)
+        del self._entries[key]
+        self._order.remove(key)
+        return run.spec.arrival_time
+
+    def backlog_seconds(self, now):
+        total = 0.0
+        for arrival, run in self._entries.values():
+            if run.finish_time is not None or run.total <= 0:
+                continue
+            remaining = (run.total - run.completed) / run.total
+            total += isolated_time(arrival.name, self.device) * remaining
+        return total
+
+    def active_count(self):
+        return sum(1 for _, run in self._entries.values()
+                   if run.finish_time is None
+                   and not self._sim.open_withdrawable(run))
+
+    def results(self):
+        """``{key: (start, finish)}`` once the session has drained."""
+        out = {}
+        for key, (arrival, run) in self._entries.items():
+            if run.finish_time is None:
+                raise SimulationError(
+                    "request {} never finished on {}".format(
+                        arrival.name, self.device.name))
+            out[key] = (run.start_time, run.finish_time)
+        return out
+
+
+class ElasticOpenSession:
+    """Elastic Kernels' closed-loop session: serialised merged launches.
+
+    The incremental form of
+    :meth:`ElasticKernelsScheme.open_records`'s replay loop, exposing
+    the same device-session protocol as :class:`GpuOpenSession`.  EK
+    decides merges statically at launch, so the session alternates two
+    event kinds: a *launch* (device idle, waiting queue non-empty —
+    pack the queue head into a merged launch, simulate it as a closed
+    batch) and the launch's *completion* (records become final, next
+    launch may start).  Requests waiting for the device to drain are
+    withdrawable — exactly the still-queued work a re-balancer may
+    migrate.
+    """
+
+    def __init__(self, device):
+        self.device = device
+        self._scheduler = ElasticKernelsScheduler(device)
+        self._waiting = []            # sorted (effective, seq, key, arrival)
+        self._seq = 0
+        self._now = 0.0
+        self._busy_until = None
+        self._inflight = 0
+        self._results = {}
+
+    def submit(self, key, arrival, effective_time):
+        entry = (effective_time, self._seq, key, arrival)
+        self._seq += 1
+        bisect.insort(self._waiting, entry)
+
+    def peek(self):
+        if self._busy_until is not None:
+            return self._busy_until
+        if self._waiting:
+            return max(self._now, self._waiting[0][0])
+        return None
+
+    def step(self):
+        if self._busy_until is not None:
+            time = self._busy_until
+            self._now = max(self._now, time)
+            self._busy_until = None
+            finished, self._inflight = self._inflight, 0
+            return time, finished
+        return self._launch(), 0
+
+    def _launch(self):
+        time = max(self._now, self._waiting[0][0])
+        self._now = time
+        eligible = [entry for entry in self._waiting
+                    if entry[0] <= time + 1e-12]
+        head = self._scheduler.pack(
+            [base_spec(entry[3].name) for entry in eligible])[0]
+        launched = eligible[:len(head.specs)]
+        del self._waiting[:len(launched)]
+        trace = GPUSimulator(self.device).run(
+            self._scheduler.to_sim_specs(head))
+        for entry, interval in zip(launched, trace.intervals):
+            self._results[entry[2]] = (time + interval.start,
+                                       time + interval.finish)
+        self._busy_until = time + trace.makespan
+        self._inflight = len(launched)
+        return time
+
+    def queued(self):
+        return [QueuedRequest(key, arrival.name, arrival.tenant, effective)
+                for effective, _seq, key, arrival in self._waiting]
+
+    def withdraw(self, key):
+        for position, entry in enumerate(self._waiting):
+            if entry[2] == key:
+                del self._waiting[position]
+                return entry[0]
+        raise SimulationError(
+            "request {} is not queued on {}".format(key, self.device.name))
+
+    def backlog_seconds(self, now):
+        total = sum(isolated_time(arrival.name, self.device)
+                    for _eff, _seq, _key, arrival in self._waiting)
+        if self._busy_until is not None:
+            total += max(0.0, self._busy_until - now)
+        return total
+
+    def active_count(self):
+        return self._inflight
+
+    def results(self):
+        """``{key: (start, finish)}`` once the session has drained."""
+        if self._waiting or self._busy_until is not None:
+            raise SimulationError("elastic session still has queued work")
+        return dict(self._results)
+
+
 class SchedulingScheme:
     """One way of sharing a device among concurrent kernel requests.
 
@@ -103,6 +276,20 @@ class SchedulingScheme:
         in the stream's submission order (conservation: one per arrival)."""
         raise _missing_mode_error(self, "open-system", "open_records",
                                   open_scheme_names)
+
+    def open_session(self, device, policy=SchedulingPolicy.ADAPTIVE,
+                     saturate=True):
+        """One device's incremental open-system session (the closed-loop
+        fleet plane): an object speaking the device-session protocol of
+        :class:`repro.sim.fleet.FleetSimulator`.  Optional — schemes
+        without one fall back to the offline fleet path and cannot serve
+        online placement policies."""
+        raise SimulationError(
+            "scheme {!r} has no closed-loop session mode; implement "
+            "open_session to use online placement (session-capable: "
+            "{})".format(self.name, ", ".join(
+                s for s in SCHEMES
+                if SCHEMES.from_name(s).supports_open_session)))
 
     # -- closed batches ------------------------------------------------------
 
@@ -133,6 +320,12 @@ class SchedulingScheme:
     def supports_single(self):
         """True when the scheme implements :meth:`run_single`."""
         return type(self).run_single is not SchedulingScheme.run_single
+
+    @property
+    def supports_open_session(self):
+        """True when the scheme implements :meth:`open_session` (the
+        closed-loop fleet plane)."""
+        return type(self).open_session is not SchedulingScheme.open_session
 
     # -- single-kernel studies ----------------------------------------------
 
@@ -179,6 +372,12 @@ class BaselineScheme(SchedulingScheme):
         specs = [base_spec(a.name).with_arrival(a.time) for a in arrivals]
         trace = GPUSimulator(device).run_open(specs)
         return self.records_from_trace(arrivals, trace, device)
+
+    def open_session(self, device, policy=SchedulingPolicy.ADAPTIVE,
+                     saturate=True):
+        return GpuOpenSession(
+            device, ExecutionMode.HARDWARE,
+            lambda arrival, time: base_spec(arrival.name).with_arrival(time))
 
     def run_closed(self, names, device, jitter=None,
                    policy=SchedulingPolicy.ADAPTIVE, saturate=True):
@@ -248,6 +447,16 @@ class AccelOSScheme(SchedulingScheme):
             specs, allocator=sharing_allocator(device, saturate=saturate))
         return self.records_from_trace(arrivals, trace, device)
 
+    def open_session(self, device, policy=SchedulingPolicy.ADAPTIVE,
+                     saturate=True):
+        def build(arrival, time):
+            spec = self.admission_spec(arrival, device, policy=policy,
+                                       saturate=saturate)
+            return spec.with_arrival(time)
+        return GpuOpenSession(
+            device, ExecutionMode.ACCELOS, build,
+            allocator=sharing_allocator(device, saturate=saturate))
+
     def run_closed(self, names, device, jitter=None,
                    policy=SchedulingPolicy.ADAPTIVE, saturate=True):
         specs = self.batch_specs(names, device, policy=policy,
@@ -312,6 +521,10 @@ class ElasticKernelsScheme(SchedulingScheme):
                     isolated_time(a.name, device), tenant=a.tenant)
             now += trace.makespan
         return records
+
+    def open_session(self, device, policy=SchedulingPolicy.ADAPTIVE,
+                     saturate=True):
+        return ElasticOpenSession(device)
 
     def run_closed(self, names, device, jitter=None,
                    policy=SchedulingPolicy.ADAPTIVE, saturate=True):

@@ -19,7 +19,8 @@ import json
 from dataclasses import dataclass, fields
 
 from repro.api.devices import DEVICES
-from repro.api.placements import PLACEMENTS
+from repro.api.placements import (PLACEMENTS, REBALANCERS,
+                                  is_online_placement)
 from repro.api.results import METRICS
 from repro.api.schemes import BUILTIN_SCHEMES, SCHEMES
 from repro.accelos.adaptive import SchedulingPolicy
@@ -31,6 +32,7 @@ DEFAULT_METRICS = ("antt", "stp", "unfairness", "mean_queueing_delay",
 DEFAULT_PLACEMENT = "least-loaded"
 
 _POLICIES = (SchedulingPolicy.ADAPTIVE, SchedulingPolicy.NAIVE)
+_PLACEMENT_MODES = ("auto", "offline", "online")
 
 
 def _require(condition, message):
@@ -135,8 +137,15 @@ class ExperimentSpec:
     Single-device specs (one entry in ``devices``) route through
     :class:`~repro.harness.open_system.OpenSystemExperiment`; multi-device
     specs through the fleet path, one run per placement policy named in
-    ``placements``.  Streams come from the named traffic ``scenario`` at
-    each offered ``load``; ``repetitions`` replays each grid point with
+    ``placements``.  ``placement_mode`` picks the fleet's evaluation
+    plane — ``"auto"`` (offline policies replay the pre-pass estimate
+    bit-identically, online policies run the closed loop), ``"offline"``
+    (force the legacy pre-pass) or ``"online"`` (force live-state
+    placement, adapting offline policies) — and ``rebalance`` names a
+    registered re-balancer (``"none"`` to disable) wrapped around every
+    placement, which requires live-state placement.  Streams come from
+    the named traffic ``scenario`` at each offered ``load``;
+    ``repetitions`` replays each grid point with
     derived per-repetition stream seeds (repetition 0 uses the seed
     verbatim, so a one-repetition spec reproduces historical streams
     bit-for-bit).
@@ -150,6 +159,8 @@ class ExperimentSpec:
     repetitions: int = 1
     devices: tuple = (DeviceEntry(id="device-0", base="nvidia-k20m"),)
     placements: tuple = ()
+    placement_mode: str = "auto"
+    rebalance: str = "none"
     metrics: tuple = DEFAULT_METRICS
     policy: str = SchedulingPolicy.ADAPTIVE
     saturate: bool = True
@@ -219,6 +230,39 @@ class ExperimentSpec:
                          list(placements)))
         object.__setattr__(self, "placements", placements)
 
+        _known(self.placement_mode, _PLACEMENT_MODES, "placement mode")
+        _require(isinstance(self.rebalance, str),
+                 "rebalance must be a re-balancer name or 'none', got "
+                 "{!r}".format(self.rebalance))
+        if self.rebalance != "none":
+            _known(self.rebalance, ("none",) + tuple(REBALANCERS.names()),
+                   "re-balancer")
+        if len(entries) == 1:
+            _require(self.placement_mode == "auto",
+                     "placement_mode only applies to multi-device fleets; "
+                     "drop it or add devices")
+            _require(self.rebalance == "none",
+                     "rebalance only applies to multi-device fleets; drop "
+                     "it or add devices")
+        else:
+            if self.placement_mode == "offline":
+                _require(self.rebalance == "none",
+                         "re-balancing needs the closed loop; use "
+                         "placement_mode 'auto' or 'online'")
+                for name in placements:
+                    _require(not is_online_placement(name),
+                             "placement {!r} is closed-loop-only; it "
+                             "cannot run with placement_mode "
+                             "'offline'".format(name))
+            if self.rebalance != "none" and self.placement_mode == "auto":
+                for name in placements:
+                    _require(is_online_placement(name),
+                             "rebalance {!r} needs live-state placement: "
+                             "placement {!r} is offline — set "
+                             "placement_mode 'online' (or use online "
+                             "placements only)".format(self.rebalance,
+                                                       name))
+
         metrics = _as_tuple(self.metrics, "metrics")
         _require(metrics, "a spec needs at least one metric")
         for name in metrics:
@@ -256,6 +300,8 @@ class ExperimentSpec:
             "repetitions": self.repetitions,
             "devices": [e.to_dict() for e in self.devices],
             "placements": list(self.placements),
+            "placement_mode": self.placement_mode,
+            "rebalance": self.rebalance,
             "metrics": list(self.metrics),
             "policy": self.policy,
             "saturate": self.saturate,

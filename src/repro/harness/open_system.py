@@ -39,19 +39,22 @@ from __future__ import annotations
 import numpy as np
 
 from repro.accelos.adaptive import SchedulingPolicy
-from repro.accelos.placement import place_arrivals
+from repro.accelos.placement import (OfflinePolicyAdapter,
+                                     OnlinePlacementPolicy, PlacementDecision,
+                                     place_arrivals)
 # re-exported under their historical home: these primitives now live in
 # repro.api.kernels so schemes below the harness can share them
 from repro.api.kernels import (arrival_rate_for_load,  # noqa: F401
                                fleet_arrival_rate_for_load, isolated_time,
                                mean_isolated_service, requirements_from_spec,
                                sharing_allocator)
+from repro.api.placements import placement_from_name, rebalancer_from_name
 from repro.api.schemes import (RequestRecord, open_scheme_names,
                                scheme_from_name)
 from repro.errors import SimulationError
 from repro.metrics import (antt, individual_slowdowns, request_tails, stp,
                            system_unfairness)
-from repro.sim.fleet import DeviceFleet
+from repro.sim.fleet import DeviceFleet, FleetSimulator
 from repro.workloads.arrivals import ArrivalRequest
 
 
@@ -145,7 +148,7 @@ class FleetOpenSystemResult:
     """
 
     def __init__(self, scheme, placement_name, fleet, records_by_device,
-                 all_records, decisions):
+                 all_records, decisions, rebalances=0):
         self.scheme = scheme
         self.placement = placement_name
         self.fleet_ids = list(fleet.ids)
@@ -157,6 +160,9 @@ class FleetOpenSystemResult:
         }
         self.decisions = decisions
         self.migrations = sum(1 for d in decisions if d.penalty > 0)
+        # closed-loop only: how many requests the re-balance hook moved
+        # between devices after their initial placement
+        self.rebalances = rebalances
         self.device_share = {
             device_id: len(records_by_device.get(device_id, ())) /
             float(len(all_records))
@@ -184,13 +190,32 @@ class FleetOpenSystemResult:
 class FleetOpenSystemExperiment:
     """Open-system arrival streams against a heterogeneous device fleet.
 
-    Placement routes each request to one device (pinned requests are
-    honoured, migration penalties delay a request's availability on its
-    new device), every device then simulates its sub-stream exactly as a
-    standalone :class:`OpenSystemExperiment` would — own simulator, own
-    scheme logic from the registry — and the records are recombined.
-    Deterministic end to end: placement has no RNG and device simulation
-    is event-driven.
+    The fleet runs as a **closed-loop co-simulation**
+    (:class:`repro.sim.fleet.FleetSimulator`): every device's scheme
+    session shares one event timeline and the placement policy is
+    consulted at each arrival.  Three placement modes (``mode=``):
+
+    * ``"auto"`` (default) — an offline policy runs in the loop in
+      *estimate* mode, reproducing the historical offline pre-pass's
+      decisions bit-identically; an online policy gets live fleet state
+      and the re-balance hook.
+    * ``"offline"`` — force the legacy pre-pass
+      (:func:`~repro.accelos.placement.place_arrivals` + independent
+      per-device simulation); online policies are rejected.  Also the
+      fallback for registered schemes that implement ``open_records``
+      but no ``open_session``.
+    * ``"online"`` — force live-state placement: online policies run
+      natively, offline policies are adapted with live loads.
+
+    ``rebalance`` names a registered re-balancer
+    (:func:`repro.api.placements.rebalancer_names`) wrapped around the
+    policy; it requires live-state placement (an online policy, or
+    ``mode="online"``).
+
+    Pinned requests are honoured in every mode and never re-balanced;
+    migration penalties delay a request's availability on its new
+    device.  Deterministic end to end: placement has no RNG and device
+    simulation is event-driven.
     """
 
     def __init__(self, fleet, policy=SchedulingPolicy.ADAPTIVE,
@@ -198,6 +223,8 @@ class FleetOpenSystemExperiment:
         if not isinstance(fleet, DeviceFleet):
             fleet = DeviceFleet(fleet)
         self.fleet = fleet
+        self.policy = policy
+        self.saturate = saturate
         self.experiments = [
             OpenSystemExperiment(member.device, policy=policy,
                                  saturate=saturate)
@@ -212,19 +239,100 @@ class FleetOpenSystemExperiment:
                    for member in self.fleet)
 
     def place(self, arrivals, placement):
-        """Placement decisions for one stream (no simulation)."""
+        """Offline placement decisions for one stream (no simulation)."""
         return place_arrivals(
-            placement, arrivals, self.fleet.devices,
+            placement_from_name(placement), arrivals, self.fleet.devices,
             estimator=isolated_time, ids=self.fleet.id_to_index())
 
     # -- simulation --------------------------------------------------------
 
-    def run(self, arrivals, scheme, placement):
-        """One scheme over one stream under one placement policy."""
+    def run(self, arrivals, scheme, placement, mode="auto", rebalance=None):
+        """One scheme over one stream under one placement policy.
+
+        ``placement`` is a registered name or a policy instance (offline
+        or online protocol); ``mode`` and ``rebalance`` are described on
+        the class.
+        """
         if not arrivals:
             raise SimulationError("empty arrival stream")
+        if mode not in ("auto", "offline", "online"):
+            raise SimulationError(
+                "placement mode must be 'auto', 'offline' or 'online', "
+                "got {!r}".format(mode))
         scheme_obj = scheme_from_name(scheme)
-        decisions = self.place(arrivals, placement)
+        policy = placement_from_name(placement)
+        is_online = isinstance(policy, OnlinePlacementPolicy)
+        if rebalance in ("none",):
+            rebalance = None
+
+        if mode == "offline" or (mode == "auto"
+                                 and not is_online
+                                 and not scheme_obj.supports_open_session):
+            if is_online:
+                raise SimulationError(
+                    "placement {!r} is closed-loop-only; drop "
+                    "mode='offline' or pick an offline policy".format(
+                        policy.name))
+            if rebalance is not None:
+                raise SimulationError(
+                    "re-balancing needs the closed loop; drop "
+                    "mode='offline' or the rebalance setting")
+            return self._run_offline(arrivals, scheme_obj, policy)
+
+        if mode == "online" and not is_online:
+            # legacy choose logic fed live simulator state
+            policy = OfflinePolicyAdapter(policy, mode="live")
+        elif not is_online:
+            # auto: replay the offline pre-pass decisions bit-identically
+            policy = OfflinePolicyAdapter(policy, mode="estimate")
+        if rebalance is not None:
+            if not (is_online or mode == "online"):
+                raise SimulationError(
+                    "re-balancing needs live-state placement: use an "
+                    "online policy or mode='online'")
+            policy = rebalancer_from_name(rebalance)(policy)
+        if not scheme_obj.supports_open_session:
+            raise SimulationError(
+                "scheme {!r} has no open_session, so it cannot serve "
+                "online placement; use an offline policy (or implement "
+                "open_session)".format(scheme_obj.name))
+        return self._run_loop(arrivals, scheme_obj, policy)
+
+    def _run_loop(self, arrivals, scheme_obj, policy):
+        """The closed-loop path: one merged timeline over all devices."""
+        sessions = [
+            scheme_obj.open_session(member.device, policy=self.policy,
+                                    saturate=self.saturate)
+            for member in self.fleet
+        ]
+        simulator = FleetSimulator(self.fleet, sessions, policy,
+                                   estimator=isolated_time)
+        placed = simulator.run(arrivals)
+        timings = [session.results() for session in sessions]
+        all_records = [None] * len(arrivals)
+        records_by_device = {device_id: [] for device_id in self.fleet.ids}
+        decisions = []
+        for position, arrival in enumerate(arrivals):
+            entry = placed[position]
+            start, finish = timings[entry.index][position]
+            record = RequestRecord(
+                arrival.name, arrival.time, start, finish,
+                self.reference_isolated(arrival.name),
+                tenant=arrival.tenant)
+            all_records[position] = record
+            records_by_device[self.fleet[entry.index].id].append(record)
+            decisions.append(PlacementDecision(
+                arrival, entry.index, entry.penalty, entry.pinned))
+        return FleetOpenSystemResult(
+            scheme_obj.name, policy.name, self.fleet, records_by_device,
+            all_records, decisions,
+            rebalances=len(simulator.migrations))
+
+    def _run_offline(self, arrivals, scheme_obj, policy):
+        """The legacy pre-pass path: place the whole stream against the
+        single-server backlog estimate, then simulate every device's
+        sub-stream independently."""
+        decisions = self.place(arrivals, policy)
         per_device_indices = {i: [] for i in range(len(self.fleet))}
         for position, decision in enumerate(decisions):
             per_device_indices[decision.index].append(position)
@@ -260,21 +368,29 @@ class FleetOpenSystemExperiment:
             records_by_device[device_id] = device_records
         if any(record is None for record in all_records):
             raise SimulationError("fleet run lost a request record")
-        return FleetOpenSystemResult(scheme_obj.name, placement.name,
+        return FleetOpenSystemResult(scheme_obj.name, policy.name,
                                      self.fleet, records_by_device,
                                      all_records, decisions)
 
-    def run_all(self, arrivals, placement, schemes=None):
+    def run_all(self, arrivals, placement, schemes=None, mode="auto",
+                rebalance=None):
         """All schemes over one stream: ``{scheme: FleetOpenSystemResult}``.
         ``schemes=None`` means every registered open-capable scheme, at
         call time."""
         if schemes is None:
             schemes = open_scheme_names()
-        return {scheme_from_name(s).name: self.run(arrivals, s, placement)
+        return {scheme_from_name(s).name:
+                self.run(arrivals, s, placement, mode=mode,
+                         rebalance=rebalance)
                 for s in schemes}
 
-    def run_policies(self, arrivals, scheme, policies):
+    def run_policies(self, arrivals, scheme, policies, mode="auto",
+                     rebalance=None):
         """One scheme under several placement policies:
         ``{policy_name: FleetOpenSystemResult}``."""
-        return {policy.name: self.run(arrivals, scheme, policy)
-                for policy in policies}
+        results = {}
+        for policy in policies:
+            policy = placement_from_name(policy)
+            results[policy.name] = self.run(arrivals, scheme, policy,
+                                            mode=mode, rebalance=rebalance)
+        return results

@@ -23,10 +23,14 @@ overlap and throughput.
 from repro.sim.engine import EventQueue
 from repro.sim.spec import KernelExecSpec, ExecutionMode
 from repro.sim.gpu import GPUSimulator
-from repro.sim.fleet import DeviceFleet, FleetDevice
+from repro.sim.fleet import (DeviceFleet, DeviceStatus, FleetDevice,
+                             FleetSimulator, FleetStatus, MigrationOrder,
+                             PlacedRequest, QueuedRequest)
 from repro.sim.trace import ExecutionTrace, KernelInterval
 
 __all__ = [
     "EventQueue", "KernelExecSpec", "ExecutionMode", "GPUSimulator",
-    "DeviceFleet", "FleetDevice", "ExecutionTrace", "KernelInterval",
+    "DeviceFleet", "FleetDevice", "FleetSimulator", "FleetStatus",
+    "DeviceStatus", "MigrationOrder", "PlacedRequest", "QueuedRequest",
+    "ExecutionTrace", "KernelInterval",
 ]

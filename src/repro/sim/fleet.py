@@ -2,24 +2,38 @@
 
 One :class:`~repro.sim.gpu.GPUSimulator` models one accelerator; a fleet
 models the deployment reality of the ROADMAP's north star — many devices
-of mixed speed and size serving one request stream.  The fleet layer is
-deliberately thin:
+of mixed speed and size serving one request stream.  Two pieces live
+here:
 
-* each device keeps its **own** simulator, allocator state and §3
+* :class:`DeviceFleet` — the topology: N devices behind one placement
+  boundary, each keeping its **own** simulator, allocator state and §3
   guarantees — nothing about single-device simulation changes;
-* a placement policy (:mod:`repro.accelos.placement`) routes every request
-  to exactly one device;
-* per-device traces are combined by the harness
-  (:class:`repro.harness.open_system.FleetOpenSystemExperiment`) into
-  per-device and fleet-wide metrics.
+* :class:`FleetSimulator` — the **closed-loop co-simulation**: every
+  device's open-system session is merged onto one event timeline, the
+  placement policy is consulted *at each arrival* against live
+  per-device state (actual outstanding work, not a pre-pass estimate),
+  and a re-balance hook fires at completion/idle events so still-queued
+  requests may migrate between devices (charged a migration penalty).
+
+The co-simulation is deliberately scheme-agnostic: it drives duck-typed
+*device sessions* (the incremental advance-to-next-event interface of
+:meth:`repro.sim.gpu.GPUSimulator.open_begin` and friends, wrapped per
+scheduling scheme by :mod:`repro.api.schemes`) and a duck-typed
+*placement policy* (:mod:`repro.accelos.placement` defines the offline
+and online protocols), so this module stays below both the accelos and
+api layers.
 
 Invariants: a fleet is non-empty, device ids are unique, and a request is
-simulated on exactly one device (conservation — enforced at placement).
+simulated on exactly one device (conservation — a migrated request is
+withdrawn from its old device before it is submitted to the new one);
+devices never advance past an arrival that could still be placed on them
+(causality); the whole loop is deterministic — no RNG, ties broken by
+fleet index.
 """
 
 from __future__ import annotations
 
-from repro.errors import SimulationError
+from repro.errors import SchedulingError, SimulationError
 from repro.sim.gpu import device_cost_scale
 
 
@@ -93,6 +107,10 @@ class DeviceFleet:
                     "derated/custom devices distinct names".format(
                         member.device.name))
         self.members = members
+        # id -> fleet index, precomputed once: index_of runs per arrival
+        # (pinned requests, session routing), a linear scan per call made
+        # fleet-size lookups O(N^2) over a stream
+        self._index_by_id = {m.id: i for i, m in enumerate(members)}
 
     # -- container surface -------------------------------------------------
 
@@ -114,15 +132,15 @@ class DeviceFleet:
         return [m.device for m in self.members]
 
     def index_of(self, device_id):
-        for i, member in enumerate(self.members):
-            if member.id == device_id:
-                return i
-        raise SimulationError(
-            "no device {!r} in fleet {}".format(device_id, self.ids))
+        try:
+            return self._index_by_id[device_id]
+        except KeyError:
+            raise SimulationError(
+                "no device {!r} in fleet {}".format(device_id, self.ids))
 
     def id_to_index(self):
         """``{device_id: fleet index}`` for pinned-placement lookups."""
-        return {m.id: i for i, m in enumerate(self.members)}
+        return dict(self._index_by_id)
 
     # -- properties the harness and benchmarks reason about ----------------
 
@@ -137,3 +155,299 @@ class DeviceFleet:
     def __repr__(self):
         return "<DeviceFleet {} devices: {}>".format(
             len(self.members), ", ".join(self.ids))
+
+
+# -- closed-loop fleet co-simulation ------------------------------------------
+#
+# Device-session protocol (duck-typed; implemented per scheduling scheme
+# in repro.api.schemes):
+#
+#   submit(key, arrival, effective_time)  one request enters this device
+#   peek() -> float | None                next event time (None = drained)
+#   step() -> (time, finished_delta)      process exactly one event
+#   queued() -> [QueuedRequest]           withdrawable (not-yet-started)
+#   withdraw(key) -> float                remove a queued request, return
+#                                         its old effective arrival time
+#   backlog_seconds(now) -> float         live outstanding estimated work
+#   active_count() -> int                 admitted & unfinished requests
+#
+# Placement-policy protocol: the online protocol of
+# repro.accelos.placement (reset / observe_arrival / choose /
+# migration_penalty / placed / rebalance).  Legacy offline policies are
+# adapted there, never here.
+
+
+class QueuedRequest:
+    """One withdrawable queued request, as the re-balance hook sees it."""
+
+    __slots__ = ("key", "name", "tenant", "effective_time")
+
+    def __init__(self, key, name, tenant, effective_time):
+        self.key = key
+        self.name = name
+        self.tenant = tenant
+        self.effective_time = effective_time
+
+    def __repr__(self):
+        return "<QueuedRequest {} key={} eff={:.6f}>".format(
+            self.name, self.key, self.effective_time)
+
+
+class DeviceStatus:
+    """Live snapshot of one device inside the closed loop."""
+
+    __slots__ = ("index", "id", "relative_speed", "backlog_seconds",
+                 "queued", "active_count")
+
+    def __init__(self, index, device_id, relative_speed, backlog_seconds,
+                 queued, active_count):
+        self.index = index
+        self.id = device_id
+        self.relative_speed = relative_speed
+        self.backlog_seconds = backlog_seconds
+        self.queued = queued            # tuple of QueuedRequest
+        self.active_count = active_count
+
+    @property
+    def queue_depth(self):
+        return len(self.queued)
+
+    def __repr__(self):
+        return ("<DeviceStatus {} backlog={:.4f}s queue={} active={}>"
+                .format(self.id, self.backlog_seconds, self.queue_depth,
+                        self.active_count))
+
+
+class FleetStatus:
+    """Live snapshot of the whole fleet at one loop instant — what online
+    placement policies observe (instead of the offline pre-pass's
+    single-server backlog estimate).  ``estimate(name, index)`` is the
+    loop's memoised service estimator, so re-balancers can price a
+    candidate migration on its target device."""
+
+    __slots__ = ("now", "devices", "estimate")
+
+    def __init__(self, now, devices, estimate=None):
+        self.now = now
+        self.devices = devices          # tuple of DeviceStatus
+        self.estimate = estimate
+
+    def __len__(self):
+        return len(self.devices)
+
+    def __repr__(self):
+        return "<FleetStatus t={:.6f} {} devices>".format(
+            self.now, len(self.devices))
+
+
+class MigrationOrder:
+    """One re-balance decision: move a queued request between devices.
+
+    ``penalty`` is the buffer-migration delay charged to the request (its
+    effective arrival on the new device is ``max(now, old effective
+    arrival) + penalty``).
+    """
+
+    __slots__ = ("key", "source", "target", "penalty")
+
+    def __init__(self, key, source, target, penalty):
+        if penalty < 0:
+            raise SchedulingError("migration penalty must be non-negative")
+        self.key = key
+        self.source = source
+        self.target = target
+        self.penalty = float(penalty)
+
+    def __repr__(self):
+        return "<MigrationOrder key={} {}->{} (+{:.1f}ms)>".format(
+            self.key, self.source, self.target, self.penalty * 1e3)
+
+
+class PlacedRequest:
+    """Final routing of one arrival through the closed loop.
+
+    ``index`` is the device that ultimately *served* the request (after
+    any migrations), ``penalty`` the total migration delay it was
+    charged, ``migrated`` how many times the re-balance hook moved it.
+    """
+
+    __slots__ = ("position", "arrival", "index", "penalty", "pinned",
+                 "migrated")
+
+    def __init__(self, position, arrival, index, penalty, pinned):
+        self.position = position
+        self.arrival = arrival
+        self.index = index
+        self.penalty = float(penalty)
+        self.pinned = pinned
+        self.migrated = 0
+
+    def __repr__(self):
+        return "<PlacedRequest {} -> device {}{}>".format(
+            self.arrival.name, self.index,
+            " (+{:.1f}ms)".format(self.penalty * 1e3) if self.penalty
+            else "")
+
+
+class FleetSimulator:
+    """Closed-loop co-simulation of one arrival stream over a fleet.
+
+    Merges every device session onto one global event timeline.  At each
+    arrival the placement policy chooses a device against the **live**
+    fleet state; after each completion (and whenever a device drains to
+    idle) the policy's re-balance hook may migrate still-queued requests
+    between devices.  Contrast with the offline pre-pass
+    (:func:`repro.accelos.placement.place_arrivals`), which walks the
+    whole stream against a single-server backlog estimate before any
+    device simulates.
+
+    ``sessions`` are per-device scheme sessions (see the protocol note
+    above); ``policy`` speaks the online protocol; ``estimator(name,
+    device)`` supplies per-request service estimates for the policy's
+    cost vector (memoised here per ``(name, device index)``).
+
+    Determinism: no RNG anywhere; the next event is the minimum over
+    sessions of ``peek()``, ties broken by fleet index; arrivals at time
+    ``t`` are placed before any device processes an event at exactly
+    ``t`` (matching the arrival-first tie rule inside each device).
+    """
+
+    def __init__(self, fleet, sessions, policy, estimator):
+        if len(sessions) != len(fleet):
+            raise SimulationError(
+                "need one device session per fleet member ({} != {})"
+                .format(len(sessions), len(fleet)))
+        self.fleet = fleet
+        self.sessions = list(sessions)
+        self.policy = policy
+        self._estimator = estimator
+        self._cost_cache = {}
+        self._rebalance_enabled = True
+        self.migrations = []            # executed MigrationOrders
+
+    # -- estimator memoisation ---------------------------------------------
+
+    def _cost(self, name, index):
+        key = (name, index)
+        value = self._cost_cache.get(key)
+        if value is None:
+            value = self._estimator(name, self.fleet[index].device)
+            self._cost_cache[key] = value
+        return value
+
+    # -- the loop ----------------------------------------------------------
+
+    def run(self, arrivals):
+        """Place and co-simulate one stream; returns one
+        :class:`PlacedRequest` per arrival, in the stream's order."""
+        if not arrivals:
+            raise SimulationError("empty arrival stream")
+        count = len(self.fleet)
+        self.policy.reset()
+        self.migrations = []
+        self._placed = placed = [None] * len(arrivals)
+        # policies that never read the live snapshot (the estimate-mode
+        # adapter) or never re-balance skip the O(outstanding-work)
+        # status walks entirely — the default replay path stays linear
+        uses_status = getattr(self.policy, "uses_status", True)
+        self._rebalance_enabled = getattr(self.policy, "wants_rebalance",
+                                          True)
+        id_to_index = self.fleet.id_to_index()
+        order = sorted(range(len(arrivals)),
+                       key=lambda i: (arrivals[i].time, i))
+        for i in order:
+            arrival = arrivals[i]
+            self._advance_before(arrival.time)
+            self.policy.observe_arrival(arrival)
+            if arrival.device is not None:
+                index = id_to_index.get(arrival.device)
+                if index is None:
+                    raise SchedulingError(
+                        "arrival pinned to unknown device {!r}".format(
+                            arrival.device))
+                pinned = True
+            else:
+                costs = ([self._cost(arrival.name, j)
+                          for j in range(count)]
+                         if self.policy.uses_costs else [0.0] * count)
+                index = self.policy.choose(
+                    arrival,
+                    self._status(arrival.time) if uses_status else None,
+                    costs)
+                if not 0 <= index < count:
+                    raise SchedulingError(
+                        "policy {} chose device {} of {}".format(
+                            self.policy.name, index, count))
+                pinned = False
+            penalty = self.policy.migration_penalty(arrival, index)
+            self.policy.placed(arrival, index, penalty,
+                               self._cost(arrival.name, index))
+            self.sessions[index].submit(i, arrival, arrival.time + penalty)
+            placed[i] = PlacedRequest(i, arrival, index, penalty, pinned)
+        self._advance_before(None)      # drain every device
+        return placed
+
+    def _advance_before(self, time):
+        """Process all device events strictly before ``time`` (None =
+        drain everything), in global time order, firing the re-balance
+        hook after completions and idle transitions."""
+        while True:
+            best = None
+            best_time = None
+            for j, session in enumerate(self.sessions):
+                next_time = session.peek()
+                if next_time is None:
+                    continue
+                if best_time is None or next_time < best_time:
+                    best, best_time = j, next_time
+            if best is None or (time is not None and best_time >= time):
+                return
+            event_time, finished = self.sessions[best].step()
+            if self._rebalance_enabled \
+                    and (finished or self.sessions[best].peek() is None):
+                self._maybe_rebalance(event_time)
+
+    # -- live state & re-balancing -----------------------------------------
+
+    def _status(self, now):
+        views = []
+        for j, (member, session) in enumerate(zip(self.fleet,
+                                                  self.sessions)):
+            # pinned requests are invisible to re-balancers: a device tag
+            # is a hard constraint, the request must not be stolen away
+            queued = tuple(entry for entry in session.queued()
+                           if not self._placed[entry.key].pinned)
+            views.append(DeviceStatus(
+                j, member.id, member.relative_speed,
+                session.backlog_seconds(now), queued,
+                session.active_count()))
+        return FleetStatus(now, tuple(views), self._cost)
+
+    def _maybe_rebalance(self, now):
+        orders = self.policy.rebalance(self._status(now))
+        if not orders:
+            return
+        for migration in orders:
+            if migration.source == migration.target:
+                raise SchedulingError(
+                    "re-balance order moves request {} onto its own "
+                    "device {}".format(migration.key, migration.source))
+            entry = self._placed[migration.key]
+            if entry is None or entry.index != migration.source:
+                raise SchedulingError(
+                    "re-balance order for request {} does not match its "
+                    "current device".format(migration.key))
+            if entry.pinned:
+                raise SchedulingError(
+                    "re-balance order would move device-pinned request "
+                    "{} off {}".format(migration.key,
+                                       self.fleet[entry.index].id))
+            old_effective = self.sessions[migration.source].withdraw(
+                migration.key)
+            effective = max(now, old_effective) + migration.penalty
+            self.sessions[migration.target].submit(
+                migration.key, entry.arrival, effective)
+            entry.index = migration.target
+            entry.penalty += migration.penalty
+            entry.migrated += 1
+            self.migrations.append(migration)

@@ -59,7 +59,7 @@ from collections import deque
 
 from repro.errors import SimulationError
 from repro.sim.contention import BandwidthTracker
-from repro.sim.engine import EventQueue
+from repro.sim.engine import ARRIVAL_TIER, EventQueue
 from repro.sim.hw_sched import scheduler_for
 from repro.sim.resources import CUState
 from repro.sim.spec import ExecutionMode
@@ -123,6 +123,7 @@ class _KernelRun:
         # open-system state
         self.active = False            # has the request arrived yet?
         self.shrink_slots = 0          # live slots to retire at chunk bounds
+        self.withdrawn = False         # migrated away before starting
 
     @property
     def finished(self):
@@ -222,6 +223,30 @@ class GPUSimulator:
         times, so turnaround and queueing delay are per-request.
         """
         mode = self._check_batch(specs)
+        self.open_begin(mode, allocator=allocator)
+        # FIFO priority is arrival order (ties broken by submission order).
+        order = sorted(range(len(specs)),
+                       key=lambda i: (specs[i].arrival_time, i))
+        for i in order:
+            jitter = 1.0 if cost_jitter is None else float(cost_jitter[i])
+            self.open_submit(specs[i], jitter=jitter, index=i)
+        self.open_drain()
+        return self.open_trace()
+
+    # -- incremental open-system interface ------------------------------------
+    #
+    # The advance-to-next-event core :meth:`run_open` is built on, exposed
+    # so a fleet co-simulation (:class:`repro.sim.fleet.FleetSimulator`)
+    # can merge several devices onto one timeline: submit requests as the
+    # placement loop decides them, advance each device only as far as the
+    # global clock allows, observe live state between events, and withdraw
+    # still-queued requests for cross-device migration.  A batch
+    # ``run_open`` is exactly ``open_begin`` + sorted ``open_submit`` +
+    # ``open_drain`` + ``open_trace`` — one code path, so the incremental
+    # and batch forms cannot drift apart.
+
+    def open_begin(self, mode, allocator=None):
+        """Start an empty open-system run accepting incremental submits."""
         if mode == ExecutionMode.ELASTIC:
             raise SimulationError(
                 "elastic kernels cannot join a running merged launch; "
@@ -230,18 +255,138 @@ class GPUSimulator:
         if mode == ExecutionMode.ACCELOS and allocator is None:
             raise SimulationError(
                 "accelos open-system runs need an allocator callback")
-        self._setup(specs, cost_jitter)
-        # FIFO priority is arrival order (ties broken by submission order).
-        self.runs = sorted(self.runs,
-                           key=lambda r: (r.spec.arrival_time, r.index))
+        self._setup([], None)
         self._open = True
         self._allocator = allocator
+        self._open_mode = mode
+        self._software_mode = mode
+        self._pending_slots = deque()
+        self._admission_queue = deque()
 
-        if mode == ExecutionMode.HARDWARE:
-            self._run_hardware_open()
+    def open_submit(self, spec, jitter=1.0, index=None):
+        """Add one request to the running open system.
+
+        Submissions must come in arrival order (the FIFO contract of
+        :meth:`run_open`); the spec's ``arrival_time`` must not precede
+        the simulator's clock.  Returns the mutable run handle, whose
+        ``start_time``/``finish_time`` carry the request's timing once
+        simulated.
+        """
+        if spec.mode != self._open_mode:
+            raise SimulationError(
+                "open run is in {} mode, got a {} spec".format(
+                    self._open_mode, spec.mode))
+        if spec.arrival_time < self.events.now - 1e-12:
+            raise SimulationError(
+                "request {} would arrive in the simulated past "
+                "({} < {})".format(spec.name, spec.arrival_time,
+                                   self.events.now))
+        first = not self.runs
+        run = _KernelRun(index if index is not None else len(self.runs),
+                         spec, self.device, self._cost_scale * jitter)
+        # Keep the run list sorted by (arrival, submission order): it IS
+        # the FIFO priority order of the hardware dispatch window and the
+        # allocator's iteration order.  Plain arrival-order submission
+        # (the batch path, and a fleet loop without migration) appends;
+        # only a migrated request re-homed behind later submissions needs
+        # the insertion scan.
+        at = len(self.runs)
+        while at > 0 and self.runs[at - 1].spec.arrival_time \
+                > spec.arrival_time:
+            at -= 1
+        self.runs.insert(at, run)
+        if self._open_mode == ExecutionMode.HARDWARE:
+            num_cus = self.device.num_cus
+            run.cu_queues = [deque() for _ in range(num_cus)]
+            for wg in range(run.total):
+                run.cu_queues[wg % num_cus].append(wg)
+            if first:
+                # The first arrival finds an idle device: its grid is set
+                # up by its submission, so it dispatches at arrival
+                # without a handoff window (mirroring the closed batch's
+                # first kernel).  Later kernels pay the handoff when they
+                # take over the dispatch window.
+                run.dispatch_ready_time = spec.arrival_time
+            self.events.push(spec.arrival_time, None, tier=ARRIVAL_TIER)
         else:
-            self._run_software_open()
-        return self._collect_trace(mode)
+            self.events.push(spec.arrival_time, ("arrival", run),
+                             tier=ARRIVAL_TIER)
+        return run
+
+    def open_peek(self):
+        """The next event's time, or None when the device is drained."""
+        return self.events.peek_time()
+
+    def open_step(self):
+        """Process exactly one event; returns its simulation time."""
+        time, payload = self.events.pop()
+        if self._open_mode == ExecutionMode.HARDWARE:
+            self._process_hw_event(payload)
+        else:
+            self._process_software_event(payload, self._software_mode)
+        return time
+
+    def open_advance_before(self, time):
+        """Process every event strictly before ``time`` (the causality
+        boundary of a fleet co-simulation: a device may not run ahead of
+        an arrival that could still be placed on it)."""
+        while self.events and self.events.peek_time() < time:
+            self.open_step()
+
+    def open_drain(self):
+        """Process all remaining events (no further submissions)."""
+        while self.events:
+            self.open_step()
+
+    def open_trace(self):
+        """The finished run's :class:`ExecutionTrace` (raises if any
+        admitted request never finished)."""
+        if self._open_mode != ExecutionMode.HARDWARE:
+            self._check_software_drained()
+        return self._collect_trace(self._open_mode)
+
+    def open_withdrawable(self, run):
+        """May ``run`` still be withdrawn (migrated to another device)?
+
+        Only before the device commits resources: a software-scheduled
+        request is withdrawable until admission control activates it, a
+        hardware request until the firmware begins its grid setup.
+        """
+        if run.withdrawn:
+            return False
+        if self._open_mode == ExecutionMode.HARDWARE:
+            return (run.start_time is None
+                    and (run.dispatch_ready_time is None
+                         or self.events.now + 1e-15 < run.spec.arrival_time))
+        return not run.active
+
+    def open_queued(self):
+        """Withdrawable runs in arrival order (the migration candidates)."""
+        return [run for run in self.runs if self.open_withdrawable(run)]
+
+    def open_withdraw(self, run):
+        """Remove a still-queued request (it migrates to another device).
+
+        The run must be :meth:`open_withdrawable`; its pending arrival
+        event (if any) becomes a no-op.  Withdrawing may unblock the
+        admission queue (software modes) or the dispatch window
+        (hardware), so both are re-checked.
+        """
+        if not self.open_withdrawable(run):
+            raise SimulationError(
+                "request {} cannot be withdrawn: it already started on "
+                "this device".format(run.spec.name))
+        run.withdrawn = True
+        self.runs.remove(run)
+        if self._open_mode == ExecutionMode.HARDWARE:
+            # a blocked successor may now own the dispatch window: kick
+            # the dispatcher at the current time
+            self.events.push(self.events.now, None)
+        else:
+            if run in self._admission_queue:
+                self._admission_queue.remove(run)
+            if self._admit_arrivals():
+                self._reallocate()
 
     # -- shared setup / teardown ----------------------------------------------
 
@@ -263,6 +408,8 @@ class GPUSimulator:
         self.cus = [CUState(i, self.device) for i in range(self.device.num_cus)]
         self.bandwidth = BandwidthTracker(self.device)
         self.runs = runs
+        self._cost_scale = scale
+        self.finished_requests = 0
 
     def _collect_trace(self, mode):
         intervals = []
@@ -284,17 +431,6 @@ class GPUSimulator:
         self.runs[0].dispatch_ready_time = 0.0
         self._hw_loop()
 
-    def _run_hardware_open(self):
-        self._build_cu_queues()
-        # The first arrival finds an idle device: its grid is set up by its
-        # submission, so it dispatches at arrival without a handoff window
-        # (mirroring the closed batch's first kernel).  Later kernels pay
-        # the handoff when they take over the dispatch window.
-        self.runs[0].dispatch_ready_time = self.runs[0].spec.arrival_time
-        for run in self.runs:
-            self.events.push(run.spec.arrival_time, None)
-        self._hw_loop()
-
     def _build_cu_queues(self):
         num_cus = self.device.num_cus
         for run in self.runs:
@@ -306,10 +442,13 @@ class GPUSimulator:
         self._hw_dispatch()
         while self.events:
             _, payload = self.events.pop()
-            if payload is not None:
-                run, cu, wg, rate = payload
-                self._complete_hw_wg(run, cu, rate)
-            self._hw_dispatch()
+            self._process_hw_event(payload)
+
+    def _process_hw_event(self, payload):
+        if payload is not None:
+            run, cu, wg, rate = payload
+            self._complete_hw_wg(run, cu, rate)
+        self._hw_dispatch()
 
     def _hw_dispatch(self):
         now = self.events.now
@@ -366,6 +505,7 @@ class GPUSimulator:
         run.completed += 1
         if run.finished:
             run.finish_time = self.events.now
+            self.finished_requests += 1
 
     # -- software-scheduled modes (accelOS / Elastic Kernels) ---------------------
 
@@ -388,29 +528,25 @@ class GPUSimulator:
         self._software_loop(mode)
         self._check_software_drained()
 
-    def _run_software_open(self):
-        mode = ExecutionMode.ACCELOS
-        self._pending_slots = deque()
-        self._admission_queue = deque()
-        self._software_mode = mode
-        for run in self.runs:
-            self.events.push(run.spec.arrival_time, ("arrival", run))
-        self._software_loop(mode)
-        self._check_software_drained()
-
     def _software_loop(self, mode):
         while self.events:
             _, payload = self.events.pop()
-            if payload is None:
-                continue
-            if payload[0] == "arrival":
-                self._admission_queue.append(payload[1])
-                if self._admit_arrivals():
-                    self._reallocate()
-                continue
-            _, run, cu, slot_index, done = payload
-            run.completed += done
-            self._draw_chunk(run, cu, mode, slot_index)
+            self._process_software_event(payload, mode)
+
+    def _process_software_event(self, payload, mode):
+        if payload is None:
+            return
+        if payload[0] == "arrival":
+            run = payload[1]
+            if run.withdrawn:
+                return  # migrated to another device before arriving
+            self._admission_queue.append(run)
+            if self._admit_arrivals():
+                self._reallocate()
+            return
+        _, run, cu, slot_index, done = payload
+        run.completed += done
+        self._draw_chunk(run, cu, mode, slot_index)
 
     def _admit_arrivals(self):
         """FIFO admission control for open-system arrivals.
@@ -638,6 +774,7 @@ class GPUSimulator:
         if finished and run.finish_time is None:
             run.finish_time = self.events.now
             run.mark_dispatch_done(self.events.now)
+            self.finished_requests += 1
             if self._open:
                 self._admit_arrivals()
                 self._reallocate()
