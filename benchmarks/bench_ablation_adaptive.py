@@ -5,7 +5,6 @@ dequeue overhead must be amortised for short kernels, while over-chunking
 erodes dynamic load balancing for imbalanced ones.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import DEVICES

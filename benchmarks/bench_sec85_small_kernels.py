@@ -1,12 +1,10 @@
 """Section 8.5: tiny executions (2/4/8 work groups) stay within a few
 percent of standard OpenCL."""
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import DEVICES
-from repro.accelos.adaptive import SchedulingPolicy, chunk_size_for, \
-    effective_chunk
+from repro.accelos.adaptive import effective_chunk
 from repro.harness import format_table
 from repro.harness.experiment import chunk_for_profile
 from repro.sim import ExecutionMode, GPUSimulator

@@ -168,7 +168,10 @@ def _greedy_saturation(allocations, device, weights=None):
         ]
         if not growable:
             return
-        smallest = min(growable,
+        # id() below only keys the identity weight map built above; the
+        # *order* comes from the weight-normalised ratio, ties from the
+        # deterministic requirements.name
+        smallest = min(growable,  # lint: ignore[D104] -- identity-map key
                        key=lambda a: (a.threads / weight_of[id(a)],
                                       a.requirements.name))
         smallest.groups += 1

@@ -8,17 +8,22 @@ iteration order is registration order so reports stay stable.
 
 from __future__ import annotations
 
+from typing import Dict, Generic, Iterator, Tuple, TypeVar
+
 from repro.errors import SimulationError
 
+EntryT = TypeVar("EntryT")
 
-class Registry:
+
+class Registry(Generic[EntryT]):
     """Name -> entry mapping with actionable unknown-name errors."""
 
-    def __init__(self, kind):
+    def __init__(self, kind: str) -> None:
         self.kind = kind
-        self._entries = {}
+        self._entries: Dict[str, EntryT] = {}
 
-    def register(self, name, entry, replace=False):
+    def register(self, name: str, entry: EntryT,
+                 replace: bool = False) -> EntryT:
         """Bind ``name`` to ``entry``; re-binding requires ``replace``."""
         if not isinstance(name, str) or not name:
             raise SimulationError(
@@ -31,12 +36,12 @@ class Registry:
         self._entries[name] = entry
         return entry
 
-    def unregister(self, name):
+    def unregister(self, name: str) -> None:
         """Remove one entry (tests register toy entries and clean up)."""
         self.from_name(name)  # unknown names get the actionable error
         del self._entries[name]
 
-    def from_name(self, name):
+    def from_name(self, name: str) -> EntryT:
         """The entry registered under ``name``; unknown names raise with
         the registered-name list so the caller can self-correct."""
         try:
@@ -46,19 +51,19 @@ class Registry:
                 "unknown {} {!r} (registered: {})".format(
                     self.kind, name, ", ".join(self.names()) or "<none>"))
 
-    def names(self):
+    def names(self) -> Tuple[str, ...]:
         """Registered names, in registration order."""
         return tuple(self._entries)
 
-    def __contains__(self, name):
+    def __contains__(self, name: object) -> bool:
         return name in self._entries
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self._entries)
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self._entries)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "<Registry {} [{}]>".format(self.kind,
                                            ", ".join(self._entries))

@@ -14,16 +14,27 @@ each entry maps a result object to one float.
 from __future__ import annotations
 
 import json
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterable, Iterator,
+                    List, Optional, Sequence, Tuple)
 
 from repro.api.registry import Registry
 from repro.errors import SimulationError
 
+if TYPE_CHECKING:  # spec imports METRICS from here; avoid the cycle
+    from repro.api.spec import Cell, ExperimentSpec
+
+# a metric maps one result object (OpenSystemResult /
+# FleetOpenSystemResult) to one float
+MetricFn = Callable[[Any], float]
+CellResult = Tuple["Cell", Any]
+
 # name -> extractor over OpenSystemResult / FleetOpenSystemResult;
 # registration order is report order.
-METRICS = Registry("metric")
+METRICS: Registry[MetricFn] = Registry("metric")
 
 
-def register_metric(name, extractor, replace=False):
+def register_metric(name: str, extractor: MetricFn,
+                    replace: bool = False) -> MetricFn:
     """Register a result-to-float extractor under ``name``; specs can
     then select it and ``ResultSet`` reports it like any built-in."""
     if not callable(extractor):
@@ -34,17 +45,17 @@ def register_metric(name, extractor, replace=False):
     return extractor
 
 
-def unregister_metric(name):
+def unregister_metric(name: str) -> None:
     """Remove a registered metric (tests clean up their toys)."""
     METRICS.unregister(name)
 
 
-def metric_names():
+def metric_names() -> Tuple[str, ...]:
     """All selectable metric names, in report order."""
     return METRICS.names()
 
 
-def metric_value(name, result):
+def metric_value(name: str, result: object) -> float:
     """One metric of one result, by registry name."""
     return float(METRICS.from_name(name)(result))
 
@@ -68,24 +79,25 @@ register_metric("p99_queueing_delay", lambda r: r.queueing_tails.p99)
 class ResultSet:
     """All ``(cell, result)`` pairs of one spec run, in grid order."""
 
-    def __init__(self, spec, cells):
+    def __init__(self, spec: "ExperimentSpec",
+                 cells: Iterable[CellResult]) -> None:
         self.spec = spec
-        self.cells = list(cells)
+        self.cells: List[CellResult] = list(cells)
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.cells)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[CellResult]:
         return iter(self.cells)
 
     # -- selection -----------------------------------------------------------
 
-    def select(self, **criteria):
+    def select(self, **criteria: object) -> List[CellResult]:
         """Every ``(cell, result)`` whose cell matches ``criteria``."""
         return [(cell, result) for cell, result in self.cells
                 if cell.matches(**criteria)]
 
-    def get(self, **criteria):
+    def get(self, **criteria: object) -> Any:
         """The one result matching ``criteria`` (error if 0 or many)."""
         matches = self.select(**criteria)
         if not matches:
@@ -109,41 +121,42 @@ class ResultSet:
 
     # -- uniform metric accessors --------------------------------------------
 
-    def metric(self, name, **criteria):
+    def metric(self, name: str, **criteria: object) -> float:
         """One registered metric of the single cell ``criteria`` selects."""
         return metric_value(name, self.get(**criteria))
 
-    def antt(self, **criteria):
+    def antt(self, **criteria: object) -> float:
         return self.metric("antt", **criteria)
 
-    def stp(self, **criteria):
+    def stp(self, **criteria: object) -> float:
         return self.metric("stp", **criteria)
 
-    def unfairness(self, **criteria):
+    def unfairness(self, **criteria: object) -> float:
         return self.metric("unfairness", **criteria)
 
-    def p99_slowdown(self, **criteria):
+    def p99_slowdown(self, **criteria: object) -> float:
         return self.metric("p99_slowdown", **criteria)
 
-    def slowdown_tails(self, **criteria):
+    def slowdown_tails(self, **criteria: object) -> Any:
         """The full :class:`~repro.metrics.tails.TailSummary` of one cell."""
         return self.get(**criteria).slowdown_tails
 
-    def queueing_tails(self, **criteria):
+    def queueing_tails(self, **criteria: object) -> Any:
         return self.get(**criteria).queueing_tails
 
-    def records(self, **criteria):
+    def records(self, **criteria: object) -> Any:
         """The per-request records of one cell (submission order)."""
         return self.get(**criteria).records
 
     # -- reporting -----------------------------------------------------------
 
-    def rows(self, metrics=None):
+    def rows(self,
+             metrics: Optional[Sequence[str]] = None) -> List[List[Any]]:
         """One report row per cell: cell fields + the selected metrics."""
         names = tuple(metrics) if metrics is not None else self.spec.metrics
-        rows = []
+        rows: List[List[Any]] = []
         for cell, result in self.cells:
-            row = [cell.scheme]
+            row: List[Any] = [cell.scheme]
             if self.spec.is_fleet:
                 row.append(cell.placement)
             row += [cell.load, cell.seed, cell.repetition]
@@ -151,7 +164,8 @@ class ResultSet:
             rows.append(row)
         return rows
 
-    def headers(self, metrics=None):
+    def headers(self,
+                metrics: Optional[Sequence[str]] = None) -> List[str]:
         """Column headers matching :meth:`rows`."""
         names = tuple(metrics) if metrics is not None else self.spec.metrics
         head = ["scheme"]
@@ -159,7 +173,7 @@ class ResultSet:
             head.append("placement")
         return head + ["load", "seed", "rep", *names]
 
-    def to_dict(self):
+    def to_dict(self) -> Dict[str, Any]:
         """Canonical plain-data form: the spec plus per-cell metrics."""
         return {
             "spec": self.spec.to_dict(),
@@ -171,11 +185,11 @@ class ResultSet:
             ],
         }
 
-    def to_json(self):
+    def to_json(self) -> str:
         """Deterministic JSON: same spec + same streams => identical
         bytes (floats serialize via their shortest round-trip repr)."""
         return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "<ResultSet {} cells of {!r}/{} schemes>".format(
             len(self.cells), self.spec.scenario, len(self.spec.schemes))

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
 
 from repro.api.devices import DEVICES
 from repro.api.placements import (PLACEMENTS, REBALANCERS,
@@ -35,12 +36,13 @@ _POLICIES = (SchedulingPolicy.ADAPTIVE, SchedulingPolicy.NAIVE)
 _PLACEMENT_MODES = ("auto", "offline", "online")
 
 
-def _require(condition, message):
+def _require(condition: object, message: str) -> None:
     if not condition:
         raise SimulationError(message)
 
 
-def _known(name, registry_names, kind):
+def _known(name: object, registry_names: Sequence[str],
+           kind: str) -> object:
     if name not in registry_names:
         raise SimulationError(
             "unknown {} {!r} (valid: {})".format(
@@ -62,7 +64,7 @@ class DeviceEntry:
     clock_scale: float = 1.0
     cu_scale: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _require(isinstance(self.id, str) and self.id,
                  "device entry ids must be non-empty strings")
         _known(self.base, DEVICES.names(), "device")
@@ -76,12 +78,12 @@ class DeviceEntry:
         object.__setattr__(self, "clock_scale", float(self.clock_scale))
         object.__setattr__(self, "cu_scale", float(self.cu_scale))
 
-    def to_dict(self):
+    def to_dict(self) -> Dict[str, Any]:
         return {"id": self.id, "base": self.base,
                 "clock_scale": self.clock_scale, "cu_scale": self.cu_scale}
 
     @classmethod
-    def from_dict(cls, data):
+    def from_dict(cls, data: Union[str, Mapping[str, Any]]) -> "DeviceEntry":
         if isinstance(data, str):  # shorthand: a bare base-model name
             return cls(id=data, base=data)
         _check_keys(data, ("id", "base", "clock_scale", "cu_scale"),
@@ -100,13 +102,13 @@ class Cell:
     load: float
     seed: int
     repetition: int = 0
-    placement: str = None
+    placement: Optional[str] = None
 
-    def to_dict(self):
+    def to_dict(self) -> Dict[str, Any]:
         return {"scheme": self.scheme, "load": self.load, "seed": self.seed,
                 "repetition": self.repetition, "placement": self.placement}
 
-    def matches(self, **criteria):
+    def matches(self, **criteria: object) -> bool:
         """True when every given field equals this cell's value."""
         for key, value in criteria.items():
             if key not in ("scheme", "load", "seed", "repetition",
@@ -119,7 +121,7 @@ class Cell:
         return True
 
 
-def _check_keys(data, valid, what):
+def _check_keys(data: object, valid: Sequence[str], what: str) -> None:
     _require(isinstance(data, dict),
              "{} must be a mapping, got {!r}".format(what,
                                                      type(data).__name__))
@@ -152,20 +154,21 @@ class ExperimentSpec:
     """
 
     scenario: str = "steady"
-    schemes: tuple = BUILTIN_SCHEMES
-    loads: tuple = (1.0,)
-    seeds: tuple = (0,)
+    schemes: tuple[str, ...] = BUILTIN_SCHEMES
+    loads: tuple[float, ...] = (1.0,)
+    seeds: tuple[int, ...] = (0,)
     count: int = 32
     repetitions: int = 1
-    devices: tuple = (DeviceEntry(id="device-0", base="nvidia-k20m"),)
-    placements: tuple = ()
+    devices: tuple[DeviceEntry, ...] = (
+        DeviceEntry(id="device-0", base="nvidia-k20m"),)
+    placements: tuple[str, ...] = ()
     placement_mode: str = "auto"
     rebalance: str = "none"
-    metrics: tuple = DEFAULT_METRICS
+    metrics: tuple[str, ...] = DEFAULT_METRICS
     policy: str = SchedulingPolicy.ADAPTIVE
     saturate: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _known(self.scenario, tuple(sorted(SCENARIOS)), "scenario")
 
         schemes = _as_tuple(self.schemes, "schemes")
@@ -278,10 +281,10 @@ class ExperimentSpec:
     # -- derived shape -------------------------------------------------------
 
     @property
-    def is_fleet(self):
+    def is_fleet(self) -> bool:
         return len(self.devices) > 1
 
-    def cell_count(self):
+    def cell_count(self) -> int:
         """How many ``(cell, result)`` pairs ``run`` will yield."""
         per_stream = len(self.schemes) * max(1, len(self.placements))
         return (len(self.loads) * len(self.seeds) * self.repetitions
@@ -289,7 +292,7 @@ class ExperimentSpec:
 
     # -- serialization -------------------------------------------------------
 
-    def to_dict(self):
+    def to_dict(self) -> Dict[str, Any]:
         """The canonical plain-data form (lists, numbers, strings)."""
         return {
             "scenario": self.scenario,
@@ -308,7 +311,7 @@ class ExperimentSpec:
         }
 
     @classmethod
-    def from_dict(cls, data):
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
         valid = tuple(f.name for f in fields(cls))
         _check_keys(data, valid, "experiment spec")
         kwargs = dict(data)
@@ -318,13 +321,13 @@ class ExperimentSpec:
                 kwargs[key] = tuple(kwargs[key])
         return cls(**kwargs)
 
-    def to_json(self):
+    def to_json(self) -> str:
         """Deterministic JSON (sorted keys, shortest-round-trip floats):
         the exact inverse of :meth:`from_json`."""
         return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
 
     @classmethod
-    def from_json(cls, text):
+    def from_json(cls, text: str) -> "ExperimentSpec":
         try:
             data = json.loads(text)
         except ValueError as exc:
@@ -333,7 +336,7 @@ class ExperimentSpec:
         return cls.from_dict(data)
 
 
-def _as_tuple(value, what):
+def _as_tuple(value: object, what: str) -> tuple[Any, ...]:
     if isinstance(value, (str, bytes)):
         raise SimulationError(
             "{} must be a sequence of values, not a bare string "

@@ -2,15 +2,17 @@
 
 from __future__ import annotations
 
+from typing import Sequence
 
-def antt(slowdowns):
+
+def antt(slowdowns: Sequence[float]) -> float:
     """``ANTT = (1/K) * sum(IS_i)`` — lower is better, 1.0 is ideal."""
     if not slowdowns:
         raise ValueError("need at least one slowdown")
     return sum(slowdowns) / len(slowdowns)
 
 
-def worst_antt(antt_values):
+def worst_antt(antt_values: Sequence[float]) -> float:
     """Worst ANTT across a set of workloads (the paper's W. ANTT column)."""
     if not antt_values:
         raise ValueError("need at least one ANTT value")

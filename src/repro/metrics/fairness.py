@@ -6,8 +6,11 @@ down equally relative to running in isolation.
 
 from __future__ import annotations
 
+from typing import List, Sequence
 
-def individual_slowdowns(shared_times, isolated_times):
+
+def individual_slowdowns(shared_times: Sequence[float],
+                         isolated_times: Sequence[float]) -> List[float]:
     """``IS_i = T(s)_i / T(a)_i`` per kernel execution.
 
     ``shared_times`` are turnaround times in the shared run; ``isolated``
@@ -15,7 +18,7 @@ def individual_slowdowns(shared_times, isolated_times):
     """
     if len(shared_times) != len(isolated_times):
         raise ValueError("time lists must have the same length")
-    slowdowns = []
+    slowdowns: List[float] = []
     for shared, isolated in zip(shared_times, isolated_times):
         if isolated <= 0:
             raise ValueError("isolated time must be positive")
@@ -23,7 +26,7 @@ def individual_slowdowns(shared_times, isolated_times):
     return slowdowns
 
 
-def system_unfairness(slowdowns):
+def system_unfairness(slowdowns: Sequence[float]) -> float:
     """``U = max(IS) / min(IS)``; 1.0 is perfectly fair, larger is worse."""
     if not slowdowns:
         raise ValueError("need at least one slowdown")
@@ -33,7 +36,8 @@ def system_unfairness(slowdowns):
     return max(slowdowns) / low
 
 
-def fairness_improvement(baseline_unfairness, scheme_unfairness):
+def fairness_improvement(baseline_unfairness: float,
+                         scheme_unfairness: float) -> float:
     """``U_baseline / U_X`` — >1 means the scheme is fairer than baseline."""
     if scheme_unfairness <= 0:
         raise ValueError("unfairness must be positive")

@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+from typing import Sequence, Tuple
 
-def execution_overlap(intervals):
+Interval = Tuple[float, float]
+
+
+def execution_overlap(intervals: Sequence[Interval]) -> float:
     """Overlap of a set of ``(start, finish)`` kernel intervals.
 
     ``T(t)``: total time at least one kernel executes (union measure);
@@ -22,9 +26,9 @@ def execution_overlap(intervals):
     return max(0.0, co_finish - co_start) / total
 
 
-def _union_measure(intervals):
+def _union_measure(intervals: Sequence[Interval]) -> float:
     measure = 0.0
-    cursor = None
+    cursor: float | None = None
     for start, end in sorted(intervals):
         if cursor is None or start > cursor:
             measure += end - start

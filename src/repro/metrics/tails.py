@@ -21,9 +21,11 @@ so results are bit-reproducible across platforms and numpy versions.
 from __future__ import annotations
 
 import math
+from typing import (Any, Callable, Dict, Iterable, List, Optional,
+                    Sequence, Tuple)
 
 
-def _checked_sorted(values):
+def _checked_sorted(values: Iterable[float]) -> List[float]:
     ordered = sorted(float(v) for v in values)
     if not ordered:
         raise ValueError("need at least one value")
@@ -34,7 +36,7 @@ def _checked_sorted(values):
     return ordered
 
 
-def _percentile_of_sorted(ordered, q):
+def _percentile_of_sorted(ordered: Sequence[float], q: float) -> float:
     if not 0.0 <= q <= 100.0:
         raise ValueError("percentile must be in [0, 100]")
     rank = (len(ordered) - 1) * q / 100.0
@@ -46,7 +48,7 @@ def _percentile_of_sorted(ordered, q):
     return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
 
 
-def percentile(values, q):
+def percentile(values: Iterable[float], q: float) -> float:
     """Exact ``q``-th percentile (0..100) by linear interpolation."""
     return _percentile_of_sorted(_checked_sorted(values), q)
 
@@ -56,7 +58,14 @@ class TailSummary:
 
     __slots__ = ("count", "mean", "p50", "p95", "p99", "max")
 
-    def __init__(self, values):
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    def __init__(self, values: Iterable[float]) -> None:
         ordered = _checked_sorted(values)
         self.count = len(ordered)
         self.mean = sum(ordered) / len(ordered)
@@ -66,14 +75,14 @@ class TailSummary:
         self.max = ordered[-1]
 
     @property
-    def max_over_mean(self):
+    def max_over_mean(self) -> float:
         """How far the worst request sits above the average (>= 1 for
         positive populations) — the 'one user had a terrible day' ratio."""
         if self.mean == 0:
             return 1.0 if self.max == 0 else math.inf
         return self.max / self.mean
 
-    def as_dict(self):
+    def as_dict(self) -> Dict[str, float]:
         """Plain-float dict (stable key order) for JSON reports."""
         return {
             "count": self.count,
@@ -85,29 +94,32 @@ class TailSummary:
             "max_over_mean": self.max_over_mean,
         }
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return (isinstance(other, TailSummary)
                 and self.as_dict() == other.as_dict())
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return ("<TailSummary n={} p50={:.3f} p95={:.3f} p99={:.3f} "
                 "max={:.3f}>".format(self.count, self.p50, self.p95,
                                      self.p99, self.max))
 
 
-def tail_summary(values):
+def tail_summary(values: Iterable[float]) -> TailSummary:
     """:class:`TailSummary` over a value population."""
     return TailSummary(values)
 
 
-def per_tenant_tails(records, value=lambda r: r.slowdown):
+def per_tenant_tails(
+        records: Iterable[Any],
+        value: Callable[[Any], float] = lambda r: r.slowdown,
+) -> Dict[Optional[str], TailSummary]:
     """Per-tenant :class:`TailSummary` split of one record population.
 
     Untagged records (``tenant is None``) are grouped under ``None`` —
     single-tenant streams get exactly one entry.  ``value`` extracts the
     measured quantity (default: per-request slowdown).
     """
-    by_tenant = {}
+    by_tenant: Dict[Optional[str], List[float]] = {}
     for record in records:
         by_tenant.setdefault(record.tenant, []).append(value(record))
     return {tenant: TailSummary(values)
@@ -116,7 +128,9 @@ def per_tenant_tails(records, value=lambda r: r.slowdown):
                 key=lambda kv: (kv[0] is not None, str(kv[0])))}
 
 
-def request_tails(records):
+def request_tails(
+        records: Sequence[Any],
+) -> Tuple[TailSummary, TailSummary, Dict[Optional[str], TailSummary]]:
     """Slowdown and queueing-delay tails of one record population.
 
     Returns ``(slowdown_tails, queueing_tails, tenant_slowdown_tails)`` —

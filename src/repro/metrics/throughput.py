@@ -2,15 +2,17 @@
 
 from __future__ import annotations
 
+from typing import Sequence
 
-def throughput_speedup(baseline_time, scheme_time):
+
+def throughput_speedup(baseline_time: float, scheme_time: float) -> float:
     """``T_baseline / T_X`` where T is the time for *all* kernels to finish."""
     if scheme_time <= 0:
         raise ValueError("scheme time must be positive")
     return baseline_time / scheme_time
 
 
-def stp(slowdowns):
+def stp(slowdowns: Sequence[float]) -> float:
     """System throughput (Eyerman & Eeckhout [10]): ``STP = sum(1/IS_i)``.
 
     Equals K for a perfectly-shared machine with no interference and 1 for

@@ -1,0 +1,200 @@
+"""Self-test for the static-analysis suite (``tools/analysis``).
+
+The fixture files under ``tools/analysis/testdata/`` carry seeded
+violations marked ``# EXPECT[CODE]`` on the exact offending line; the
+tests copy them into a scratch repo tree, run the full checker battery
+and assert the finding set matches the markers bit-for-bit.  A second
+battery asserts the *real* repo is clean modulo the committed baseline,
+and the CLI acceptance criterion (non-zero on fixtures, zero on repo)
+is exercised through ``python -m tools.analysis`` subprocesses.
+"""
+
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO) not in sys.path:  # plain `pytest` does not add the rootdir
+    sys.path.insert(0, str(REPO))
+
+from tools.analysis import default_manager  # noqa: E402
+from tools.analysis.core import (AnalysisContext, Finding,  # noqa: E402
+                                 load_baseline, parse_suppressions,
+                                 split_by_baseline)
+
+TESTDATA = REPO / "tools" / "analysis" / "testdata"
+EXPECT_RE = re.compile(r"EXPECT\[([A-Z0-9,]+)\]")
+
+# fixture file -> destination inside the scratch repo tree.  The layout
+# places each fixture where its checker's scan roots will find it; the
+# scratch ``src/repro`` deliberately has NO __init__.py so the real
+# ``repro`` package still wins import resolution for live registries.
+FIXTURE_LAYOUT = {
+    "det_unseeded.py": "src/repro/sim/det_unseeded.py",
+    "det_wallclock.py": "src/repro/det_wallclock.py",
+    "det_set_iter.py": "src/repro/sim/det_set_iter.py",
+    "det_id_order.py": "src/repro/det_id_order.py",
+    "det_float_eq.py": "src/repro/sim/det_float_eq.py",
+    "reg_names.py": "src/repro/reg_names.py",
+    "suppressed.py": "src/repro/suppressed.py",
+    "skipped.py": "src/repro/skipped.py",
+    "spec_bad.py": "src/repro/api/spec.py",
+    "docs_bad.md": "DOCS_BAD.md",
+    "spec_bad.json": "tests/goldens/spec_bad.json",
+}
+
+# the spec JSON cannot carry line markers; its expected violations live here
+JSON_BAD_NAMES = ("no-such-scenario", "ghost-scheme", "fake-metric",
+                  "not-a-rebalancer", "no-such-device")
+
+
+def marker_expectations():
+    """(dest_relpath, line, code) triples parsed from EXPECT markers."""
+    expected = set()
+    for name, dest in FIXTURE_LAYOUT.items():
+        text = (TESTDATA / name).read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for match in EXPECT_RE.finditer(line):
+                for code in match.group(1).split(","):
+                    expected.add((dest, lineno, code))
+    return expected
+
+
+@pytest.fixture()
+def scratch_repo(tmp_path):
+    for name, dest in FIXTURE_LAYOUT.items():
+        target = tmp_path / dest
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(TESTDATA / name, target)
+    return tmp_path
+
+
+# -- the battery against seeded violations -----------------------------------
+
+def test_fixture_findings_match_markers_exactly(scratch_repo):
+    findings = default_manager().run(AnalysisContext(root=scratch_repo))
+    got = {(f.file, f.line, f.code) for f in findings
+           if not f.file.endswith(".json")}
+    assert got == marker_expectations()
+
+
+def test_fixture_spec_json_violations(scratch_repo):
+    findings = default_manager().run(AnalysisContext(root=scratch_repo))
+    json_findings = [f for f in findings if f.file.endswith(".json")]
+    assert all(f.code == "R201" for f in json_findings)
+    assert len(json_findings) == len(JSON_BAD_NAMES)
+    for bad in JSON_BAD_NAMES:
+        assert any(bad in f.message for f in json_findings), bad
+
+
+def test_select_prefix_filters_checkers(scratch_repo):
+    findings = default_manager(select=["D"]).run(
+        AnalysisContext(root=scratch_repo))
+    codes = {f.code for f in findings}
+    # S001 directive findings ride along with whatever files were parsed
+    assert codes <= {"D101", "D102", "D103", "D104", "D105", "S001"}
+    assert any(c.startswith("D") for c in codes)
+
+
+# -- the battery against the real repo ---------------------------------------
+
+def test_repo_is_clean_modulo_baseline():
+    findings = default_manager().run(AnalysisContext(root=REPO))
+    new, _, stale = split_by_baseline(findings, load_baseline())
+    assert new == [], "\n".join(f.render() for f in new)
+    assert stale == [], "stale baseline entries: {}".format(stale)
+
+
+# -- CLI acceptance criterion ------------------------------------------------
+
+def _run_cli(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "tools.analysis", "--no-external", *argv],
+        cwd=str(REPO), capture_output=True, text=True)
+
+
+def test_cli_exits_nonzero_on_fixture_tree(scratch_repo):
+    proc = _run_cli(str(scratch_repo))
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "analysis FAILED" in proc.stdout
+    assert "D101" in proc.stdout and "R201" in proc.stdout
+
+
+def test_cli_exits_zero_on_repo():
+    proc = _run_cli()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "analysis OK: 0 new findings" in proc.stdout
+
+
+def test_cli_list_checkers():
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.analysis", "--list-checkers"],
+        cwd=str(REPO), capture_output=True, text=True)
+    assert proc.returncode == 0
+    for name in ("unseeded-random", "registry-literals", "spec-contract",
+                 "markdown-links"):
+        assert name in proc.stdout
+
+
+# -- suppression directive parsing -------------------------------------------
+
+def test_parse_suppressions_reasoned_and_bare():
+    supp = parse_suppressions(
+        "x = 1  # lint: ignore[D101] -- seeded elsewhere\n"
+        "y = 2  # lint: ignore[D102]\n"
+        "z = 3  # lint: ignore[D103, R201] -- two codes at once\n")
+    assert supp.by_line[1] == {"D101"}
+    assert 2 not in supp.by_line  # reasonless -> not a suppression
+    assert supp.by_line[3] == {"D103", "R201"}
+    assert [line for line, _ in supp.bad_directives] == [2]
+    assert not supp.skip_file
+
+
+def test_parse_suppressions_skip_file_requires_reason():
+    with_reason = parse_suppressions("# lint: skip-file -- generated\n")
+    assert with_reason.skip_file and not with_reason.bad_directives
+    bare = parse_suppressions("# lint: skip-file\n")
+    assert not bare.skip_file
+    assert bare.bad_directives
+
+
+def test_directive_inside_string_is_inert():
+    supp = parse_suppressions('s = "# lint: ignore[D101] -- nope"\n')
+    assert not supp.by_line
+    assert not supp.bad_directives
+
+
+def test_suppresses_matches_line_and_code():
+    supp = parse_suppressions("x = 1  # lint: ignore[D101] -- why\n")
+    assert supp.suppresses(Finding("f.py", 1, "D101", "m"))
+    assert not supp.suppresses(Finding("f.py", 1, "D102", "m"))
+    assert not supp.suppresses(Finding("f.py", 2, "D101", "m"))
+
+
+# -- baseline bookkeeping ----------------------------------------------------
+
+def test_split_by_baseline_partitions_and_reports_stale():
+    live = Finding("a.py", 3, "D101", "msg one")
+    fresh = Finding("b.py", 7, "D102", "msg two")
+    baseline = [("a.py", "D101", "msg one"), ("c.py", "D103", "gone")]
+    new, old, stale = split_by_baseline([live, fresh], baseline)
+    assert new == [fresh]
+    assert old == [live]
+    assert stale == [("c.py", "D103", "gone")]
+
+
+def test_baseline_key_ignores_line_drift():
+    a = Finding("a.py", 3, "D101", "msg")
+    b = Finding("a.py", 30, "D101", "msg")
+    assert a.baseline_key() == b.baseline_key()
+
+
+def test_finding_orders_and_renders():
+    a = Finding("a.py", 1, "D101", "m")
+    b = Finding("a.py", 2, "D101", "m")
+    assert sorted([b, a]) == [a, b]
+    assert a.render() == "a.py:1: D101 m"

@@ -6,7 +6,6 @@ device, metric — is validated eagerly against its registry with an error
 that lists the valid names (actionable, not an echo of the bad string).
 """
 
-import json
 
 import pytest
 

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.cl import (CommandQueue, Context, NDRange, get_platforms,
-                      known_devices, nvidia_k20m, amd_r9_295x2)
+from repro.cl import (Context, NDRange, get_platforms, known_devices,
+                      nvidia_k20m, amd_r9_295x2)
 from repro.errors import CLError, DeviceOutOfMemory
 from repro.interp.memory import LocalArg
 from repro.kernelc import types as T

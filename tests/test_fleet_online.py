@@ -26,7 +26,7 @@ from repro.errors import SchedulingError, SimulationError
 from repro.harness import (FleetOpenSystemExperiment,
                            fleet_arrival_rate_for_load, isolated_time)
 from repro.sim import DeviceFleet, ExecutionMode, GPUSimulator
-from repro.workloads import poisson_arrivals, trace_arrivals
+from repro.workloads import trace_arrivals
 from repro.workloads.scenarios import scenario
 
 

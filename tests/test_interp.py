@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import InterpError, MemoryFault
 from repro.interp import KernelLauncher, LocalArg
-from repro.interp.memory import MemoryRegion, Pointer, alloc_buffer, scalar_size
+from repro.interp.memory import MemoryRegion, alloc_buffer, scalar_size
 from repro.ir import compile_source
 from repro.kernelc import types as T
 

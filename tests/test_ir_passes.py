@@ -1,13 +1,11 @@
 """Unit tests for the optimisation passes."""
 
-import pytest
 
 from repro.ir import compile_source, verify_module
-from repro.ir import instructions as I
 from repro.ir.arith import eval_binop
 from repro.ir.passes import (ConstantFoldPass, DeadCodeEliminationPass,
                              InlinePass, PassManager, ResourceAnalysis,
-                             SimplifyCFGPass, count_instructions,
+                             count_instructions,
                              count_kernel_instructions, standard_pipeline)
 from repro.ir.passes.constfold import fold_binop, fold_cast, fold_cmp
 from repro.ir.values import Constant

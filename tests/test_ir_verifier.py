@@ -1,0 +1,297 @@
+"""Branch-complete tests for :mod:`repro.ir.verifier`.
+
+Every ``raise IRError`` in ``verify_function``/``_verify_instruction``/
+``_verify_dominance`` gets one test that provokes exactly that branch,
+building malformed IR by hand (and, where the builders themselves guard
+against the malformation, by mutating past the guard — that is the
+verifier's whole reason to exist: catching what transformations break
+*after* construction).
+"""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import instructions as I
+from repro.ir.function import BasicBlock, Function
+from repro.ir.module import Module
+from repro.ir.values import const_bool, const_float, const_int
+from repro.ir.verifier import verify_function, verify_module
+from repro.kernelc import types as T
+
+
+def void_func(name="f"):
+    return Function(name, T.VOID, [])
+
+
+# -- structural checks (verify_function) -------------------------------------
+
+def test_rejects_function_with_no_blocks():
+    with pytest.raises(IRError, match="has no blocks"):
+        verify_function(void_func("empty"))
+
+
+def test_rejects_missing_terminator():
+    func = void_func()
+    block = func.add_block("bb")
+    block.append(I.BinOp("add", const_int(1), const_int(2), T.INT))
+    with pytest.raises(IRError, match="lacks a terminator"):
+        verify_function(func)
+
+
+def test_rejects_terminator_mid_block():
+    func = void_func()
+    block = func.add_block("bb")
+    # BasicBlock.append refuses to grow past a terminator, so splice the
+    # malformed sequence in directly — the shape a buggy pass could leave.
+    for insn in (I.Ret(),
+                 I.BinOp("add", const_int(1), const_int(2), T.INT),
+                 I.Ret()):
+        insn.parent = block
+        block.instructions.append(insn)
+    with pytest.raises(IRError, match="terminator mid-block"):
+        verify_function(func)
+
+
+def test_rejects_broken_parent_link():
+    func = void_func()
+    block = func.add_block("bb")
+    insn = block.append(I.BinOp("add", const_int(1), const_int(2), T.INT))
+    block.append(I.Ret())
+    insn.parent = BasicBlock("elsewhere")
+    with pytest.raises(IRError, match="parent link broken"):
+        verify_function(func)
+
+
+def test_rejects_branch_to_foreign_block():
+    func = void_func()
+    block = func.add_block("bb")
+    block.append(I.Br(BasicBlock("foreign")))  # never added to func
+    with pytest.raises(IRError, match="foreign block"):
+        verify_function(func)
+
+
+# -- operand checks (_verify_instruction) ------------------------------------
+
+def test_rejects_null_operand():
+    func = void_func()
+    block = func.add_block("bb")
+    insn = block.append(I.BinOp("add", const_int(1), const_int(2), T.INT))
+    block.append(I.Ret())
+    insn.operands[0] = None
+    with pytest.raises(IRError, match="null operand"):
+        verify_function(func)
+
+
+def test_rejects_foreign_argument():
+    other = Function("g", T.VOID, [T.INT], ["x"])
+    func = void_func()
+    block = func.add_block("bb")
+    block.append(I.Cmp("eq", other.arguments[0], const_int(0)))
+    block.append(I.Ret())
+    with pytest.raises(IRError, match="foreign argument"):
+        verify_function(func)
+
+
+def test_rejects_operand_defined_nowhere():
+    orphan = I.BinOp("add", const_int(1), const_int(2), T.INT, "orphan")
+    func = void_func()
+    block = func.add_block("bb")
+    block.append(I.Cmp("eq", orphan, const_int(0)))
+    block.append(I.Ret())
+    with pytest.raises(IRError, match="not defined"):
+        verify_function(func)
+
+
+def test_rejects_load_from_non_pointer():
+    func = void_func()
+    block = func.add_block("bb")
+    slot = block.append(I.Alloca(T.INT))
+    load = block.append(I.Load(slot))
+    block.append(I.Ret())
+    load.operands[0] = const_int(0)  # the ctor guards; a pass may not
+    with pytest.raises(IRError, match="load from non-pointer"):
+        verify_function(func)
+
+
+def test_rejects_store_to_non_pointer():
+    func = void_func()
+    block = func.add_block("bb")
+    slot = block.append(I.Alloca(T.INT))
+    store = block.append(I.Store(slot, const_int(1)))
+    block.append(I.Ret())
+    store.operands[0] = const_int(0)
+    with pytest.raises(IRError, match="store to non-pointer"):
+        verify_function(func)
+
+
+def test_rejects_store_type_mismatch():
+    func = void_func()
+    block = func.add_block("bb")
+    slot = block.append(I.Alloca(T.INT))
+    block.append(I.Store(slot, const_float(1.0)))
+    block.append(I.Ret())
+    with pytest.raises(IRError, match="store type mismatch"):
+        verify_function(func)
+
+
+def test_rejects_binop_operand_mismatch():
+    func = void_func()
+    block = func.add_block("bb")
+    block.append(I.BinOp("add", const_int(1), const_float(1.0), T.INT))
+    block.append(I.Ret())
+    with pytest.raises(IRError, match="binop operand mismatch"):
+        verify_function(func)
+
+
+def test_rejects_cmp_operand_mismatch():
+    func = void_func()
+    block = func.add_block("bb")
+    block.append(I.Cmp("eq", const_int(1), const_float(1.0)))
+    block.append(I.Ret())
+    with pytest.raises(IRError, match="cmp operand mismatch"):
+        verify_function(func)
+
+
+def test_rejects_ret_void_in_non_void_function():
+    func = Function("f", T.INT, [])
+    block = func.add_block("bb")
+    block.append(I.Ret())
+    with pytest.raises(IRError, match="ret void in non-void"):
+        verify_function(func)
+
+
+def test_rejects_ret_type_mismatch():
+    func = Function("f", T.INT, [])
+    block = func.add_block("bb")
+    block.append(I.Ret(const_float(2.0)))
+    with pytest.raises(IRError, match="ret type mismatch"):
+        verify_function(func)
+
+
+# -- call checks -------------------------------------------------------------
+
+def _ret_void(func):
+    block = func.add_block("bb")
+    block.append(I.Ret())
+    return func
+
+
+def test_rejects_call_to_stale_clone():
+    module = Module("m")
+    callee = _ret_void(Function("callee", T.VOID, []))
+    module.add_function(callee)
+    stale = _ret_void(Function("callee", T.VOID, []))  # same name, clone
+    caller = Function("caller", T.VOID, [])
+    block = caller.add_block("bb")
+    block.append(I.Call(stale, [], T.VOID))
+    block.append(I.Ret())
+    module.add_function(caller)
+    with pytest.raises(IRError, match="stale clone"):
+        verify_function(caller, module)
+
+
+def test_rejects_call_arity_mismatch():
+    callee = _ret_void(Function("callee", T.VOID, [T.INT], ["x"]))
+    caller = Function("caller", T.VOID, [])
+    block = caller.add_block("bb")
+    block.append(I.Call(callee, [], T.VOID))
+    block.append(I.Ret())
+    with pytest.raises(IRError, match="call arity mismatch"):
+        verify_function(caller)
+
+
+def test_rejects_call_argument_type_mismatch():
+    callee = _ret_void(Function("callee", T.VOID, [T.INT], ["x"]))
+    caller = Function("caller", T.VOID, [])
+    block = caller.add_block("bb")
+    block.append(I.Call(callee, [const_float(1.0)], T.VOID))
+    block.append(I.Ret())
+    with pytest.raises(IRError, match="call argument type mismatch"):
+        verify_function(caller)
+
+
+def test_accepts_pointer_for_pointer_call_argument():
+    # address-space-agnostic pointer passing is explicitly allowed
+    param_ptr = T.PointerType(T.INT, T.GLOBAL)
+    callee = _ret_void(Function("callee", T.VOID, [param_ptr], ["p"]))
+    caller = Function("caller", T.VOID, [])
+    block = caller.add_block("bb")
+    slot = block.append(I.Alloca(T.INT))  # private int*, not global int*
+    block.append(I.Call(callee, [slot], T.VOID))
+    block.append(I.Ret())
+    assert verify_function(caller)
+
+
+# -- dominance checks (_verify_dominance) ------------------------------------
+
+def test_rejects_use_of_value_from_unreachable_block():
+    func = void_func()
+    entry = func.add_block("entry")
+    join = func.add_block("join")
+    dead = func.add_block("dead")  # no predecessors, not the entry
+    entry.append(I.Br(join))
+    value = dead.append(I.BinOp("add", const_int(1), const_int(2), T.INT, "v"))
+    dead.append(I.Br(join))
+    join.append(I.Cmp("eq", value, const_int(0)))
+    join.append(I.Ret())
+    with pytest.raises(IRError, match="unreachable block"):
+        verify_function(func)
+
+
+def test_rejects_use_before_def_in_same_block():
+    func = void_func()
+    block = func.add_block("bb")
+    later = I.BinOp("add", const_int(1), const_int(2), T.INT, "later")
+    block.append(I.Cmp("eq", later, const_int(0)))
+    block.append(later)
+    block.append(I.Ret())
+    with pytest.raises(IRError, match="use before def"):
+        verify_function(func)
+
+
+def test_rejects_def_that_does_not_dominate_use():
+    func = void_func()
+    entry = func.add_block("entry")
+    left = func.add_block("left")
+    right = func.add_block("right")
+    join = func.add_block("join")
+    entry.append(I.CondBr(const_bool(True), left, right))
+    value = left.append(I.BinOp("add", const_int(1), const_int(2), T.INT, "v"))
+    left.append(I.Br(join))
+    right.append(I.Br(join))  # join reachable while skipping the def
+    join.append(I.Cmp("eq", value, const_int(0)))
+    join.append(I.Ret())
+    with pytest.raises(IRError, match="does not dominate"):
+        verify_function(func)
+
+
+def test_accepts_def_that_dominates_cross_block_use():
+    func = void_func()
+    entry = func.add_block("entry")
+    tail = func.add_block("tail")
+    value = entry.append(I.BinOp("add", const_int(1), const_int(2), T.INT, "v"))
+    entry.append(I.Br(tail))
+    tail.append(I.Cmp("eq", value, const_int(0)))
+    tail.append(I.Ret())
+    assert verify_function(func)
+
+
+# -- happy paths -------------------------------------------------------------
+
+def test_accepts_minimal_valid_function():
+    func = Function("ok", T.INT, [T.INT], ["x"])
+    block = func.add_block("entry")
+    value = block.append(
+        I.BinOp("add", func.arguments[0], const_int(1), T.INT, "v"))
+    block.append(I.Ret(value))
+    assert verify_function(func)
+
+
+def test_verify_module_checks_every_function():
+    module = Module("m")
+    module.add_function(_ret_void(Function("a", T.VOID, [])))
+    broken = Function("b", T.VOID, [])
+    broken.add_block("bb")  # no terminator
+    module.add_function(broken)
+    with pytest.raises(IRError, match="lacks a terminator"):
+        verify_module(module)

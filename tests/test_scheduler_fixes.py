@@ -2,7 +2,6 @@
 per request, and vndrange buffers that live until their launch completes."""
 
 import numpy as np
-import pytest
 
 import repro.accelos.scheduler as scheduler_module
 from repro.accelos import AccelOSRuntime

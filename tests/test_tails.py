@@ -9,8 +9,8 @@ from repro.accelos.placement import LeastLoadedPlacement
 from repro.cl import nvidia_k20m
 from repro.harness.open_system import (FleetOpenSystemExperiment,
                                        OpenSystemExperiment, RequestRecord)
-from repro.metrics import (TailSummary, per_tenant_tails, percentile,
-                           request_tails, tail_summary)
+from repro.metrics import (per_tenant_tails, percentile, request_tails,
+                           tail_summary)
 from repro.sim import DeviceFleet
 from repro.workloads import from_name
 

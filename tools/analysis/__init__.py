@@ -1,0 +1,48 @@
+"""Static-analysis suite for the repro codebase.
+
+``python -m tools.analysis`` runs every registered checker (plus mypy
+and ruff when installed) and fails on any non-baselined finding; it is
+the CI ``analysis`` gate.  See ``docs/DETERMINISM.md`` for the contract
+the determinism checkers enforce, and each checker module for its
+finding codes.
+
+The framework mirrors :mod:`repro.ir.passes.manager`: small checker
+objects registered against an ordered manager, structured
+:class:`~tools.analysis.core.Finding` output, inline suppressions and a
+committed baseline.
+"""
+
+from tools.analysis.core import (AnalysisContext, AnalysisManager, Checker,
+                                 Finding, load_baseline, save_baseline,
+                                 split_by_baseline)
+from tools.analysis.determinism import DETERMINISM_CHECKERS
+from tools.analysis.docs import DOCS_CHECKERS
+from tools.analysis.registry_names import REGISTRY_CHECKERS
+from tools.analysis.spec_contract import SPEC_CHECKERS
+
+ALL_CHECKERS = (DETERMINISM_CHECKERS + REGISTRY_CHECKERS + SPEC_CHECKERS
+                + DOCS_CHECKERS)
+
+
+def default_manager(select=None, skip=None):
+    """An :class:`AnalysisManager` loaded with the stock battery.
+
+    ``select``/``skip`` filter by finding code prefix (``"D"`` selects
+    every determinism checker, ``"D103"`` exactly one).
+    """
+    manager = AnalysisManager()
+    for checker_cls in ALL_CHECKERS:
+        codes = checker_cls.codes
+        if select and not any(c.startswith(tuple(select)) for c in codes):
+            continue
+        if skip and all(c.startswith(tuple(skip)) for c in codes):
+            continue
+        manager.add(checker_cls())
+    return manager
+
+
+__all__ = [
+    "ALL_CHECKERS", "AnalysisContext", "AnalysisManager", "Checker",
+    "Finding", "default_manager", "load_baseline", "save_baseline",
+    "split_by_baseline",
+]

@@ -1,0 +1,125 @@
+"""Unified static-analysis entry point (the CI ``analysis`` gate).
+
+Usage::
+
+    python -m tools.analysis                  # full battery + mypy/ruff
+    python -m tools.analysis --select D       # determinism lints only
+    python -m tools.analysis --select W       # docs checks (docs job)
+    python -m tools.analysis --json out.json  # machine-readable report
+    python -m tools.analysis --update-baseline  # grandfather findings
+
+Exit status 0 when every finding is baselined (or none), 1 otherwise.
+mypy/ruff run when installed and are skipped with a notice when not —
+the CI job installs both, so the gate is only ever open locally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from tools.analysis import default_manager  # noqa: E402
+from tools.analysis.core import (AnalysisContext, BASELINE_PATH,  # noqa: E402
+                                 load_baseline, save_baseline,
+                                 split_by_baseline)
+from tools.analysis.external import run_mypy, run_ruff  # noqa: E402
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analysis", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--select", action="append", default=None,
+                        metavar="PREFIX",
+                        help="only run checkers emitting codes with this "
+                             "prefix (repeatable; e.g. D, R201, W)")
+    parser.add_argument("--skip", action="append", default=None,
+                        metavar="PREFIX",
+                        help="drop checkers whose codes all match PREFIX")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="also write findings as JSON")
+    parser.add_argument("--no-external", action="store_true",
+                        help="skip the mypy/ruff wrappers")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite {} from the current findings "
+                             "(then commit the diff deliberately)".format(
+                                 BASELINE_PATH.name))
+    parser.add_argument("--list-checkers", action="store_true",
+                        help="print the checker battery and exit")
+    parser.add_argument("root", nargs="?", default=str(REPO_ROOT),
+                        help="repo root to analyse (default: this repo)")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    manager = default_manager(select=args.select, skip=args.skip)
+
+    if args.list_checkers:
+        for checker in manager.checkers:
+            print("{:<28} {:<18} {}".format(
+                checker.name, "/".join(checker.codes), checker.description))
+        return 0
+
+    ctx = AnalysisContext(root=args.root)
+    findings = manager.run(ctx)
+
+    skipped = []
+    if not args.no_external and (args.select is None and args.skip is None):
+        for runner in (run_mypy, run_ruff):
+            extra, reason = runner(ctx.root)
+            findings.extend(extra)
+            if reason:
+                skipped.append(reason)
+        findings.sort()
+
+    baseline = load_baseline()
+    new, grandfathered, stale = split_by_baseline(findings, baseline)
+
+    if args.update_baseline:
+        save_baseline(findings)
+        print("baseline rewritten with {} entries -> {}".format(
+            len(findings), BASELINE_PATH))
+        return 0
+
+    if args.json:
+        report = {
+            "findings": [f.to_dict() for f in new],
+            "baselined": [f.to_dict() for f in grandfathered],
+            "stale_baseline": [
+                {"file": f, "code": c, "message": m} for f, c, m in stale],
+            "skipped": skipped,
+        }
+        Path(args.json).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    for reason in skipped:
+        print("note: {}".format(reason))
+    for finding in grandfathered:
+        print("baselined: {}".format(finding.render()))
+    for file, code, message in stale:
+        print("stale baseline entry (delete it): {}: {} {}".format(
+            file, code, message))
+    for finding in new:
+        print(finding.render())
+
+    if new:
+        print("analysis FAILED: {} finding(s) ({} baselined)".format(
+            len(new), len(grandfathered)))
+        return 1
+    print("analysis OK: 0 new findings ({} baselined, {} checkers)".format(
+        len(grandfathered), len(manager.checkers)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

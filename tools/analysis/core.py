@@ -1,0 +1,311 @@
+"""Core of the static-analysis suite: findings, checkers, the manager.
+
+Modelled on :mod:`repro.ir.passes.manager`: checkers register against an
+ordered manager, run over one shared :class:`AnalysisContext`, and report
+structured :class:`Finding` values instead of mutating anything.  The
+manager owns the two escape hatches every practical linter needs:
+
+* **inline suppressions** — ``# lint: ignore[D103] -- reason`` on the
+  offending line (multiple codes: ``ignore[D103,R201]``); a whole file
+  opts out with ``# lint: skip-file -- reason`` in its first comment
+  lines.  Reasons are mandatory: a suppression without ``--  why`` is
+  itself reported (code ``S001``), so silent opt-outs cannot accrete.
+* **a committed baseline** — ``tools/analysis/baseline.json`` lists
+  grandfathered findings by ``(file, code, message)``.  Baselined
+  findings are reported but do not fail the run; stale entries (no
+  longer firing) are flagged so the baseline only ever shrinks.
+
+The determinism contract these checkers enforce is documented in
+``docs/DETERMINISM.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import sys
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", ".mypy_cache",
+             ".ruff_cache", "node_modules", "testdata"}
+
+_IGNORE_RE = re.compile(
+    r"#\s*lint:\s*ignore\[([A-Z0-9,\s]+)\](\s*--\s*\S.*)?")
+_SKIP_FILE_RE = re.compile(r"#\s*lint:\s*skip-file(\s*--\s*\S.*)?")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: where, what rule, and an actionable message."""
+
+    file: str  # repo-relative posix path
+    line: int
+    code: str
+    message: str
+
+    def render(self):
+        return "{}:{}: {} {}".format(self.file, self.line, self.code,
+                                     self.message)
+
+    def to_dict(self):
+        return {"file": self.file, "line": self.line, "code": self.code,
+                "message": self.message}
+
+    def baseline_key(self):
+        """Line numbers drift; identity for baselining ignores them."""
+        return (self.file, self.code, self.message)
+
+
+class Checker:
+    """One analysis pass; yields :class:`Finding`s, changes nothing."""
+
+    name = "checker"
+    codes = ()  # the finding codes this checker can emit
+    description = ""
+
+    def run(self, ctx):
+        raise NotImplementedError
+
+
+@dataclass
+class Suppressions:
+    """Parsed ``# lint:`` directives of one python file."""
+
+    by_line: dict = field(default_factory=dict)  # line -> set of codes
+    skip_file = False
+    bad_directives: list = field(default_factory=list)  # (line, text)
+
+    def suppresses(self, finding):
+        if self.skip_file:
+            return True
+        return finding.code in self.by_line.get(finding.line, ())
+
+
+def parse_suppressions(text):
+    """Extract inline suppressions from python source via the tokenizer
+    (so strings that merely *contain* directive text never count)."""
+    supp = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        comments = [(i + 1, line[line.index("#"):])
+                    for i, line in enumerate(text.splitlines())
+                    if "#" in line]
+    for line, comment in comments:
+        skip = _SKIP_FILE_RE.search(comment)
+        if skip:
+            if skip.group(1):
+                supp.skip_file = True
+            else:
+                supp.bad_directives.append((line, comment.strip()))
+            continue
+        match = _IGNORE_RE.search(comment)
+        if match:
+            if not match.group(2):
+                supp.bad_directives.append((line, comment.strip()))
+                continue
+            codes = {c.strip() for c in match.group(1).split(",")
+                     if c.strip()}
+            supp.by_line.setdefault(line, set()).update(codes)
+    return supp
+
+
+class PyFile:
+    """One parsed python source file, AST and suppressions cached."""
+
+    def __init__(self, path, root):
+        self.path = path
+        self.relpath = path.relative_to(root).as_posix()
+        self.text = path.read_text(encoding="utf-8")
+        self.tree = ast.parse(self.text, filename=str(path))
+        self.suppressions = parse_suppressions(self.text)
+
+
+class AnalysisContext:
+    """Shared state one manager run hands every checker.
+
+    Lazily parses python files (cached per path) and lazily imports the
+    live registries from ``src/repro`` — checkers validate name literals
+    against what is actually registered, not against a stale copy.
+    """
+
+    def __init__(self, root=REPO_ROOT):
+        self.root = Path(root)
+        self._pyfiles = {}
+        self._registries = None
+
+    # -- file discovery ------------------------------------------------------
+
+    def _walk(self, relative, suffix):
+        base = self.root / relative
+        if base.is_file():
+            return [base]
+        if not base.exists():
+            return []
+        return [p for p in sorted(base.rglob("*" + suffix))
+                if not any(part in SKIP_DIRS for part in p.parts)]
+
+    def python_files(self, *relatives):
+        """Parsed :class:`PyFile`s under the given repo-relative roots."""
+        out = []
+        for relative in relatives:
+            for path in self._walk(relative, ".py"):
+                if path not in self._pyfiles:
+                    self._pyfiles[path] = PyFile(path, self.root)
+                out.append(self._pyfiles[path])
+        return out
+
+    def markdown_files(self):
+        return self._walk(".", ".md")
+
+    def json_files(self, *relatives):
+        return [p for relative in relatives
+                for p in self._walk(relative, ".json")]
+
+    # -- live registries -----------------------------------------------------
+
+    def registries(self):
+        """Name inventories of every ``repro.api`` registry, plus the
+        scenario table — imported live so user registrations in this
+        checkout count."""
+        if self._registries is None:
+            src = str(self.root / "src")
+            if src not in sys.path:
+                sys.path.insert(0, src)
+            from repro.api.devices import DEVICES
+            from repro.api.placements import PLACEMENTS, REBALANCERS
+            from repro.api.results import METRICS
+            from repro.api.schemes import SCHEMES
+            from repro.workloads.scenarios import SCENARIOS
+            self._registries = {
+                "scheme": tuple(SCHEMES.names()),
+                "placement": tuple(PLACEMENTS.names()),
+                "rebalancer": tuple(REBALANCERS.names()),
+                "device": tuple(DEVICES.names()),
+                "metric": tuple(METRICS.names()),
+                "scenario": tuple(SCENARIOS),
+            }
+        return self._registries
+
+
+class AnalysisManager:
+    """Runs an ordered checker sequence; one list of findings out.
+
+    The :mod:`repro.ir.passes.manager` shape without the fixed point:
+    analysis never mutates, so one round is always enough.
+    """
+
+    def __init__(self):
+        self.checkers = []
+
+    def add(self, checker):
+        self.checkers.append(checker)
+        return self
+
+    def run(self, ctx):
+        """All findings, suppressions applied, sorted for stable output."""
+        findings = []
+        for checker in self.checkers:
+            findings.extend(checker.run(ctx))
+        findings.extend(directive_findings(ctx))
+        kept = []
+        for finding in findings:
+            pyfile = self._pyfile_for(ctx, finding)
+            if pyfile is not None and pyfile.suppressions.suppresses(finding):
+                continue
+            kept.append(finding)
+        return sorted(set(kept))
+
+    @staticmethod
+    def _pyfile_for(ctx, finding):
+        path = ctx.root / finding.file
+        return ctx._pyfiles.get(path)
+
+
+def directive_findings(ctx):
+    """S001 for malformed ``# lint:`` directives (missing reasons)."""
+    out = []
+    for pyfile in ctx._pyfiles.values():
+        for line, text in pyfile.suppressions.bad_directives:
+            out.append(Finding(
+                pyfile.relpath, line, "S001",
+                "suppression without a reason: {!r} (append "
+                "' -- why this is safe')".format(text)))
+    return out
+
+
+# -- baseline ----------------------------------------------------------------
+
+def load_baseline(path=BASELINE_PATH):
+    """The grandfathered finding keys committed in ``baseline.json``."""
+    if not Path(path).exists():
+        return []
+    entries = json.loads(Path(path).read_text(encoding="utf-8"))
+    return [(e["file"], e["code"], e["message"]) for e in entries]
+
+
+def save_baseline(findings, path=BASELINE_PATH):
+    entries = [{"file": f.file, "code": f.code, "message": f.message}
+               for f in sorted(findings)]
+    Path(path).write_text(
+        json.dumps(entries, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def split_by_baseline(findings, baseline):
+    """``(new, grandfathered, stale_entries)`` — stale entries are
+    baseline lines that no longer fire and should be deleted."""
+    keys = set(baseline)
+    new = [f for f in findings if f.baseline_key() not in keys]
+    old = [f for f in findings if f.baseline_key() in keys]
+    fired = {f.baseline_key() for f in old}
+    stale = [k for k in baseline if k not in fired]
+    return new, old, stale
+
+
+# -- shared AST helpers ------------------------------------------------------
+
+class ImportMap(ast.NodeVisitor):
+    """alias -> dotted module/name map for resolving qualified calls."""
+
+    def __init__(self):
+        self.aliases = {}
+
+    def visit_Import(self, node):
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = \
+                alias.name if alias.asname else alias.name.split(".")[0]
+
+    def visit_ImportFrom(self, node):
+        if node.module is None or node.level:
+            return
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name] = \
+                node.module + "." + alias.name
+
+
+def import_map(tree):
+    mapper = ImportMap()
+    mapper.visit(tree)
+    return mapper.aliases
+
+
+def dotted_name(node, aliases):
+    """Resolve ``np.random.rand`` -> ``numpy.random.rand`` (or None)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    head = aliases.get(node.id, node.id)
+    return ".".join([head] + list(reversed(parts)))

@@ -1,0 +1,82 @@
+"""Gated wrappers around the external tools: mypy and ruff.
+
+The container running the tier-1 suite does not ship either tool, so
+both are *gated*: when the module is importable we run it and fold its
+diagnostics into the unified finding stream (codes ``MYPY``/``RUFF``);
+when it is not, the run reports the gap and carries on — the CI
+``analysis`` job installs both, so the gate only ever opens locally.
+
+The strict-typing surface (``STRICT_TYPED_MODULES``) is the
+contract-bearing core named in ``pyproject.toml``: the spec/registry/
+results front door plus the metrics and util layers.  Future PRs must
+keep these fully typed; everything else is checked permissively.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+import subprocess
+import sys
+
+from tools.analysis.core import Finding
+
+# keep in sync with the [[tool.mypy.overrides]] list in pyproject.toml
+STRICT_TYPED_MODULES = (
+    "src/repro/api/spec.py",
+    "src/repro/api/registry.py",
+    "src/repro/api/results.py",
+    "src/repro/metrics",
+    "src/repro/util",
+)
+
+_MYPY_LINE_RE = re.compile(r"^(.*?):(\d+):(?:\d+:)? error: (.*)$")
+_RUFF_LINE_RE = re.compile(r"^(.*?):(\d+):(?:\d+:)? (.*)$")
+
+
+def _available(module):
+    return importlib.util.find_spec(module) is not None
+
+
+def run_mypy(root):
+    """``(findings, skipped_reason)`` from mypy over the strict core."""
+    if not _available("mypy"):
+        return [], "mypy not installed; strict-core typing unchecked"
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml",
+         *STRICT_TYPED_MODULES],
+        cwd=str(root), capture_output=True, text=True)
+    findings = []
+    for line in proc.stdout.splitlines():
+        match = _MYPY_LINE_RE.match(line.strip())
+        if match:
+            findings.append(Finding(match.group(1).replace("\\", "/"),
+                                    int(match.group(2)), "MYPY",
+                                    match.group(3)))
+    if proc.returncode != 0 and not findings:
+        findings.append(Finding("pyproject.toml", 1, "MYPY",
+                                "mypy failed: {}".format(
+                                    (proc.stdout + proc.stderr).strip()
+                                    or "unknown error")))
+    return findings, None
+
+
+def run_ruff(root):
+    """``(findings, skipped_reason)`` from ruff over the whole repo."""
+    if not _available("ruff"):
+        return [], "ruff not installed; mechanical style unchecked"
+    proc = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "--output-format",
+         "concise", "."],
+        cwd=str(root), capture_output=True, text=True)
+    findings = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line or line.startswith(("Found ", "warning:", "[")):
+            continue
+        match = _RUFF_LINE_RE.match(line)
+        if match and match.group(1).endswith(".py"):
+            findings.append(Finding(match.group(1).replace("\\", "/"),
+                                    int(match.group(2)), "RUFF",
+                                    match.group(3)))
+    return findings, None

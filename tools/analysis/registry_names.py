@@ -1,0 +1,284 @@
+"""Registry-literal consistency: every name literal must resolve.
+
+A scheme/placement/rebalancer/device/metric/scenario name typo'd in a
+doc snippet, example, or golden spec JSON only fails at runtime — if the
+snippet is ever executed at all.  R201 resolves every such literal
+against the *live* ``repro.api`` registries at analysis time:
+
+* **python** (``src/``, ``tests/``, ``examples/``, ``benchmarks/``) —
+  keyword arguments with registry semantics (``scenario=``,
+  ``schemes=``, ``placements=`` ...), the ``*_from_name`` lookup
+  helpers, and ``DeviceEntry(base=...)``.  Literals inside
+  ``pytest.raises`` blocks are exempt (tests exercising unknown-name
+  errors *should* use unknown names), and names registered in the same
+  file (``register_scheme("toy", ...)``) are treated as known.
+* **markdown** — the same keyword patterns inside fenced code blocks
+  and inline code, JSON-style ``"scenario": "..."`` keys included.
+* **spec JSONs** — any JSON object shaped like an
+  :class:`~repro.api.spec.ExperimentSpec` (has ``scenario`` +
+  ``schemes``) under ``tests/`` or ``examples/`` is field-checked.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+
+from tools.analysis.core import Checker, Finding, dotted_name, import_map
+
+# keyword-argument name -> registry kind; extra names always allowed
+KWARG_REGISTRY = {
+    "scenario": ("scenario", ()),
+    "schemes": ("scheme", ()),
+    "scheme": ("scheme", ()),
+    "placements": ("placement", ()),
+    "placement": ("placement", ()),
+    "rebalance": ("rebalancer", ("none",)),
+    "metrics": ("metric", ()),
+    "metric": ("metric", ()),
+}
+
+LOOKUP_FUNCS = {
+    "scheme_from_name": "scheme",
+    "placement_from_name": "placement",
+    "rebalancer_from_name": "rebalancer",
+    "device_from_name": "device",
+    "metric_value": "metric",
+}
+
+REGISTER_FUNCS = ("register_scheme", "register_placement",
+                  "register_rebalancer", "register_device",
+                  "register_metric", "register_scenario", "register")
+
+_MD_KWARG_RE = re.compile(
+    r"\b(scenario|scheme|schemes|placement|placements|rebalance|metrics)"
+    r"\s*=\s*(\"[^\"]*\"|'[^']*'|\[[^\]]*\]|\([^\)]*\))")
+_MD_JSON_KEY_RE = re.compile(
+    r"\"(scenario|schemes|placement|placements|rebalance|metrics)\""
+    r"\s*:\s*(\"[^\"]*\"|\[[^\]]*\])")
+_MD_REGISTER_RE = re.compile(
+    r"\bregister_(?:scheme|placement|rebalancer|device|metric|scenario)"
+    r"\s*\(\s*[\"']([^\"']+)[\"']")
+_STR_RE = re.compile(r"[\"']([^\"']*)[\"']")
+
+_SPEC_FIELDS = (("scenario", "scenario"), ("schemes", "scheme"),
+                ("placements", "placement"), ("metrics", "metric"))
+
+
+def _kwarg_fields(kw_singular):
+    # markdown kwarg name -> registry kind (merging singular/plural)
+    return KWARG_REGISTRY.get(kw_singular, (None, ()))
+
+
+class RegistryNameChecker(Checker):
+    name = "registry-literals"
+    codes = ("R201",)
+    description = ("scheme/placement/rebalancer/device/metric/scenario "
+                   "name literals must resolve against repro.api")
+    python_roots = ("src/repro", "tests", "examples", "benchmarks")
+    json_roots = ("tests", "examples")
+
+    def run(self, ctx):
+        registries = ctx.registries()
+        for pyfile in ctx.python_files(*self.python_roots):
+            yield from self._check_python(pyfile, registries)
+        for md in ctx.markdown_files():
+            yield from self._check_markdown(md, ctx, registries)
+        for path in ctx.json_files(*self.json_roots):
+            yield from self._check_json(path, ctx, registries)
+
+    # -- python --------------------------------------------------------------
+
+    def _check_python(self, pyfile, registries):
+        aliases = import_map(pyfile.tree)
+        local = self._locally_registered(pyfile.tree)
+        exempt = self._raises_ranges(pyfile.tree, aliases)
+
+        def known(kind, value, extra):
+            return (value in registries[kind] or value in extra
+                    or value in local)
+
+        for node in ast.walk(pyfile.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if any(lo <= node.lineno <= hi for lo, hi in exempt):
+                continue
+            for kw in node.keywords:
+                entry = KWARG_REGISTRY.get(kw.arg)
+                if entry is None:
+                    continue
+                kind, extra = entry
+                for value, lineno in _literal_strings(kw.value):
+                    if not known(kind, value, extra):
+                        yield self._finding(pyfile.relpath, lineno, kind,
+                                            value, registries)
+            func = dotted_name(node.func, aliases) or ""
+            tail = func.rsplit(".", 1)[-1]
+            kind = LOOKUP_FUNCS.get(tail)
+            if kind and node.args:
+                for value, lineno in _literal_strings(node.args[0]):
+                    if not known(kind, value, ()):
+                        yield self._finding(pyfile.relpath, lineno, kind,
+                                            value, registries)
+            if tail == "DeviceEntry" or func.endswith(".DeviceEntry"):
+                for kw in node.keywords:
+                    if kw.arg == "base":
+                        for value, lineno in _literal_strings(kw.value):
+                            if not known("device", value, ()):
+                                yield self._finding(pyfile.relpath, lineno,
+                                                    "device", value,
+                                                    registries)
+
+    @staticmethod
+    def _locally_registered(tree):
+        """Names the file registers itself (toy schemes in tests...).
+
+        Covers both spellings: ``register_x("name", ...)`` and
+        ``register_x(SomeClass)`` where the class carries a
+        ``name = "..."`` attribute (the scheme/placement idiom).
+        """
+        names = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if isinstance(stmt, ast.Assign) and \
+                            isinstance(stmt.value, ast.Constant) and \
+                            isinstance(stmt.value.value, str) and any(
+                                isinstance(t, ast.Name) and t.id == "name"
+                                for t in stmt.targets):
+                        names.add(stmt.value.value)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                tail = func.attr if isinstance(func, ast.Attribute) else \
+                    func.id if isinstance(func, ast.Name) else None
+                if tail in REGISTER_FUNCS and node.args and \
+                        isinstance(node.args[0], ast.Constant) and \
+                        isinstance(node.args[0].value, str):
+                    names.add(node.args[0].value)
+            elif isinstance(node, ast.Subscript) and \
+                    isinstance(node.ctx, ast.Store) and \
+                    isinstance(node.slice, ast.Constant) and \
+                    isinstance(node.slice.value, str):
+                # direct table writes, e.g. SCENARIOS["toy"] = ...
+                names.add(node.slice.value)
+        return names
+
+    @staticmethod
+    def _raises_ranges(tree, aliases):
+        """Line ranges of ``with pytest.raises(...)`` bodies — unknown
+        names in error-path tests are the whole point."""
+        ranges = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.With):
+                continue
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    name = dotted_name(expr.func, aliases) or ""
+                    if name.endswith("raises"):
+                        ranges.append((node.lineno, _end_line(node)))
+        return ranges
+
+    @staticmethod
+    def _finding(relpath, lineno, kind, value, registries):
+        return Finding(
+            relpath, lineno, "R201",
+            "unknown {} name {!r} (registered: {})".format(
+                kind, value, ", ".join(registries[kind]) or "<none>"))
+
+    # -- markdown ------------------------------------------------------------
+
+    def _check_markdown(self, path, ctx, registries):
+        text = path.read_text(encoding="utf-8")
+        relpath = path.relative_to(ctx.root).as_posix()
+        local = set(_MD_REGISTER_RE.findall(text))
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for match in _MD_KWARG_RE.finditer(line):
+                kwarg, payload = match.group(1), match.group(2)
+                kind, extra = _kwarg_fields(kwarg)
+                if kind is None:
+                    continue
+                for value in _STR_RE.findall(payload):
+                    if value and value not in registries[kind] \
+                            and value not in extra and value not in local:
+                        yield self._finding(relpath, lineno, kind, value,
+                                            registries)
+            for match in _MD_JSON_KEY_RE.finditer(line):
+                kwarg, payload = match.group(1), match.group(2)
+                kind, extra = _kwarg_fields(kwarg)
+                if kind is None:
+                    continue
+                for value in _STR_RE.findall(payload):
+                    if value and value not in registries[kind] \
+                            and value not in extra and value not in local:
+                        yield self._finding(relpath, lineno, kind, value,
+                                            registries)
+
+    # -- spec-shaped JSON ----------------------------------------------------
+
+    def _check_json(self, path, ctx, registries):
+        relpath = path.relative_to(ctx.root).as_posix()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError:
+            return
+        for spec in _spec_dicts(data):
+            for field, kind in _SPEC_FIELDS:
+                values = spec.get(field, ())
+                if isinstance(values, str):
+                    values = (values,)
+                for value in values:
+                    if isinstance(value, str) and \
+                            value not in registries[kind]:
+                        yield self._finding(relpath, 1, kind, value,
+                                            registries)
+            rebalance = spec.get("rebalance")
+            if isinstance(rebalance, str) and rebalance != "none" and \
+                    rebalance not in registries["rebalancer"]:
+                yield self._finding(relpath, 1, "rebalancer", rebalance,
+                                    registries)
+            for device in spec.get("devices", ()):
+                if isinstance(device, dict):
+                    base = device.get("base")
+                elif isinstance(device, str):
+                    base = device
+                else:
+                    continue
+                if isinstance(base, str) and \
+                        base not in registries["device"]:
+                    yield self._finding(relpath, 1, "device", base,
+                                        registries)
+
+
+def _literal_strings(node):
+    """(value, line) for a string literal or a tuple/list of them."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [(node.value, node.lineno)]
+    if isinstance(node, (ast.Tuple, ast.List)):
+        out = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                out.append((elt.value, elt.lineno))
+        return out
+    return []
+
+
+def _end_line(node):
+    return max((getattr(sub, "lineno", node.lineno)
+                for sub in ast.walk(node)), default=node.lineno)
+
+
+def _spec_dicts(data):
+    """Every dict in ``data`` that looks like an ExperimentSpec."""
+    if isinstance(data, dict):
+        if "scenario" in data and "schemes" in data:
+            yield data
+        for value in data.values():
+            yield from _spec_dicts(value)
+    elif isinstance(data, list):
+        for item in data:
+            yield from _spec_dicts(item)
+
+
+REGISTRY_CHECKERS = (RegistryNameChecker,)

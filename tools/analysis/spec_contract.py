@@ -1,0 +1,153 @@
+"""Spec-contract exhaustiveness: every field, every surface.
+
+The PR 5 ``placement_mode``/``rebalance`` additions showed how easy it
+is to add an :class:`~repro.api.spec.ExperimentSpec` field and miss one
+of its three contract surfaces — serialization out (``to_dict``),
+serialization in (``from_dict`` tuple coercion) and the eager validator
+(``__post_init__``).  A missed surface is silent: the spec still
+"works" until a JSON round-trip drops the field or an invalid value
+sails through to mid-grid failure.
+
+Checked over the *source* of ``src/repro/api/spec.py`` (AST, not
+runtime), for every ``@dataclass`` there:
+
+=======  ====================================================================
+code     contract surface
+=======  ====================================================================
+C301     field missing from the dict literal ``to_dict`` returns
+C302     field never read (``self.<field>``) by ``__post_init__`` —
+         the eager validator must at least look at every field
+C303     tuple-typed field missing from ``from_dict``'s list->tuple
+         coercion (JSON arrays must come back as the frozen tuples
+         ``__eq__`` and the goldens expect)
+=======  ====================================================================
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analysis.core import Checker, Finding
+
+SPEC_PATH = "src/repro/api/spec.py"
+
+
+def _dataclass_fields(classdef):
+    """Ordered (name, annotation_source, lineno) of AnnAssign fields."""
+    fields = []
+    for node in classdef.body:
+        if isinstance(node, ast.AnnAssign) and \
+                isinstance(node.target, ast.Name):
+            fields.append((node.target.id, ast.unparse(node.annotation),
+                           node.lineno))
+    return fields
+
+
+def _is_dataclass(classdef):
+    for deco in classdef.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = target.attr if isinstance(target, ast.Attribute) else \
+            target.id if isinstance(target, ast.Name) else ""
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _method(classdef, name):
+    for node in classdef.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _returned_dict_keys(funcdef):
+    keys = set()
+    for node in ast.walk(funcdef):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) and \
+                        isinstance(key.value, str):
+                    keys.add(key.value)
+    return keys
+
+
+def _self_reads(funcdef):
+    reads = set()
+    for node in ast.walk(funcdef):
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name) and \
+                node.value.id == "self":
+            reads.add(node.attr)
+    return reads
+
+
+def _coercion_keys(funcdef):
+    """String tuples/lists iterated inside ``from_dict`` — the
+    list->tuple coercion key set."""
+    keys = set()
+    for node in ast.walk(funcdef):
+        if isinstance(node, ast.For) and \
+                isinstance(node.iter, (ast.Tuple, ast.List)):
+            for elt in node.iter.elts:
+                if isinstance(elt, ast.Constant) and \
+                        isinstance(elt.value, str):
+                    keys.add(elt.value)
+    return keys
+
+
+class SpecContractChecker(Checker):
+    name = "spec-contract"
+    codes = ("C301", "C302", "C303")
+    description = ("ExperimentSpec fields must appear in to_dict, "
+                   "from_dict coercion and the eager validator")
+
+    def run(self, ctx):
+        pyfiles = ctx.python_files(SPEC_PATH)
+        if not pyfiles:
+            yield Finding(SPEC_PATH, 1, "C301",
+                          "spec module not found; contract unchecked")
+            return
+        pyfile = pyfiles[0]
+        for node in pyfile.tree.body:
+            if isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                yield from self._check_class(pyfile.relpath, node)
+
+    def _check_class(self, relpath, classdef):
+        fields = _dataclass_fields(classdef)
+        if not fields:
+            return
+        to_dict = _method(classdef, "to_dict")
+        if to_dict is not None:
+            keys = _returned_dict_keys(to_dict)
+            for name, _, lineno in fields:
+                if name not in keys:
+                    yield Finding(
+                        relpath, lineno, "C301",
+                        "{}.{} missing from to_dict(): the field would "
+                        "silently vanish on serialization".format(
+                            classdef.name, name))
+        post_init = _method(classdef, "__post_init__")
+        if post_init is not None:
+            reads = _self_reads(post_init)
+            for name, _, lineno in fields:
+                if name not in reads:
+                    yield Finding(
+                        relpath, lineno, "C302",
+                        "{}.{} never read by __post_init__: the eager "
+                        "validator must cover every field".format(
+                            classdef.name, name))
+        from_dict = _method(classdef, "from_dict")
+        if from_dict is not None:
+            coerced = _coercion_keys(from_dict)
+            if coerced:  # only meaningful when the method coerces at all
+                for name, annotation, lineno in fields:
+                    if "tuple" in annotation and name not in coerced:
+                        yield Finding(
+                            relpath, lineno, "C303",
+                            "{}.{} is tuple-typed but missing from "
+                            "from_dict's list->tuple coercion: JSON "
+                            "round-trips would break frozen equality"
+                            .format(classdef.name, name))
+
+
+SPEC_CHECKERS = (SpecContractChecker,)

@@ -1,0 +1,22 @@
+# Seeded-violation fixture for the D105 float-time-equality checker.
+
+
+class Event:
+    def __init__(self, when, arrival, start_time):
+        self.time = when
+        self.arrival = arrival
+        self.start_time = start_time
+
+    def __eq__(self, other):
+        return self.time == other.time  # ok: structural dunder is exempt
+
+    def __hash__(self):
+        return hash(self.time)  # ok: exempt
+
+
+def bad_time_compares(ev, other, t):
+    if ev.time == other.time:  # EXPECT[D105]
+        return True
+    if ev.arrival != other.arrival:  # EXPECT[D105]
+        return False
+    return ev.start_time == t  # EXPECT[D105]

@@ -1,0 +1,14 @@
+# Seeded-violation fixture for the D104 id()-derived-ordering checker.
+
+
+def bad_orderings(items, a, b):
+    if id(a) < id(b):  # EXPECT[D104]
+        a, b = b, a
+    ranked = sorted(items, key=lambda x: id(x))  # EXPECT[D104]
+    return ranked
+
+
+def good_identity_map(items, weights):
+    # id() as a dict *key* is fine — no ordering is derived from it
+    weight_of = {id(x): w for x, w in zip(items, weights)}
+    return weight_of

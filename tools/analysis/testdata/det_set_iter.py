@@ -1,0 +1,18 @@
+# Seeded-violation fixture for the D103 unsorted-set-iteration checker.
+
+
+def bad_iterations(pending, table):
+    for item in {3, 1, 2}:  # EXPECT[D103]
+        yield item
+    for key in table.keys():  # EXPECT[D103]
+        yield key
+    yield [x for x in set(pending)]  # EXPECT[D103]
+    yield list(frozenset(pending))  # EXPECT[D103]
+
+
+def good_iterations(pending, table):
+    for item in sorted({3, 1, 2}):  # ok: sorted pins the order
+        yield item
+    for key in sorted(table):  # ok
+        yield key
+    yield [x for x in sorted(set(pending))]  # ok

@@ -1,0 +1,25 @@
+# Seeded-violation fixture for the D101 unseeded-RNG checker.
+# The EXPECT markers name the exact line a finding must anchor to;
+# tests/test_analysis.py copies this file into a scratch repo tree and
+# asserts the finding set matches the markers bit-for-bit.
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+from repro.util.rng import make_rng
+
+
+def bad_draws(n):
+    jitter = random.random()  # EXPECT[D101]
+    order = np.random.rand(n)  # EXPECT[D101]
+    random.shuffle(order)  # EXPECT[D101]
+    gen = np.random.default_rng()  # EXPECT[D101]
+    other = default_rng()  # EXPECT[D101]
+    return jitter, order, gen, other
+
+
+def good_draws(seed):
+    rng = make_rng("fixture", seed)  # ok: the sanctioned seeding point
+    seeded = np.random.default_rng(seed)  # ok: explicit seed
+    return rng.random(), seeded.random()

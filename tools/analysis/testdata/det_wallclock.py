@@ -1,0 +1,17 @@
+# Seeded-violation fixture for the D102 wall-clock / OS-entropy checker.
+import datetime
+import os
+import time
+import uuid
+
+
+def bad_clock_reads():
+    started = time.time()  # EXPECT[D102]
+    stamp = datetime.datetime.now()  # EXPECT[D102]
+    token = os.urandom(16)  # EXPECT[D102]
+    run_id = uuid.uuid4()  # EXPECT[D102]
+    return started, stamp, token, run_id
+
+
+def good_clock(engine):
+    return engine.now  # ok: simulated time comes from the event queue

@@ -1,0 +1,33 @@
+# Seeded-violation fixture for the R201 registry-literal checker.
+import pytest
+
+from repro.api import DeviceEntry, register_scheme, scheme_from_name
+
+
+class ToyScheme:
+    name = "toy-fixture-scheme"
+
+
+register_scheme(ToyScheme)
+
+
+def bad_literals():
+    spec = dict(
+        scenario="no-such-scenario",  # EXPECT[R201]
+        schemes=("baseline",
+                 "ghost-scheme"),  # EXPECT[R201]
+        placements=("round-robin",
+                    "bogus-placement"),  # EXPECT[R201]
+        metrics=("antt",
+                 "fake-metric"),  # EXPECT[R201]
+        rebalance="not-a-rebalancer",  # EXPECT[R201]
+    )
+    looked_up = scheme_from_name("missing-scheme")  # EXPECT[R201]
+    device = DeviceEntry(base="no-such-device")  # EXPECT[R201]
+    ok = scheme_from_name("toy-fixture-scheme")  # ok: registered in-file
+    return spec, looked_up, device, ok
+
+
+def error_path_is_exempt():
+    with pytest.raises(Exception):
+        scheme_from_name("definitely-unknown")  # ok: raises-block exempt

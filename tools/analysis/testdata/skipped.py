@@ -1,0 +1,6 @@
+# lint: skip-file -- fixture: whole-file opt-out demo
+import time
+
+
+def wall():
+    return time.time()  # no finding: the file opted out above

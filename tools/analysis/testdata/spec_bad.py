@@ -1,0 +1,31 @@
+# Seeded-violation fixture for the C301/C302/C303 spec-contract checker.
+# Copied to src/repro/api/spec.py inside the scratch tree by the tests.
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BadSpec:
+    name: str
+    seeds: tuple[int, ...] = (0,)  # EXPECT[C303]
+    tags: tuple[str, ...] = ()
+    note: str = ""  # EXPECT[C301,C302]
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("name required")
+        _ = self.seeds
+        _ = self.tags
+        # `note` deliberately never read -> C302
+
+    def to_dict(self):
+        # `note` deliberately omitted -> C301
+        return {"name": self.name, "seeds": list(self.seeds),
+                "tags": list(self.tags)}
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        for key in ("tags",):  # `seeds` deliberately missing -> C303
+            if key in data:
+                data[key] = tuple(data[key])
+        return cls(**data)

@@ -1,0 +1,11 @@
+# Fixture for the suppression machinery: a reasoned ignore silences its
+# finding, a reasonless one is itself reported (S001) and silences nothing.
+import time
+
+
+def suppressed_ok():
+    return time.time()  # lint: ignore[D102] -- fixture: reasoned opt-out
+
+
+def suppressed_badly():
+    return time.time()  # lint: ignore[D102]  EXPECT[D102,S001]

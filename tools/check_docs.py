@@ -1,86 +1,30 @@
-"""Documentation health check (run by the CI docs job).
+"""Documentation health check — now a shim over the unified suite.
 
-Two classes of rot this catches:
-
-1. **Broken intra-repo links** — every relative markdown link
-   ``[text](path)`` in a tracked ``*.md`` file must resolve to a file or
-   directory in the repo (anchors are stripped; external ``http(s)``,
-   ``mailto`` and pure-anchor links are ignored).
-2. **Stale file references in runnable doc snippets** — fenced ``sh``
-   code blocks in README/docs quote commands like
-   ``python examples/fleet.py`` or
-   ``python -m pytest benchmarks/bench_fig09_unfairness.py -q``; the
-   referenced paths must exist (the CI job additionally *executes* the
-   quickstart example as the run-the-docs smoke test).
-
-Exit status 0 when clean, 1 with a report when anything dangles.
+The link/doc-path checkers moved into :mod:`tools.analysis.docs`
+(finding codes W401/W402) so they run with suppressions, baseline and
+``--json`` reporting like every other checker.  This entry point is
+kept so existing muscle memory and scripts keep working; it is exactly
+``python -m tools.analysis --select W``.
 
 Usage:  python tools/check_docs.py [repo_root]
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
-LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-FENCE_RE = re.compile(r"```(?:sh|bash|console)\n(.*?)```", re.DOTALL)
-COMMAND_PATH_RE = re.compile(
-    r"python(?:3)?(?:\s+-m\s+pytest)?\s+((?:examples|benchmarks|tests|"
-    r"tools)/[\w./-]+\.py)")
-
-SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
-
-
-def markdown_files(root):
-    for path in sorted(root.rglob("*.md")):
-        if not any(part in SKIP_DIRS for part in path.parts):
-            yield path
-
-
-def check_links(root):
-    problems = []
-    for md in markdown_files(root):
-        text = md.read_text(encoding="utf-8")
-        for target in LINK_RE.findall(text):
-            if target.startswith(("http://", "https://", "mailto:", "#")):
-                continue
-            path = target.split("#", 1)[0]
-            if not path:
-                continue
-            resolved = (md.parent / path).resolve()
-            if not resolved.exists():
-                problems.append("{}: broken link -> {}".format(
-                    md.relative_to(root), target))
-    return problems
-
-
-def check_code_block_paths(root):
-    problems = []
-    for md in markdown_files(root):
-        text = md.read_text(encoding="utf-8")
-        for block in FENCE_RE.findall(text):
-            for path in COMMAND_PATH_RE.findall(block):
-                if not (root / path).exists():
-                    problems.append(
-                        "{}: code block references missing file {}".format(
-                            md.relative_to(root), path))
-    return problems
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
 
 
 def main(argv):
-    root = Path(argv[1]).resolve() if len(argv) > 1 else \
-        Path(__file__).resolve().parent.parent
-    problems = check_links(root) + check_code_block_paths(root)
-    if problems:
-        print("documentation check FAILED:")
-        for problem in problems:
-            print("  " + problem)
-        return 1
-    count = sum(1 for _ in markdown_files(root))
-    print("documentation check OK ({} markdown files)".format(count))
-    return 0
+    from tools.analysis.__main__ import main as analysis_main
+    args = ["--select", "W"]
+    if len(argv) > 1:
+        args.append(argv[1])
+    return analysis_main(args)
 
 
 if __name__ == "__main__":
