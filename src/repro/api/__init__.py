@@ -55,7 +55,8 @@ from repro.api.spec import Cell, DeviceEntry, ExperimentSpec
 from repro.api.results import (METRICS, ResultSet, metric_names,
                                register_metric, unregister_metric)
 
-from repro.api.driver import build_stream, iter_runs, run
+from repro.api.driver import (build_stream, build_stream_iter,
+                              iter_runs, run)
 
 __all__ = [
     "Registry",
@@ -74,5 +75,5 @@ __all__ = [
     "Cell", "DeviceEntry", "ExperimentSpec",
     "METRICS", "ResultSet", "metric_names", "register_metric",
     "unregister_metric",
-    "build_stream", "iter_runs", "run",
+    "build_stream", "build_stream_iter", "iter_runs", "run",
 ]

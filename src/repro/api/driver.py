@@ -53,12 +53,10 @@ def _coerce(spec):
         "{!r}".format(type(spec).__name__))
 
 
-def build_stream(spec, load, seed, repetition, device=None, fleet=None):
-    """One grid point's arrival stream (the spec's scenario at the
-    calibrated offered load).  Public so benchmarks and tools can
-    reproduce exactly the stream ``run(spec)`` would simulate — which
-    is why the calibration target is checked: exactly one of ``device``
-    (single-device spec) or ``fleet`` (fleet spec) must be given."""
+def _stream_model(spec, load, device=None, fleet=None):
+    """The spec's scenario model plus its calibrated arrival rate —
+    the shared front half of :func:`build_stream` and
+    :func:`build_stream_iter`."""
     spec = _coerce(spec)
     if (device is None) == (fleet is None):
         raise SimulationError(
@@ -78,8 +76,29 @@ def build_stream(spec, load, seed, repetition, device=None, fleet=None):
     else:
         rate = arrival_rate_for_load(load, device, names=list(mix),
                                      weights=list(mix.values()))
+    return spec, model, rate
+
+
+def build_stream(spec, load, seed, repetition, device=None, fleet=None):
+    """One grid point's arrival stream (the spec's scenario at the
+    calibrated offered load).  Public so benchmarks and tools can
+    reproduce exactly the stream ``run(spec)`` would simulate — which
+    is why the calibration target is checked: exactly one of ``device``
+    (single-device spec) or ``fleet`` (fleet spec) must be given."""
+    spec, model, rate = _stream_model(spec, load, device=device, fleet=fleet)
     return model.generate(rate, spec.count,
                           seed=stream_seed(seed, repetition))
+
+
+def build_stream_iter(spec, load, seed, repetition, device=None, fleet=None):
+    """Lazy :func:`build_stream`: the identical arrival sequence as a
+    generator (``list(build_stream_iter(...)) == build_stream(...)``
+    bit-for-bit) without materialising it — what streaming-mode
+    ``run(spec)`` consumes.  Each call returns a fresh, single-use
+    iterator."""
+    spec, model, rate = _stream_model(spec, load, device=device, fleet=fleet)
+    return model.iter_arrivals(rate, spec.count,
+                               seed=stream_seed(seed, repetition))
 
 
 def iter_runs(spec):
@@ -95,18 +114,30 @@ def iter_runs(spec):
                              for entry in spec.devices])
         experiment = FleetOpenSystemExperiment(fleet, policy=spec.policy,
                                                saturate=spec.saturate)
+        streaming = spec.metrics_mode == "streaming"
         for load in spec.loads:
             for seed in spec.seeds:
                 for repetition in range(spec.repetitions):
-                    arrivals = build_stream(spec, load, seed, repetition,
-                                            fleet=fleet)
+                    if not streaming:
+                        arrivals = build_stream(spec, load, seed, repetition,
+                                                fleet=fleet)
                     for placement in spec.placements:
                         for scheme in spec.schemes:
-                            result = experiment.run(
-                                arrivals, scheme,
-                                placement_from_name(placement),
-                                mode=spec.placement_mode,
-                                rebalance=spec.rebalance)
+                            if streaming:
+                                # iterators are single-use: regenerate the
+                                # (bit-identical) stream for every cell
+                                result = experiment.run_stream(
+                                    build_stream_iter(spec, load, seed,
+                                                      repetition, fleet=fleet),
+                                    scheme, placement_from_name(placement),
+                                    mode=spec.placement_mode,
+                                    rebalance=spec.rebalance)
+                            else:
+                                result = experiment.run(
+                                    arrivals, scheme,
+                                    placement_from_name(placement),
+                                    mode=spec.placement_mode,
+                                    rebalance=spec.rebalance)
                             yield (Cell(scheme=scheme, load=load, seed=seed,
                                         repetition=repetition,
                                         placement=placement), result)
@@ -115,15 +146,22 @@ def iter_runs(spec):
     device = build_device(spec.devices[0])
     experiment = OpenSystemExperiment(device, policy=spec.policy,
                                       saturate=spec.saturate)
+    streaming = spec.metrics_mode == "streaming"
     for load in spec.loads:
         for seed in spec.seeds:
             for repetition in range(spec.repetitions):
-                arrivals = build_stream(spec, load, seed, repetition,
-                                        device=device)
+                if not streaming:
+                    arrivals = build_stream(spec, load, seed, repetition,
+                                            device=device)
                 for scheme in spec.schemes:
+                    if streaming:
+                        result = experiment.run_stream(
+                            build_stream_iter(spec, load, seed, repetition,
+                                              device=device), scheme)
+                    else:
+                        result = experiment.run(arrivals, scheme)
                     yield (Cell(scheme=scheme, load=load, seed=seed,
-                                repetition=repetition),
-                           experiment.run(arrivals, scheme))
+                                repetition=repetition), result)
 
 
 def run(spec):

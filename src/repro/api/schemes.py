@@ -100,15 +100,15 @@ class GpuOpenSession:
         self._sim = GPUSimulator(device)
         self._sim.open_begin(mode, allocator=allocator)
         self._build = build_spec
-        self._entries = {}            # key -> (arrival, run)
-        self._order = []              # submission-ordered keys
-        self._finished_seen = 0
+        self._entries = {}            # key -> (arrival, run), insertion-
+        self._finished_seen = 0       # ordered (= submission order)
 
     def submit(self, key, arrival, effective_time):
         spec = self._build(arrival, effective_time)
-        run = self._sim.open_submit(spec)
+        # the run carries its key as the index, so a streaming harvest
+        # can map finished runs back without a side table
+        run = self._sim.open_submit(spec, index=key)
         self._entries[key] = (arrival, run)
-        self._order.append(key)
 
     def peek(self):
         return self._sim.open_peek()
@@ -121,8 +121,7 @@ class GpuOpenSession:
 
     def queued(self):
         out = []
-        for key in self._order:
-            arrival, run = self._entries[key]
+        for key, (arrival, run) in self._entries.items():
             if self._sim.open_withdrawable(run):
                 out.append(QueuedRequest(key, arrival.name, arrival.tenant,
                                          run.spec.arrival_time))
@@ -132,8 +131,18 @@ class GpuOpenSession:
         arrival, run = self._entries[key]
         self._sim.open_withdraw(run)
         del self._entries[key]
-        self._order.remove(key)
         return run.spec.arrival_time
+
+    def harvest(self):
+        """Completed requests since the last harvest, as ``(key, start,
+        finish)`` tuples, dropped from the session and pruned from the
+        simulator — the bounded-memory streaming contract."""
+        out = []
+        for run in self._sim.open_harvest():
+            key = run.index
+            del self._entries[key]
+            out.append((key, run.start_time, run.finish_time))
+        return out
 
     def backlog_seconds(self, now):
         total = 0.0
@@ -184,6 +193,8 @@ class ElasticOpenSession:
         self._now = 0.0
         self._busy_until = None
         self._inflight = 0
+        self._inflight_keys = []
+        self._harvestable = []
         self._results = {}
 
     def submit(self, key, arrival, effective_time):
@@ -204,6 +215,8 @@ class ElasticOpenSession:
             self._now = max(self._now, time)
             self._busy_until = None
             finished, self._inflight = self._inflight, 0
+            self._harvestable.extend(self._inflight_keys)
+            self._inflight_keys = []
             return time, finished
         return self._launch(), 0
 
@@ -223,6 +236,7 @@ class ElasticOpenSession:
                                        time + interval.finish)
         self._busy_until = time + trace.makespan
         self._inflight = len(launched)
+        self._inflight_keys = [entry[2] for entry in launched]
         return time
 
     def queued(self):
@@ -246,6 +260,13 @@ class ElasticOpenSession:
 
     def active_count(self):
         return self._inflight
+
+    def harvest(self):
+        """Completed requests since the last harvest, as ``(key, start,
+        finish)`` tuples, dropped from the session (bounded memory)."""
+        out = [(key, *self._results.pop(key)) for key in self._harvestable]
+        self._harvestable = []
+        return out
 
     def results(self):
         """``{key: (start, finish)}`` once the session has drained."""

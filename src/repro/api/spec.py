@@ -34,6 +34,7 @@ DEFAULT_PLACEMENT = "least-loaded"
 
 _POLICIES = (SchedulingPolicy.ADAPTIVE, SchedulingPolicy.NAIVE)
 _PLACEMENT_MODES = ("auto", "offline", "online")
+_METRICS_MODES = ("exact", "streaming")
 
 
 def _require(condition: object, message: str) -> None:
@@ -151,6 +152,16 @@ class ExperimentSpec:
     derived per-repetition stream seeds (repetition 0 uses the seed
     verbatim, so a one-repetition spec reproduces historical streams
     bit-for-bit).
+
+    ``metrics_mode`` picks the evaluation plane: ``"exact"`` (default)
+    materialises every request record and computes metrics from the full
+    population — the golden-checked path — while ``"streaming"`` feeds
+    arrivals lazily through online sketches
+    (:mod:`repro.metrics.sketches`) in bounded memory: counts, means,
+    maxima and ANTT/STP/unfairness are exact up to summation order, and
+    percentile metrics are P² estimates.  Streaming consumes arrivals
+    incrementally, so it requires the closed loop (``placement_mode``
+    ``"auto"`` or ``"online"``).
     """
 
     scenario: str = "steady"
@@ -165,6 +176,7 @@ class ExperimentSpec:
     placement_mode: str = "auto"
     rebalance: str = "none"
     metrics: tuple[str, ...] = DEFAULT_METRICS
+    metrics_mode: str = "exact"
     policy: str = SchedulingPolicy.ADAPTIVE
     saturate: bool = True
 
@@ -274,6 +286,13 @@ class ExperimentSpec:
                  "duplicate metric names in {}".format(list(metrics)))
         object.__setattr__(self, "metrics", metrics)
 
+        _known(self.metrics_mode, _METRICS_MODES, "metrics mode")
+        if self.metrics_mode == "streaming":
+            _require(self.placement_mode != "offline",
+                     "streaming metrics need the closed loop (arrivals are "
+                     "consumed incrementally); use placement_mode 'auto' or "
+                     "'online'")
+
         _known(self.policy, _POLICIES, "scheduling policy")
         _require(isinstance(self.saturate, bool),
                  "saturate must be a boolean, got {!r}".format(self.saturate))
@@ -306,6 +325,7 @@ class ExperimentSpec:
             "placement_mode": self.placement_mode,
             "rebalance": self.rebalance,
             "metrics": list(self.metrics),
+            "metrics_mode": self.metrics_mode,
             "policy": self.policy,
             "saturate": self.saturate,
         }

@@ -52,14 +52,23 @@ from repro.api.placements import placement_from_name, rebalancer_from_name
 from repro.api.schemes import (RequestRecord, open_scheme_names,
                                scheme_from_name)
 from repro.errors import SimulationError
-from repro.metrics import (antt, individual_slowdowns, request_tails, stp,
-                           system_unfairness)
+from repro.metrics import (StreamingRecordSink, antt, individual_slowdowns,
+                           request_tails, stp, system_unfairness)
 from repro.sim.fleet import DeviceFleet, FleetSimulator
 from repro.workloads.arrivals import ArrivalRequest
 
 
 class OpenSystemResult:
-    """Stream-level metrics of one scheme over one arrival stream."""
+    """Stream-level metrics of one scheme over one arrival stream.
+
+    Built either from a retained record list (the exact path — every
+    metric computed over the full population) or from a
+    :class:`~repro.metrics.sketches.StreamingRecordSink`
+    (:meth:`from_sink` — bounded-memory online accumulators, percentile
+    fields are P² estimates, ``records``/``slowdowns`` are ``None``).
+    Both forms expose the identical metric surface, so the METRICS
+    registry and every report work unchanged.
+    """
 
     def __init__(self, scheme, device_name, records):
         if not records:
@@ -67,6 +76,7 @@ class OpenSystemResult:
         self.scheme = scheme
         self.device_name = device_name
         self.records = records
+        self.count = len(records)
         turnarounds = [r.turnaround for r in records]
         isolated = [r.isolated for r in records]
         self.slowdowns = individual_slowdowns(turnarounds, isolated)
@@ -80,6 +90,32 @@ class OpenSystemResult:
         (self.slowdown_tails, self.queueing_tails,
          self.tenant_slowdown_tails) = request_tails(records)
 
+    @classmethod
+    def from_sink(cls, scheme, device_name, sink):
+        """Build the streaming twin from a non-empty record sink."""
+        if sink.count == 0:
+            raise SimulationError("no request records")
+        stats = sink.slowdown.stats
+        if stats.min <= 0:
+            # mirrors metrics.fairness.system_unfairness
+            raise SimulationError("slowdowns must be positive")
+        self = object.__new__(cls)
+        self.scheme = scheme
+        self.device_name = device_name
+        self.records = None             # not retained: bounded memory
+        self.count = sink.count
+        self.slowdowns = None
+        self.unfairness = stats.max / stats.min
+        self.antt = stats.mean
+        self.stp = sink.inverse_slowdown_sum
+        self.mean_turnaround = sink.turnaround.mean
+        self.mean_queueing_delay = sink.queueing.stats.mean
+        self.makespan = sink.finish.max
+        self.slowdown_tails = sink.slowdown.summary()
+        self.queueing_tails = sink.queueing.summary()
+        self.tenant_slowdown_tails = sink.tenant_summaries()
+        return self
+
     @property
     def p99_slowdown(self):
         """The headline tail metric: 99th-percentile request slowdown."""
@@ -88,11 +124,11 @@ class OpenSystemResult:
     @property
     def request_throughput(self):
         """Completed requests per second of simulated time."""
-        return len(self.records) / self.makespan
+        return self.count / self.makespan
 
     def __repr__(self):
         return ("<OpenSystemResult {} {} reqs: U={:.2f} ANTT={:.2f}>"
-                .format(self.scheme, len(self.records), self.unfairness,
+                .format(self.scheme, self.count, self.unfairness,
                         self.antt))
 
 
@@ -124,6 +160,64 @@ class OpenSystemExperiment:
         return scheme_from_name(scheme).open_records(
             arrivals, self.device, policy=self.policy,
             saturate=self.saturate)
+
+    def run_stream(self, arrivals, scheme, sink_factory=None):
+        """Streaming :meth:`run`: consume a *lazy* time-ordered arrival
+        iterator incrementally, accumulate metrics in a record sink and
+        never retain the stream — bounded memory at any request count.
+
+        The scheme must support ``open_session`` (with ``harvest()``).
+        Returns an :class:`OpenSystemResult` built
+        :meth:`~OpenSystemResult.from_sink` (``records is None``).
+        """
+        scheme_obj = scheme_from_name(scheme)
+        if not scheme_obj.supports_open_session:
+            raise SimulationError(
+                "scheme {!r} has no open_session, so it cannot consume "
+                "a stream incrementally; use run() with a list".format(
+                    scheme_obj.name))
+        session = scheme_obj.open_session(self.device, policy=self.policy,
+                                          saturate=self.saturate)
+        sink = (sink_factory or StreamingRecordSink)()
+        pending = {}                    # key -> arrival, outstanding only
+        position = 0
+        last_time = None
+        for arrival in arrivals:
+            if last_time is not None and arrival.time < last_time - 1e-12:
+                raise SimulationError(
+                    "streaming arrivals must be time-ordered: {:.6f} "
+                    "after {:.6f}".format(arrival.time, last_time))
+            last_time = arrival.time
+            # advance strictly before the arrival (the arrival-first tie
+            # rule of run_open), then absorb whatever finished
+            while True:
+                next_time = session.peek()
+                if next_time is None or next_time >= arrival.time:
+                    break
+                session.step()
+            self._harvest_into(session, pending, sink)
+            session.submit(position, arrival, arrival.time)
+            pending[position] = arrival
+            position += 1
+        if position == 0:
+            raise SimulationError("empty arrival stream")
+        while session.peek() is not None:
+            session.step()
+        self._harvest_into(session, pending, sink)
+        if pending:
+            raise SimulationError(
+                "{} requests never finished on {} (conservation "
+                "violated)".format(len(pending), self.device.name))
+        return OpenSystemResult.from_sink(scheme_obj.name,
+                                          self.device.name, sink)
+
+    def _harvest_into(self, session, pending, sink):
+        for key, start, finish in session.harvest():
+            arrival = pending.pop(key)
+            sink.observe(RequestRecord(
+                arrival.name, arrival.time, start, finish,
+                isolated_time(arrival.name, self.device),
+                tenant=arrival.tenant))
 
     def run_all(self, arrivals, schemes=None):
         """All schemes over one stream: ``{scheme: OpenSystemResult}``.
@@ -169,20 +263,50 @@ class FleetOpenSystemResult:
             for device_id in fleet.ids
         }
 
+    @classmethod
+    def from_sinks(cls, scheme, placement_name, fleet, overall_sink,
+                   device_sinks, migrations=0, rebalances=0):
+        """Build the streaming twin from per-device record sinks.
+
+        ``decisions`` is ``None`` (per-arrival decisions are not retained
+        in streaming mode); ``migrations``/``rebalances`` arrive as
+        counts accumulated by the streaming loop.
+        """
+        self = object.__new__(cls)
+        self.scheme = scheme
+        self.placement = placement_name
+        self.fleet_ids = list(fleet.ids)
+        self.overall = OpenSystemResult.from_sink(
+            scheme, "fleet({})".format("+".join(fleet.ids)), overall_sink)
+        self.per_device = {
+            device_id: OpenSystemResult.from_sink(scheme, device_id, sink)
+            for device_id, sink in device_sinks.items() if sink.count
+        }
+        self.decisions = None
+        self.migrations = migrations
+        self.rebalances = rebalances
+        total = float(self.overall.count)
+        self.device_share = {
+            device_id: (device_sinks[device_id].count / total
+                        if device_id in device_sinks else 0.0)
+            for device_id in fleet.ids
+        }
+        return self
+
     def __getattr__(self, attr):
         # convenience passthrough: fleet.antt == fleet.overall.antt
         if attr in ("antt", "stp", "unfairness", "mean_turnaround",
                     "mean_queueing_delay", "records", "slowdowns",
                     "makespan", "request_throughput", "slowdown_tails",
                     "queueing_tails", "tenant_slowdown_tails",
-                    "p99_slowdown"):
+                    "p99_slowdown", "count"):
             return getattr(self.overall, attr)
         raise AttributeError(attr)
 
     def __repr__(self):
         return ("<FleetOpenSystemResult {}/{} {} reqs on {} devices: "
                 "U={:.2f} ANTT={:.2f}>".format(
-                    self.scheme, self.placement, len(self.overall.records),
+                    self.scheme, self.placement, self.overall.count,
                     len(self.per_device), self.overall.unfairness,
                     self.overall.antt))
 
@@ -279,6 +403,13 @@ class FleetOpenSystemExperiment:
                     "mode='offline' or the rebalance setting")
             return self._run_offline(arrivals, scheme_obj, policy)
 
+        policy = self._loop_policy(scheme_obj, policy, is_online, mode,
+                                   rebalance)
+        return self._run_loop(arrivals, scheme_obj, policy)
+
+    def _loop_policy(self, scheme_obj, policy, is_online, mode, rebalance):
+        """Wrap/validate a placement policy for the closed loop (shared
+        by the eager and streaming paths)."""
         if mode == "online" and not is_online:
             # legacy choose logic fed live simulator state
             policy = OfflinePolicyAdapter(policy, mode="live")
@@ -296,7 +427,60 @@ class FleetOpenSystemExperiment:
                 "scheme {!r} has no open_session, so it cannot serve "
                 "online placement; use an offline policy (or implement "
                 "open_session)".format(scheme_obj.name))
-        return self._run_loop(arrivals, scheme_obj, policy)
+        return policy
+
+    def run_stream(self, arrivals, scheme, placement, mode="auto",
+                   rebalance=None, sink_factory=None):
+        """Streaming :meth:`run`: consume a lazy time-ordered arrival
+        iterator through the closed loop in bounded memory.
+
+        Always the closed-loop path (``mode="offline"`` is rejected —
+        the pre-pass needs the whole stream up front); completed
+        requests drain into per-device record sinks as they finish.
+        Returns a :class:`FleetOpenSystemResult` built
+        :meth:`~FleetOpenSystemResult.from_sinks` (``records`` and
+        ``decisions`` are ``None``).
+        """
+        if mode not in ("auto", "online"):
+            raise SimulationError(
+                "streaming fleet runs are closed-loop only: placement "
+                "mode must be 'auto' or 'online', got {!r}".format(mode))
+        scheme_obj = scheme_from_name(scheme)
+        policy = placement_from_name(placement)
+        is_online = isinstance(policy, OnlinePlacementPolicy)
+        if rebalance in ("none",):
+            rebalance = None
+        policy = self._loop_policy(scheme_obj, policy, is_online, mode,
+                                   rebalance)
+        sessions = [
+            scheme_obj.open_session(member.device, policy=self.policy,
+                                    saturate=self.saturate)
+            for member in self.fleet
+        ]
+        simulator = FleetSimulator(self.fleet, sessions, policy,
+                                   estimator=isolated_time)
+        factory = sink_factory or StreamingRecordSink
+        overall = factory()
+        device_sinks = {device_id: factory()
+                        for device_id in self.fleet.ids}
+        migrated = [0]
+
+        def on_record(entry, start, finish):
+            arrival = entry.arrival
+            record = RequestRecord(
+                arrival.name, arrival.time, start, finish,
+                self.reference_isolated(arrival.name),
+                tenant=arrival.tenant)
+            overall.observe(record)
+            device_sinks[self.fleet[entry.index].id].observe(record)
+            if entry.penalty > 0:
+                migrated[0] += 1
+
+        simulator.run_stream(arrivals, on_record)
+        return FleetOpenSystemResult.from_sinks(
+            scheme_obj.name, policy.name, self.fleet, overall,
+            device_sinks, migrations=migrated[0],
+            rebalances=len(simulator.migrations))
 
     def _run_loop(self, arrivals, scheme_obj, policy):
         """The closed-loop path: one merged timeline over all devices."""

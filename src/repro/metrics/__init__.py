@@ -5,6 +5,7 @@ Throughput: system throughput speedup, STP [10].
 Turnaround: ANTT and worst-case ANTT [31].
 Sharing: kernel execution overlap.
 Tails: exact percentile summaries of slowdown/queueing populations.
+Sketches: bounded-memory streaming twins (P2 quantiles, online stats).
 """
 
 from repro.metrics.fairness import (
@@ -14,10 +15,17 @@ from repro.metrics.antt import antt, worst_antt
 from repro.metrics.overlap import execution_overlap
 from repro.metrics.tails import (
     TailSummary, per_tenant_tails, percentile, request_tails, tail_summary)
+from repro.metrics.sketches import (
+    P2_RANK_TOLERANCE, P2_RELATIVE_SLACK, ExactRecordSink, OnlineStats,
+    P2Quantile, RecordSink, SketchTailSummary, StreamingRecordSink,
+    TailSketch)
 
 __all__ = [
     "individual_slowdowns", "system_unfairness", "fairness_improvement",
     "throughput_speedup", "stp", "antt", "worst_antt", "execution_overlap",
     "TailSummary", "percentile", "tail_summary", "per_tenant_tails",
     "request_tails",
+    "P2_RANK_TOLERANCE", "P2_RELATIVE_SLACK",
+    "ExactRecordSink", "OnlineStats", "P2Quantile", "RecordSink",
+    "SketchTailSummary", "StreamingRecordSink", "TailSketch",
 ]

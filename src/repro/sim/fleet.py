@@ -358,34 +358,102 @@ class FleetSimulator:
         for i in order:
             arrival = arrivals[i]
             self._advance_before(arrival.time)
-            self.policy.observe_arrival(arrival)
-            if arrival.device is not None:
-                index = id_to_index.get(arrival.device)
-                if index is None:
-                    raise SchedulingError(
-                        "arrival pinned to unknown device {!r}".format(
-                            arrival.device))
-                pinned = True
-            else:
-                costs = ([self._cost(arrival.name, j)
-                          for j in range(count)]
-                         if self.policy.uses_costs else [0.0] * count)
-                index = self.policy.choose(
-                    arrival,
-                    self._status(arrival.time) if uses_status else None,
-                    costs)
-                if not 0 <= index < count:
-                    raise SchedulingError(
-                        "policy {} chose device {} of {}".format(
-                            self.policy.name, index, count))
-                pinned = False
-            penalty = self.policy.migration_penalty(arrival, index)
-            self.policy.placed(arrival, index, penalty,
-                               self._cost(arrival.name, index))
-            self.sessions[index].submit(i, arrival, arrival.time + penalty)
-            placed[i] = PlacedRequest(i, arrival, index, penalty, pinned)
+            placed[i] = self._place_one(arrival, i, uses_status,
+                                        id_to_index)
         self._advance_before(None)      # drain every device
         return placed
+
+    def run_stream(self, arrivals, on_record):
+        """Place and co-simulate one *lazy* time-ordered stream in bounded
+        memory.
+
+        The streaming twin of :meth:`run`: ``arrivals`` is any iterable
+        yielding :class:`~repro.workloads.arrivals.ArrivalRequest` in
+        nondecreasing time order (the scenario ``iter_arrivals``
+        contract — enforced here, since the iterator cannot be sorted
+        without materialising it).  Every device session must support
+        ``harvest()``; completed requests are handed to
+        ``on_record(entry, start, finish)`` in deterministic
+        completion-harvest order (global event order, ties by fleet
+        index) and then dropped, so live state is bounded by the
+        outstanding request set, never the stream length.  Returns the
+        number of requests placed.
+        """
+        for j, session in enumerate(self.sessions):
+            if not hasattr(session, "harvest"):
+                raise SimulationError(
+                    "device session {} ({}) does not support harvest(); "
+                    "streaming fleet runs need harvesting sessions".format(
+                        j, type(session).__name__))
+        self.policy.reset()
+        self.migrations = []
+        self._placed = placed = {}      # key -> PlacedRequest, outstanding
+        uses_status = getattr(self.policy, "uses_status", True)
+        self._rebalance_enabled = getattr(self.policy, "wants_rebalance",
+                                          True)
+        id_to_index = self.fleet.id_to_index()
+        position = 0
+        last_time = None
+        for arrival in arrivals:
+            if last_time is not None and arrival.time < last_time - 1e-12:
+                raise SimulationError(
+                    "streaming arrivals must be time-ordered: {:.6f} "
+                    "after {:.6f}".format(arrival.time, last_time))
+            last_time = arrival.time
+            self._advance_before(arrival.time)
+            self._harvest_finished(on_record)
+            placed[position] = self._place_one(arrival, position,
+                                               uses_status, id_to_index)
+            position += 1
+        if position == 0:
+            raise SimulationError("empty arrival stream")
+        self._advance_before(None)      # drain every device
+        self._harvest_finished(on_record)
+        if placed:
+            raise SimulationError(
+                "{} requests were placed but never harvested "
+                "(conservation violated)".format(len(placed)))
+        return position
+
+    def _place_one(self, arrival, key, uses_status, id_to_index):
+        """Consult the policy and submit one arrival (shared by the
+        eager and streaming loops)."""
+        count = len(self.fleet)
+        self.policy.observe_arrival(arrival)
+        if arrival.device is not None:
+            index = id_to_index.get(arrival.device)
+            if index is None:
+                raise SchedulingError(
+                    "arrival pinned to unknown device {!r}".format(
+                        arrival.device))
+            pinned = True
+        else:
+            costs = ([self._cost(arrival.name, j)
+                      for j in range(count)]
+                     if self.policy.uses_costs else [0.0] * count)
+            index = self.policy.choose(
+                arrival,
+                self._status(arrival.time) if uses_status else None,
+                costs)
+            if not 0 <= index < count:
+                raise SchedulingError(
+                    "policy {} chose device {} of {}".format(
+                        self.policy.name, index, count))
+            pinned = False
+        penalty = self.policy.migration_penalty(arrival, index)
+        self.policy.placed(arrival, index, penalty,
+                           self._cost(arrival.name, index))
+        self.sessions[index].submit(key, arrival, arrival.time + penalty)
+        return PlacedRequest(key, arrival, index, penalty, pinned)
+
+    def _harvest_finished(self, on_record):
+        """Drain every session's completed requests into ``on_record``
+        and forget them (sessions are scanned in fleet index order, so
+        the harvest order is deterministic)."""
+        for session in self.sessions:
+            for key, start, finish in session.harvest():
+                entry = self._placed.pop(key)
+                on_record(entry, start, finish)
 
     def _advance_before(self, time):
         """Process all device events strictly before ``time`` (None =

@@ -281,7 +281,8 @@ class GPUSimulator:
                 "request {} would arrive in the simulated past "
                 "({} < {})".format(spec.name, spec.arrival_time,
                                    self.events.now))
-        first = not self.runs
+        first = self._live_submissions == 0
+        self._live_submissions += 1
         run = _KernelRun(index if index is not None else len(self.runs),
                          spec, self.device, self._cost_scale * jitter)
         # Keep the run list sorted by (arrival, submission order): it IS
@@ -341,9 +342,36 @@ class GPUSimulator:
     def open_trace(self):
         """The finished run's :class:`ExecutionTrace` (raises if any
         admitted request never finished)."""
+        if self._harvested:
+            raise SimulationError(
+                "open_trace needs the full run list, but finished runs "
+                "were pruned by open_harvest; a streaming consumer must "
+                "collect timings from the harvested runs instead")
         if self._open_mode != ExecutionMode.HARDWARE:
             self._check_software_drained()
         return self._collect_trace(self._open_mode)
+
+    def open_harvest(self):
+        """Finished runs since the last harvest, pruned from the run list.
+
+        The bounded-memory contract of streaming open-system runs: once a
+        request finishes, its timing is final, and every scheduling
+        decision (FIFO/exclusive eligibility, admission fits, the
+        allocator's active set) treats finished runs exactly like absent
+        ones — so removing them from ``self.runs`` is observationally
+        equivalent and keeps both memory *and* per-event scan cost bounded
+        by the live set.  Callers take ownership of the returned runs
+        (``start_time``/``finish_time``/``index`` are final); batch-style
+        ``open_trace`` is unavailable after the first non-empty harvest.
+        """
+        harvested = []
+        while self._finished_runs:
+            run = self._finished_runs.popleft()
+            self.runs.remove(run)
+            harvested.append(run)
+        if harvested:
+            self._harvested = True
+        return harvested
 
     def open_withdrawable(self, run):
         """May ``run`` still be withdrawn (migrated to another device)?
@@ -378,6 +406,7 @@ class GPUSimulator:
                 "this device".format(run.spec.name))
         run.withdrawn = True
         self.runs.remove(run)
+        self._live_submissions -= 1
         if self._open_mode == ExecutionMode.HARDWARE:
             # a blocked successor may now own the dispatch window: kick
             # the dispatcher at the current time
@@ -410,6 +439,14 @@ class GPUSimulator:
         self.runs = runs
         self._cost_scale = scale
         self.finished_requests = 0
+        # open-system streaming support: finished runs queue here until
+        # the owner harvests (and thereby prunes) them
+        self._finished_runs = deque()
+        self._harvested = False
+        # submissions minus withdrawals — what len(self.runs) would be
+        # had no finished run been pruned; open_submit's first-arrival
+        # rule keys on it so harvesting cannot change dispatch timing
+        self._live_submissions = 0
 
     def _collect_trace(self, mode):
         intervals = []
@@ -506,6 +543,8 @@ class GPUSimulator:
         if run.finished:
             run.finish_time = self.events.now
             self.finished_requests += 1
+            if self._open:
+                self._finished_runs.append(run)
 
     # -- software-scheduled modes (accelOS / Elastic Kernels) ---------------------
 
@@ -711,11 +750,25 @@ class GPUSimulator:
         if not self._pending_slots:
             return
         still_pending = deque()
+        # Free capacity only shrinks within one pass (successful
+        # placements consume resources, failures change nothing), so a
+        # resource footprint that failed once keeps failing — skip its
+        # repeats instead of rescanning every CU.  Pure pruning of
+        # known-failing attempts: placement order and outcomes are
+        # unchanged.
+        unplaceable = set()
         while self._pending_slots:
             run, slot_index = self._pending_slots.popleft()
             if run.mode_done():
                 continue
+            spec = run.spec
+            footprint = (spec.wg_threads, spec.registers_per_group,
+                         spec.local_mem_per_wg)
+            if footprint in unplaceable:
+                still_pending.append((run, slot_index))
+                continue
             if not self._try_place_slot(run, slot_index, self._software_mode):
+                unplaceable.add(footprint)
                 still_pending.append((run, slot_index))
         self._pending_slots = still_pending
 
@@ -776,6 +829,7 @@ class GPUSimulator:
             run.mark_dispatch_done(self.events.now)
             self.finished_requests += 1
             if self._open:
+                self._finished_runs.append(run)
                 self._admit_arrivals()
                 self._reallocate()
 

@@ -17,8 +17,8 @@ from repro.workloads.arrivals import (
     ArrivalRequest, poisson_arrivals, periodic_arrivals, trace_arrivals)
 from repro.workloads.scenarios import (
     SCENARIOS, DiurnalScenario, MMPPScenario, MultiTenantScenario,
-    PoissonScenario, TrafficScenario, from_name, heavy_tailed_weights,
-    reference_demand, scenario)
+    PoissonScenario, TrafficScenario, calibrated_model, from_name,
+    heavy_tailed_weights, iter_from_name, reference_demand, scenario)
 
 __all__ = [
     "KernelProfile", "all_profiles", "profile_by_name", "PROFILE_NAMES",
@@ -27,5 +27,6 @@ __all__ = [
     "trace_arrivals",
     "SCENARIOS", "TrafficScenario", "PoissonScenario", "MMPPScenario",
     "DiurnalScenario", "MultiTenantScenario", "heavy_tailed_weights",
-    "reference_demand", "scenario", "from_name",
+    "reference_demand", "scenario", "from_name", "iter_from_name",
+    "calibrated_model",
 ]

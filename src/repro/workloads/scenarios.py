@@ -38,12 +38,21 @@ production profile).
 Seeding contract
 ----------------
 
-``generate(rate, count, seed)`` is a pure function of
+``iter_arrivals(rate, count, seed)`` is a pure function of
 ``(scenario parameters, rate, count, seed)`` via :func:`repro.util.make_rng`
 — the same call replays bit-for-bit, different seeds give independent
 streams, and no scenario shares RNG state with another (multi-tenant
 substreams derive per-tenant child seeds).  Scenario *construction* never
-draws randomness.
+draws randomness.  ``generate(...)`` is exactly
+``list(iter_arrivals(...))``, so the eager and lazy paths cannot diverge.
+
+Laziness contract
+-----------------
+
+:meth:`TrafficScenario.iter_arrivals` yields arrivals one at a time in
+nondecreasing arrival-time order and holds O(1) state per simple scenario
+(O(#tenants) for the multi-tenant merge) — million-request streams never
+materialise.  See ``docs/SCALING.md``.
 
 Registry
 --------
@@ -55,6 +64,7 @@ load (``rho = rate * E[S_isolated]``, the PR 1 load convention).
 
 from __future__ import annotations
 
+import heapq
 import math
 
 from repro.errors import SimulationError
@@ -241,9 +251,19 @@ class TrafficScenario:
         self.names = names
         self.weights = [w / total for w in kept]
 
-    def generate(self, rate, count, seed=0):
-        """``count`` arrivals at time-average ``rate`` (requests/second)."""
+    def iter_arrivals(self, rate, count, seed=0):
+        """Lazily yield ``count`` arrivals at time-average ``rate``
+        (requests/second), in nondecreasing time order, without
+        materialising the stream."""
         raise NotImplementedError
+
+    def generate(self, rate, count, seed=0):
+        """``count`` arrivals at time-average ``rate`` (requests/second).
+
+        Exactly ``list(iter_arrivals(rate, count, seed))`` — the eager
+        form exists for callers that index or re-iterate the stream.
+        """
+        return list(self.iter_arrivals(rate, count, seed=seed))
 
     def mix_weights(self):
         """``{kernel name: selection probability}`` of this scenario's
@@ -271,15 +291,13 @@ class PoissonScenario(TrafficScenario):
 
     kind = "poisson"
 
-    def generate(self, rate, count, seed=0):
+    def iter_arrivals(self, rate, count, seed=0):
         self._check(rate, count)
         rng = self._rng(rate, count, seed)
         now = 0.0
-        stream = []
         for _ in range(count):
             now += float(rng.exponential(1.0 / rate))
-            stream.append(ArrivalRequest(self._pick_name(rng), now))
-        return stream
+            yield ArrivalRequest(self._pick_name(rng), now)
 
 
 class MMPPScenario(TrafficScenario):
@@ -315,7 +333,7 @@ class MMPPScenario(TrafficScenario):
         return super()._seed_parts() + [self.burst, self.on_fraction,
                                         self.burst_length]
 
-    def generate(self, rate, count, seed=0):
+    def iter_arrivals(self, rate, count, seed=0):
         self._check(rate, count)
         rng = self._rng(rate, count, seed)
         # base (OFF) rate chosen so p_on*on + (1-p_on)*off == rate
@@ -328,8 +346,8 @@ class MMPPScenario(TrafficScenario):
         on = bool(float(rng.random()) < self.on_fraction)
         now = 0.0
         sojourn_end = float(rng.exponential(mean_on if on else mean_off))
-        stream = []
-        while len(stream) < count:
+        emitted = 0
+        while emitted < count:
             state_rate = on_rate if on else off_rate
             candidate = now + float(rng.exponential(1.0 / state_rate))
             if candidate > sojourn_end:
@@ -340,8 +358,8 @@ class MMPPScenario(TrafficScenario):
                     rng.exponential(mean_on if on else mean_off))
                 continue
             now = candidate
-            stream.append(ArrivalRequest(self._pick_name(rng), now))
-        return stream
+            emitted += 1
+            yield ArrivalRequest(self._pick_name(rng), now)
 
 
 class DiurnalScenario(TrafficScenario):
@@ -372,20 +390,20 @@ class DiurnalScenario(TrafficScenario):
         return super()._seed_parts() + [self.amplitude, self.cycle_arrivals,
                                         self.phase]
 
-    def generate(self, rate, count, seed=0):
+    def iter_arrivals(self, rate, count, seed=0):
         self._check(rate, count)
         rng = self._rng(rate, count, seed)
         period = self.cycle_arrivals / rate
         peak = rate * (1.0 + self.amplitude)
         now = 0.0
-        stream = []
-        while len(stream) < count:
+        emitted = 0
+        while emitted < count:
             now += float(rng.exponential(1.0 / peak))
             lam = rate * (1.0 + self.amplitude * math.sin(
                 2.0 * math.pi * now / period + self.phase))
             if float(rng.random()) * peak < lam:
-                stream.append(ArrivalRequest(self._pick_name(rng), now))
-        return stream
+                emitted += 1
+                yield ArrivalRequest(self._pick_name(rng), now)
 
 
 class MultiTenantScenario(TrafficScenario):
@@ -462,26 +480,34 @@ class MultiTenantScenario(TrafficScenario):
             counts[t] += 1
         return counts
 
-    def generate(self, rate, count, seed=0):
+    def _tenant_stream(self, tenant, rate, n, seed):
+        """One tenant's tagged substream, lazily."""
+        weight, child = self.tenants[tenant]
+        child = child if child is not None else self.default
+        total_weight = sum(w for w, _ in self.tenants.values())
+        sub_rate = rate * weight / total_weight
+        sub_seed = int(make_rng("tenant-seed", tenant, seed)
+                       .integers(2**32))
+        device = self.devices.get(tenant)
+        for a in child.iter_arrivals(sub_rate, n, seed=sub_seed):
+            yield ArrivalRequest(a.name, a.time, tenant=tenant,
+                                 device=device)
+
+    def iter_arrivals(self, rate, count, seed=0):
         self._check(rate, count)
         counts = self._apportion(count)
-        total_weight = sum(w for w, _ in self.tenants.values())
-        merged = []
-        for tenant in sorted(self.tenants, key=str):
-            weight, child = self.tenants[tenant]
-            n = counts[tenant]
-            if n == 0:
-                continue
-            child = child if child is not None else self.default
-            sub_rate = rate * weight / total_weight
-            sub_seed = int(make_rng("tenant-seed", tenant, seed)
-                           .integers(2**32))
-            device = self.devices.get(tenant)
-            for a in child.generate(sub_rate, n, seed=sub_seed):
-                merged.append(ArrivalRequest(a.name, a.time, tenant=tenant,
-                                             device=device))
-        merged.sort(key=lambda a: (a.time, str(a.tenant), a.name))
-        return merged
+        # k-way lazy merge over the per-tenant substreams.  Each substream
+        # is nondecreasing in time and constant in tenant, so merging on
+        # (time, str(tenant), name) reproduces the historical
+        # concatenate-then-stable-sort order exactly (substreams are fed
+        # in sorted-tenant order, which the stable sort preserved on
+        # ties); the goldens lock this.  Memory is O(#tenants), not
+        # O(count).
+        streams = [self._tenant_stream(tenant, rate, counts[tenant], seed)
+                   for tenant in sorted(self.tenants, key=str)
+                   if counts[tenant] > 0]
+        return heapq.merge(
+            *streams, key=lambda a: (a.time, str(a.tenant), a.name))
 
 
 # -- registry -----------------------------------------------------------------
@@ -554,15 +580,11 @@ def scenario(name):
     return factory()
 
 
-def from_name(name, seed=0, load=1.0, count=64, device=None, names=None):
-    """Generate a registered scenario's stream at an offered load.
+def calibrated_model(name, load=1.0, device=None, names=None):
+    """Resolve a registered scenario and its load-calibrated rate.
 
-    ``load`` is the PR 1 convention ``rho = rate * E[S_isolated]``, with
-    the mean service time taken under the scenario's *effective* kernel
-    mix (:meth:`TrafficScenario.mix_weights` — sub-scenarios included) on
-    ``device`` (default: the reference NVIDIA K20m); ``rho = 1`` saturates
-    a serially-draining device.  Returns the :class:`ArrivalRequest`
-    stream.
+    Returns ``(model, rate)`` — the shared first half of
+    :func:`from_name` / :func:`iter_from_name`.
     """
     model = scenario(name)
     if names is not None:
@@ -577,4 +599,31 @@ def from_name(name, seed=0, load=1.0, count=64, device=None, names=None):
     mix = model.mix_weights()
     rate = arrival_rate_for_load(load, device, names=list(mix),
                                  weights=list(mix.values()))
+    return model, rate
+
+
+def from_name(name, seed=0, load=1.0, count=64, device=None, names=None):
+    """Generate a registered scenario's stream at an offered load.
+
+    ``load`` is the PR 1 convention ``rho = rate * E[S_isolated]``, with
+    the mean service time taken under the scenario's *effective* kernel
+    mix (:meth:`TrafficScenario.mix_weights` — sub-scenarios included) on
+    ``device`` (default: the reference NVIDIA K20m); ``rho = 1`` saturates
+    a serially-draining device.  Returns the :class:`ArrivalRequest`
+    stream as a list; :func:`iter_from_name` is the lazy equivalent.
+    """
+    model, rate = calibrated_model(name, load=load, device=device,
+                                   names=names)
     return model.generate(rate, count, seed=seed)
+
+
+def iter_from_name(name, seed=0, load=1.0, count=64, device=None,
+                   names=None):
+    """Lazy :func:`from_name`: the identical stream as a generator.
+
+    ``list(iter_from_name(...)) == from_name(...)`` bit for bit — same
+    calibration, same seeds, no materialisation.
+    """
+    model, rate = calibrated_model(name, load=load, device=device,
+                                   names=names)
+    return model.iter_arrivals(rate, count, seed=seed)

@@ -39,6 +39,7 @@ FIXTURE_LAYOUT = {
     "det_set_iter.py": "src/repro/sim/det_set_iter.py",
     "det_id_order.py": "src/repro/det_id_order.py",
     "det_float_eq.py": "src/repro/sim/det_float_eq.py",
+    "det_arrival_mat.py": "src/repro/sim/det_arrival_mat.py",
     "reg_names.py": "src/repro/reg_names.py",
     "suppressed.py": "src/repro/suppressed.py",
     "skipped.py": "src/repro/skipped.py",
@@ -96,7 +97,8 @@ def test_select_prefix_filters_checkers(scratch_repo):
         AnalysisContext(root=scratch_repo))
     codes = {f.code for f in findings}
     # S001 directive findings ride along with whatever files were parsed
-    assert codes <= {"D101", "D102", "D103", "D104", "D105", "S001"}
+    assert codes <= {"D101", "D102", "D103", "D104", "D105", "D106",
+                     "S001"}
     assert any(c.startswith("D") for c in codes)
 
 

@@ -1,0 +1,259 @@
+"""Property tests locking the streaming sketches to the exact path.
+
+The accuracy contract documented in ``repro/metrics/sketches.py``:
+
+* P² estimates of p50/p95/p99 lie within the exact value band of ranks
+  ``q ± P2_RANK_TOLERANCE`` percentile points — extended outward to the
+  nearest distinct observed values (the sketch interpolates between
+  marker heights, so on heavily tied populations the estimate can land
+  strictly between two tied groups) — widened by ``P2_RELATIVE_SLACK``
+  relative; checked on heavy-tailed, constant, tied and tiny
+  populations;
+* populations up to ``P2_WARMUP`` values are *exact* (bit-equal to the
+  ``tails`` linear-interpolation convention), as are constant
+  populations of any size;
+* the sketch rejects NaN with the identical ``ValueError`` the exact
+  path raises, and positive-slowdown violations with the identical
+  message of the fairness/throughput metrics;
+* sketch state is a pure function of the observation sequence (same
+  values, same order => bit-equal state).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (P2_RANK_TOLERANCE, P2_RELATIVE_SLACK,
+                           OnlineStats, P2Quantile, StreamingRecordSink,
+                           TailSketch, percentile, tail_summary)
+from repro.metrics.sketches import P2_WARMUP
+from repro.util import make_rng
+
+QUANTILES = (50.0, 95.0, 99.0)
+
+# value strategies: finite, positive-ish magnitudes the simulator
+# actually produces (slowdowns, delays in seconds)
+VALUES = st.floats(min_value=1e-6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+# a heavy-tailed population: lognormal-ish via exponent sampling —
+# hypothesis draws the exponent, so the tail is genuinely stretched
+HEAVY = st.floats(min_value=0.0, max_value=6.0).map(lambda e: 10.0 ** e)
+
+
+def rank_window(values, q):
+    """The documented tolerance band for a P² estimate of quantile q:
+    exact values at ranks ``q ± P2_RANK_TOLERANCE``, extended outward to
+    the nearest distinct observed values, widened by
+    ``P2_RELATIVE_SLACK`` relative."""
+    ordered = sorted(values)
+    lo = percentile(ordered, max(0.0, q - P2_RANK_TOLERANCE))
+    hi = percentile(ordered, min(100.0, q + P2_RANK_TOLERANCE))
+    # an interpolated rank value need not be an observed one: snap the
+    # band edges outward to observed values (ties make this matter)
+    lo = max((v for v in ordered if v <= lo), default=ordered[0])
+    hi = min((v for v in ordered if v >= hi), default=ordered[-1])
+    slack = P2_RELATIVE_SLACK
+    eps = 1e-9 * max(1.0, abs(lo), abs(hi))
+    return (lo - abs(lo) * slack - eps, hi + abs(hi) * slack + eps)
+
+
+def sketch_of(values, q):
+    sketch = P2Quantile(q)
+    for value in values:
+        sketch.observe(value)
+    return sketch
+
+
+# -- accuracy: the documented rank window -------------------------------------
+
+@pytest.mark.parametrize("q", QUANTILES)
+@given(values=st.lists(HEAVY, min_size=50, max_size=400))
+@settings(max_examples=40, deadline=None)
+def test_p2_within_rank_window_heavy_tailed(q, values):
+    estimate = sketch_of(values, q).value()
+    lo, hi = rank_window(values, q)
+    assert lo <= estimate <= hi
+
+
+@pytest.mark.parametrize("q", QUANTILES)
+@given(values=st.lists(VALUES, min_size=5, max_size=120))
+@settings(max_examples=40, deadline=None)
+def test_p2_within_rank_window_general(q, values):
+    estimate = sketch_of(values, q).value()
+    lo, hi = rank_window(values, q)
+    assert lo <= estimate <= hi
+
+
+@pytest.mark.parametrize("q", QUANTILES)
+@given(value=VALUES, n=st.integers(min_value=1, max_value=200))
+@settings(max_examples=25, deadline=None)
+def test_p2_exact_on_constant_population(q, value, n):
+    """All markers collapse onto the constant: bit-equal to the exact
+    convention (which itself interpolates, so it can sit one ulp off
+    the constant — match it, don't beat it)."""
+    estimate = sketch_of([value] * n, q).value()
+    assert estimate == percentile([value] * n, q)
+    assert estimate == pytest.approx(value, rel=1e-12)
+
+
+@pytest.mark.parametrize("q", QUANTILES)
+@given(values=st.lists(st.sampled_from([1.0, 2.0, 5.0]),
+                       min_size=20, max_size=200))
+@settings(max_examples=25, deadline=None)
+def test_p2_within_rank_window_tied_values(q, values):
+    """Massively tied populations (few distinct values) stay in band."""
+    estimate = sketch_of(values, q).value()
+    lo, hi = rank_window(values, q)
+    assert lo <= estimate <= hi
+
+
+@pytest.mark.parametrize("q", QUANTILES)
+@given(values=st.lists(VALUES, min_size=1, max_size=5))
+@settings(max_examples=25, deadline=None)
+def test_p2_exact_on_tiny_populations(q, values):
+    """n < 5 never hits the marker machinery: bit-equal to exact."""
+    assert sketch_of(values, q).value() == percentile(values, q)
+
+
+@pytest.mark.parametrize("q", QUANTILES)
+@given(n=st.integers(min_value=1, max_value=P2_WARMUP),
+       seed=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=15, deadline=None)
+def test_p2_exact_up_to_warmup(q, n, seed):
+    """The whole warm-up regime is exact, not approximated."""
+    values = list(make_rng("sketch-warmup", seed).pareto(1.5, size=n) + 1.0)
+    assert sketch_of(values, q).value() == percentile(values, q)
+
+
+# -- accuracy beyond the warm-up buffer (deterministic large-n shapes) --------
+
+def _large_population(shape, n=5000, seed=7):
+    rng = make_rng("sketch-large", shape, seed)
+    if shape == "pareto":
+        return list(rng.pareto(1.5, size=n) + 1.0)
+    if shape == "uniform":
+        return list(rng.uniform(0.5, 50.0, size=n))
+    if shape == "tied":
+        return [float(v) for v in rng.choice([1.0, 2.0, 5.0], size=n,
+                                             p=[0.6, 0.3, 0.1])]
+    if shape == "sorted":
+        return sorted(rng.pareto(1.5, size=n) + 1.0)
+    raise AssertionError(shape)
+
+
+@pytest.mark.parametrize("q", QUANTILES)
+@pytest.mark.parametrize("shape", ["pareto", "uniform", "tied", "sorted"])
+def test_p2_within_rank_window_beyond_warmup(shape, q):
+    values = _large_population(shape)
+    assert len(values) > P2_WARMUP
+    estimate = sketch_of(values, q).value()
+    lo, hi = rank_window(values, q)
+    assert lo <= estimate <= hi, (shape, q, estimate, (lo, hi))
+
+
+@given(values=st.lists(VALUES, min_size=1, max_size=300))
+@settings(max_examples=25, deadline=None)
+def test_tail_sketch_summary_mirrors_exact_moments(values):
+    """count/mean/max are exact (same summation order); percentiles
+    land in the documented band."""
+    sketch = TailSketch()
+    for value in values:
+        sketch.observe(value)
+    summary = sketch.summary()
+    exact = tail_summary(values)
+    assert summary.count == exact.count
+    assert summary.max == exact.max
+    assert summary.mean == pytest.approx(exact.mean, rel=1e-12)
+    for q, estimate in ((50.0, summary.p50), (95.0, summary.p95),
+                        (99.0, summary.p99)):
+        lo, hi = rank_window(values, q)
+        assert lo <= estimate <= hi
+
+
+# -- contract parity with the exact path --------------------------------------
+
+def exact_nan_message():
+    with pytest.raises(ValueError) as excinfo:
+        tail_summary([1.0, float("nan")])
+    return str(excinfo.value)
+
+
+@pytest.mark.parametrize("make", [
+    lambda: OnlineStats(),
+    lambda: P2Quantile(99.0),
+    lambda: TailSketch(),
+])
+def test_sketches_reject_nan_like_checked_sorted(make):
+    sketch = make()
+    sketch.observe(1.0)
+    with pytest.raises(ValueError) as excinfo:
+        sketch.observe(float("nan"))
+    assert str(excinfo.value) == exact_nan_message()
+
+
+class _Record:
+    def __init__(self, slowdown, queueing_delay=0.0, turnaround=1.0,
+                 finish=1.0, tenant=None):
+        self.slowdown = slowdown
+        self.queueing_delay = queueing_delay
+        self.turnaround = turnaround
+        self.finish = finish
+        self.tenant = tenant
+
+
+def test_streaming_sink_rejects_nan_and_nonpositive_slowdowns():
+    sink = StreamingRecordSink()
+    with pytest.raises(ValueError) as excinfo:
+        sink.observe(_Record(float("nan")))
+    assert str(excinfo.value) == exact_nan_message()
+    with pytest.raises(ValueError, match="slowdowns must be positive"):
+        sink.observe(_Record(0.0))
+    with pytest.raises(ValueError, match="slowdowns must be positive"):
+        sink.observe(_Record(-1.0))
+
+
+def test_empty_sketches_raise_like_exact_path():
+    with pytest.raises(ValueError, match="need at least one value"):
+        OnlineStats().mean
+    with pytest.raises(ValueError, match="need at least one value"):
+        P2Quantile(50.0).value()
+    with pytest.raises(ValueError, match="need at least one value"):
+        TailSketch().summary()
+
+
+def test_p2_rejects_degenerate_quantiles():
+    for q in (0.0, 100.0, -1.0, 150.0):
+        with pytest.raises(ValueError, match="quantile must be in"):
+            P2Quantile(q)
+
+
+# -- determinism --------------------------------------------------------------
+
+@pytest.mark.parametrize("q", QUANTILES)
+@given(values=st.lists(VALUES, min_size=1, max_size=200))
+@settings(max_examples=25, deadline=None)
+def test_p2_state_is_pure_function_of_sequence(q, values):
+    a = sketch_of(values, q)
+    b = sketch_of(list(values), q)
+    assert a.state() == b.state()
+    assert a.value() == b.value()
+
+
+def test_streaming_sink_replays_bit_identically():
+    records = [_Record(1.0 + 0.37 * i, queueing_delay=0.01 * i,
+                       turnaround=1.0 + 0.1 * i, finish=0.5 * i + 1.0,
+                       tenant="t{}".format(i % 3))
+               for i in range(64)]
+    sinks = [StreamingRecordSink(), StreamingRecordSink()]
+    for sink in sinks:
+        for record in records:
+            sink.observe(record)
+    a, b = sinks
+    assert a.inverse_slowdown_sum == b.inverse_slowdown_sum
+    assert a.slowdown.summary().as_dict() == b.slowdown.summary().as_dict()
+    assert {t: s.as_dict() for t, s in a.tenant_summaries().items()} \
+        == {t: s.as_dict() for t, s in b.tenant_summaries().items()}
+    # tenant key order matches the exact path: untenanted first, then str
+    assert list(a.tenant_summaries()) == ["t0", "t1", "t2"]

@@ -25,12 +25,17 @@ D105     float ``==``/``!=`` against event/arrival-time attributes in
          timeline modules — ties must go through the
          :class:`~repro.sim.engine.EventQueue` tie tiers, not float
          equality
+D106     ``list``/``tuple``/``sorted`` materialisation of an arrival
+         stream inside ``src/repro/sim`` — the streaming plane's memory
+         bound holds only while arrivals stay lazy end to end; consume
+         them incrementally (``for``/``next``) instead
 =======  ====================================================================
 """
 
 from __future__ import annotations
 
 import ast
+import re
 
 from tools.analysis.core import Checker, Finding, dotted_name, import_map
 
@@ -232,6 +237,46 @@ class FloatTimeEqualityChecker(Checker):
                         "(see docs/DETERMINISM.md), not ==")
 
 
+# identifiers that (by repo convention) carry lazy arrival streams:
+# `arrivals`, `arrival_iter`, `arrival_stream`, `pending_arrivals`, ...
+_ARRIVAL_STREAM_NAME = re.compile(
+    r"(^|_)arrivals?($|_iter$|_stream$|_)")
+
+
+class ArrivalMaterializationChecker(Checker):
+    name = "arrival-materialisation"
+    codes = ("D106",)
+    description = ("list()/tuple()/sorted() of a lazy arrival stream "
+                   "inside the simulator")
+    roots = ("src/repro/sim",)
+
+    @staticmethod
+    def _stream_name(node):
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    def run(self, ctx):
+        for pyfile in ctx.python_files(*self.roots):
+            for node in ast.walk(pyfile.tree):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Name)
+                        and node.func.id in ("list", "tuple", "sorted")
+                        and node.args):
+                    continue
+                name = self._stream_name(node.args[0])
+                if name and _ARRIVAL_STREAM_NAME.search(name):
+                    yield Finding(
+                        pyfile.relpath, node.lineno, "D106",
+                        "{}({}) materialises an arrival stream inside "
+                        "the simulator; the streaming plane's memory "
+                        "bound needs arrivals consumed lazily — iterate "
+                        "instead".format(node.func.id, name))
+
+
 DETERMINISM_CHECKERS = (
     UnseededRandomChecker, WallClockChecker, UnsortedSetIterationChecker,
-    IdOrderingChecker, FloatTimeEqualityChecker)
+    IdOrderingChecker, FloatTimeEqualityChecker,
+    ArrivalMaterializationChecker)

@@ -1,0 +1,16 @@
+# Seeded-violation fixture for the D106 arrival-materialisation checker.
+
+
+def bad_consumption(arrivals, arrival_iter, queue):
+    snapshot = list(arrivals)  # EXPECT[D106]
+    frozen = tuple(arrival_iter)  # EXPECT[D106]
+    ordered = sorted(queue.pending_arrivals)  # EXPECT[D106]
+    return snapshot, frozen, ordered
+
+
+def good_consumption(arrivals, records):
+    for arrival in arrivals:  # ok: incremental consumption
+        yield arrival
+    materialised = list(records)  # ok: not an arrival stream
+    yield sorted(records)  # ok
+    yield materialised
