@@ -1,0 +1,294 @@
+"""Full-grid sweep: parallel execution and the content-addressed cache.
+
+The north star demands full scenario x scheme x fleet sweeps that run
+"as fast as the hardware allows".  This bench drives the PR 8 driver
+backend over the complete grid — every registered traffic scenario,
+all three builtin schemes, a heterogeneous two-device fleet — in three
+legs, and pins the claims that make the backend trustworthy:
+
+* **determinism** — the parallel leg's ``ResultSet.to_json`` is
+  byte-identical to the serial leg's, per scenario (the deterministic
+  merge re-emits results in grid order regardless of completion order);
+* **speedup** — on a machine with at least ``--workers`` CPUs, the
+  parallel cold leg beats serial by ``--min-speedup`` (default 2x at 4
+  workers); on smaller machines the ratio is still reported but not
+  gated (a 1-core container cannot express parallelism);
+* **warm cache is free** — a rerun against the populated cache
+  re-simulates *zero* cells (`ResultCache` counters, not wall-clock
+  heuristics) and still reproduces the serial bytes.
+
+Doubles as the nightly CI grid probe:
+
+    python benchmarks/bench_grid.py --smoke --json BENCH_grid.json
+
+emits a deterministic JSON report (same seed => bit-identical file on
+the same machine).  Raw wall-clock timings are deliberately *excluded*
+from the JSON — they vary run to run — the report carries the pass/fail
+booleans and cache counters instead.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if __package__ in (None, ""):  # CLI invocation: make src/ importable
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import pytest
+
+from repro.api import ExperimentSpec, ResultCache, run, warm_caches
+from repro.harness import format_table
+from repro.workloads.scenarios import SCENARIOS
+
+FULL_COUNT = 384
+SMOKE_COUNT = 160
+SEED = 2016
+LOAD = 1.0
+WORKERS = 4
+MIN_SPEEDUP = 2.0
+SCHEMES = ("baseline", "ek", "accelos")
+PLACEMENT = "least-loaded"
+
+# two seeds per scenario: 6 cells per spec, enough independent work for
+# a 4-worker pool to overlap
+SEEDS = (SEED, SEED + 1)
+
+FLEET = (
+    {"id": "fast", "base": "nvidia-k20m"},
+    {"id": "slow", "base": "nvidia-k20m",
+     "clock_scale": 0.5, "cu_scale": 1.0},
+)
+
+REPORT_METRICS = ("antt", "stp", "unfairness", "p99_slowdown")
+
+
+def grid_specs(count, scenarios=None, seeds=SEEDS):
+    """One fleet spec per scenario — together, the full grid."""
+    names = sorted(SCENARIOS) if scenarios is None else list(scenarios)
+    return [
+        ExperimentSpec(scenario=name, schemes=SCHEMES, loads=(LOAD,),
+                       seeds=tuple(seeds), count=count, devices=FLEET,
+                       placements=(PLACEMENT,), metrics=REPORT_METRICS)
+        for name in names
+    ]
+
+
+def run_grid(specs, workers=1, cache=None):
+    """Run every spec; returns ``([ResultSet, ...], wall_seconds)``."""
+    results = []
+    start = time.perf_counter()
+    for spec in specs:
+        results.append(run(spec, workers=workers, cache_dir=cache))
+    return results, time.perf_counter() - start
+
+
+def grid_report(count, workers=WORKERS, cache_dir=None, scenarios=None):
+    """The three-leg sweep: serial, parallel cold cache, warm cache.
+
+    Returns ``(report, timings)`` — timings stay out of the JSON report
+    (they are not deterministic), the verdict booleans go in.
+    """
+    specs = grid_specs(count, scenarios=scenarios)
+    # calibration caches warm before any timed leg, so the serial leg is
+    # not charged for first-touch fills the parallel leg inherits
+    for spec in specs:
+        warm_caches(spec)
+
+    serial_results, serial_secs = run_grid(specs, workers=1)
+
+    store = ResultCache(cache_dir)
+    parallel_results, parallel_secs = run_grid(specs, workers=workers,
+                                               cache=store)
+    parallel_matches = all(
+        a.to_json() == b.to_json()
+        for a, b in zip(serial_results, parallel_results))
+    # against a persisted --cache-dir, the "cold" leg may itself hit
+    # entries from an earlier invocation (that's the resume feature)
+    cold_stores, cold_hits = store.stores, store.hits
+
+    pre_stores, pre_misses = store.stores, store.misses
+    warm_results, warm_secs = run_grid(specs, workers=workers, cache=store)
+    warm_matches = all(
+        a.to_json() == b.to_json()
+        for a, b in zip(serial_results, warm_results))
+    recomputed = store.stores - pre_stores
+
+    cells = sum(spec.cell_count() for spec in specs)
+    cpus = os.cpu_count() or 1
+    speedup = serial_secs / parallel_secs if parallel_secs > 0 else 0.0
+    report = {
+        "count": count,
+        "seeds": list(SEEDS),
+        "load": LOAD,
+        "workers": workers,
+        "schemes": list(SCHEMES),
+        "placement": PLACEMENT,
+        "fleet": list(FLEET),
+        "scenarios": [spec.scenario for spec in specs],
+        "grid_cells": cells,
+        "determinism": {
+            "parallel_matches_serial": bool(parallel_matches),
+            "warm_matches_serial": bool(warm_matches),
+        },
+        "cache": {
+            "cold_stores": cold_stores,
+            "cold_hits": cold_hits,
+            "warm_hits": store.hits - cold_hits,
+            "warm_misses": store.misses - pre_misses,
+            "recomputed": recomputed,
+            "warm_zero_recompute": bool(recomputed == 0),
+        },
+        "results": {
+            spec.scenario: results.to_dict()["cells"]
+            for spec, results in zip(specs, serial_results)
+        },
+    }
+    timings = {
+        "serial_secs": serial_secs,
+        "parallel_secs": parallel_secs,
+        "warm_secs": warm_secs,
+        "speedup": speedup,
+        "cpus": cpus,
+    }
+    return report, timings
+
+
+def check_grid(report, timings, min_speedup=MIN_SPEEDUP):
+    """The CI gate: raise on any broken claim."""
+    determinism = report["determinism"]
+    if not determinism["parallel_matches_serial"]:
+        raise AssertionError(
+            "parallel ResultSet.to_json diverged from the serial leg")
+    if not determinism["warm_matches_serial"]:
+        raise AssertionError(
+            "warm-cache ResultSet.to_json diverged from the serial leg")
+    cache = report["cache"]
+    if cache["cold_stores"] + cache["cold_hits"] != report["grid_cells"]:
+        raise AssertionError(
+            "cold leg covered {} of {} cells ({} stored + {} "
+            "cache hits)".format(
+                cache["cold_stores"] + cache["cold_hits"],
+                report["grid_cells"], cache["cold_stores"],
+                cache["cold_hits"]))
+    if not cache["warm_zero_recompute"]:
+        raise AssertionError(
+            "warm-cache rerun re-simulated {} cells (expected 0)".format(
+                cache["recomputed"]))
+    # the speedup gate only binds where the hardware can express it: a
+    # pool of N workers on fewer than N CPUs time-slices, it cannot win
+    if min_speedup > 0 and timings["cpus"] >= report["workers"]:
+        if timings["speedup"] < min_speedup:
+            raise AssertionError(
+                "parallel leg speedup {:.2f}x below the {:.1f}x floor "
+                "({} workers, {} cpus)".format(
+                    timings["speedup"], min_speedup, report["workers"],
+                    timings["cpus"]))
+
+
+def render(report, timings):
+    rows = [
+        ["serial", 1, "{:.2f}".format(timings["serial_secs"]), "", ""],
+        ["parallel (cold cache)", report["workers"],
+         "{:.2f}".format(timings["parallel_secs"]),
+         "{:.2f}x".format(timings["speedup"]),
+         report["cache"]["cold_stores"]],
+        ["parallel (warm cache)", report["workers"],
+         "{:.2f}".format(timings["warm_secs"]), "",
+         report["cache"]["recomputed"]],
+    ]
+    tables = [format_table(
+        ["leg", "workers", "wall (s)", "speedup", "cells simulated"],
+        rows,
+        title="Grid sweep — {} scenarios x {} schemes x {} seeds, "
+              "count {} ({} cells, {} cpus)".format(
+                  len(report["scenarios"]), len(report["schemes"]),
+                  len(report["seeds"]), report["count"],
+                  report["grid_cells"], timings["cpus"]))]
+    metric_rows = []
+    for scenario in report["scenarios"]:
+        for entry in report["results"][scenario]:
+            cell = entry["cell"]
+            if cell["seed"] != SEEDS[0]:
+                continue
+            metric_rows.append(
+                [scenario, cell["scheme"]]
+                + [entry["metrics"][name] for name in REPORT_METRICS])
+    tables.append(format_table(
+        ["scenario", "scheme", *REPORT_METRICS], metric_rows,
+        title="Grid metrics (seed {})".format(SEEDS[0])))
+    return "\n\n".join(tables)
+
+
+def json_report(report):
+    """Deterministic JSON document (stable key order, plain floats;
+    wall-clock timings excluded by design — see module docstring)."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+# -- pytest entry points (explicit invocation only: bench_* files are
+# -- not collected by the tier-1 run) -----------------------------------------
+
+def test_grid_parallel_and_cache_contracts(emit, tmp_path):
+    report, timings = grid_report(
+        24, cache_dir=tmp_path / "grid-cache",
+        scenarios=("steady", "bursty"))
+    # the tiny pytest grid asserts every contract except the speedup
+    # floor (it needs the full smoke grid and >= `workers` CPUs)
+    check_grid(report, timings, min_speedup=0)
+    emit(render(report, timings))
+
+
+# -- CLI entry point (nightly CI grid trajectory) ------------------------------
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="full-grid sweep: parallel driver + result cache")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized sweep (count {} instead of "
+                             "{})".format(SMOKE_COUNT, FULL_COUNT))
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the machine-readable report here "
+                             "(e.g. BENCH_grid.json)")
+    parser.add_argument("--count", type=int, default=None,
+                        help="requests per stream (overrides "
+                             "--smoke sizing)")
+    parser.add_argument("--workers", type=int, default=WORKERS,
+                        help="pool size for the parallel legs "
+                             "(default {})".format(WORKERS))
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persist the result cache here instead of "
+                             "a throwaway directory (resumable sweeps)")
+    parser.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP,
+                        help="parallel-leg speedup floor when the "
+                             "machine has >= workers CPUs; 0 disables "
+                             "(default {})".format(MIN_SPEEDUP))
+    args = parser.parse_args(argv)
+
+    count = args.count if args.count is not None else \
+        (SMOKE_COUNT if args.smoke else FULL_COUNT)
+    scratch = None
+    if args.cache_dir is None:
+        scratch = tempfile.mkdtemp(prefix="bench_grid_cache_")
+    try:
+        report, timings = grid_report(count, workers=args.workers,
+                                      cache_dir=args.cache_dir or scratch)
+        print(render(report, timings))
+        check_grid(report, timings, min_speedup=args.min_speedup)
+        if args.json:
+            Path(args.json).write_text(json_report(report),
+                                       encoding="utf-8")
+            print("wrote {}".format(args.json))
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

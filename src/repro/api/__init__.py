@@ -19,10 +19,13 @@ This package turns that grid into data:
 * :mod:`repro.api.spec` — :class:`ExperimentSpec`, a frozen, eagerly
   validated description of one experiment grid with exact
   ``to_dict``/``from_dict``/JSON round-tripping.
-* :mod:`repro.api.driver` — ``run(spec)``: routes to single-device or
-  fleet execution, yields incremental ``(cell, result)`` pairs via
-  :func:`iter_runs`, and returns a :class:`ResultSet` with uniform
-  tail/ANTT/STP/unfairness accessors plus ``to_json``.
+* :mod:`repro.api.driver` — ``run(spec, workers=, cache_dir=)``: routes
+  to single-device or fleet execution, yields incremental
+  ``(cell, result)`` pairs via :func:`iter_runs`, and returns a
+  :class:`ResultSet` with uniform tail/ANTT/STP/unfairness accessors
+  plus ``to_json`` — optionally over a process pool (grid-order
+  deterministic merge) and a content-addressed result cache
+  (:mod:`repro.api.cache`).
 * ``python -m repro.api.run spec.json`` — the command-line face of the
   same driver (:mod:`repro.api.run`).
 
@@ -35,7 +38,8 @@ from repro.api.registry import Registry
 from repro.api.kernels import (
     arrival_rate_for_load, base_spec, chunk_for_profile,
     fleet_arrival_rate_for_load, isolated_time, mean_isolated_service,
-    requirements_from_spec, sharing_allocator, transform_chunks)
+    requirements_from_spec, sharing_allocator, transform_chunks,
+    warm_caches)
 from repro.api.devices import (
     DEVICES, build_device, device_from_name, device_names, register_device)
 from repro.api.placements import (
@@ -55,6 +59,7 @@ from repro.api.spec import Cell, DeviceEntry, ExperimentSpec
 from repro.api.results import (METRICS, ResultSet, metric_names,
                                register_metric, unregister_metric)
 
+from repro.api.cache import ResultCache, cell_key
 from repro.api.driver import (build_stream, build_stream_iter,
                               iter_runs, run)
 
@@ -63,6 +68,7 @@ __all__ = [
     "arrival_rate_for_load", "base_spec", "chunk_for_profile",
     "fleet_arrival_rate_for_load", "isolated_time", "mean_isolated_service",
     "requirements_from_spec", "sharing_allocator", "transform_chunks",
+    "warm_caches",
     "DEVICES", "build_device", "device_from_name", "device_names",
     "register_device",
     "PLACEMENTS", "REBALANCERS", "default_policies",
@@ -75,5 +81,6 @@ __all__ = [
     "Cell", "DeviceEntry", "ExperimentSpec",
     "METRICS", "ResultSet", "metric_names", "register_metric",
     "unregister_metric",
+    "ResultCache", "cell_key",
     "build_stream", "build_stream_iter", "iter_runs", "run",
 ]

@@ -1,0 +1,170 @@
+"""Content-addressed on-disk result cache for the experiment driver.
+
+One completed grid cell = one pickle file named by the SHA-256 of a
+canonical JSON *key payload*: the cell's own grid point, the spec fields
+that determine its simulation (:meth:`ExperimentSpec.cell_inputs`), and
+the implementation versions of the registry entries the cell resolves
+(scenario, scheme, placement, re-balancer).  Because every cell is a
+pure function of exactly that payload, an interrupted sweep resumes
+from its completed cells and a repeated run is near-free — and because
+the key is content-addressed, *any* change to an input (a different
+``count``, a derated device, a bumped scheme implementation) lands on a
+different file instead of silently reusing a stale result.
+
+Invalidation rules (what makes a key change):
+
+* any field of the cell (``scheme``/``load``/``seed``/``repetition``/
+  ``placement``) — keyed on the raw ``(seed, repetition)`` pair, never
+  on the derived stream seed (see :func:`cell_key`);
+* any field of :meth:`ExperimentSpec.cell_inputs` (scenario, count,
+  devices incl. derating scales, placement/metrics mode, rebalance,
+  policy, saturate);
+* the module-qualified class name or explicit ``cache_version``
+  attribute of the resolved scenario/scheme/placement/re-balancer
+  (:func:`implementation_version`) — bump ``cache_version`` on a
+  result-changing edit that keeps the name;
+* :data:`CACHE_FORMAT` (the entry layout itself).
+
+Defective entries — truncated pickles, foreign files, key mismatches,
+results whose metric surface no longer computes — are dropped and
+recomputed, never trusted (:meth:`ResultCache.get`).  Writes are atomic
+(same-directory temp file + ``os.replace``), so a killed sweep cannot
+leave a torn entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+
+from repro.api.placements import placement_from_name, rebalancer_from_name
+from repro.api.results import validate_result_surface
+from repro.api.schemes import scheme_from_name
+from repro.workloads.scenarios import scenario as scenario_from_name
+
+# bump when the entry layout changes (every older entry then misses)
+CACHE_FORMAT = 1
+
+
+def implementation_version(obj):
+    """The cache-version token of one registry entry.
+
+    Combines the implementation's identity (module-qualified class or
+    function name — renames and reimplementations invalidate) with an
+    explicit ``cache_version`` attribute (default 1) that authors bump
+    on result-changing edits which keep the name.
+    """
+    target = obj if hasattr(obj, "__qualname__") else type(obj)
+    version = getattr(obj, "cache_version", 1)
+    return "{}.{}#v{}".format(getattr(target, "__module__", "?"),
+                              target.__qualname__, version)
+
+
+def registry_versions(spec, cell):
+    """Version tokens of every registry entry ``cell`` resolves."""
+    versions = {
+        "scenario": implementation_version(
+            scenario_from_name(spec.scenario)),
+        "scheme": implementation_version(scheme_from_name(cell.scheme)),
+    }
+    if cell.placement is not None:
+        versions["placement"] = implementation_version(
+            placement_from_name(cell.placement))
+    if spec.rebalance != "none":
+        versions["rebalancer"] = implementation_version(
+            rebalancer_from_name(spec.rebalance))
+    return versions
+
+
+def cell_key(spec, cell):
+    """``(digest, payload)`` identifying one grid cell's result.
+
+    The payload carries the raw ``(seed, repetition)`` pair — never the
+    derived stream seed: :func:`repro.api.driver.stream_seed` draws
+    32-bit child seeds, so another spec seed's repetition-0 value can
+    collide with a derived seed, and two *different* grid cells must
+    never share a cache slot even while they happen to replay the same
+    stream today (a change to the derivation would then corrupt one of
+    them retroactively).
+    """
+    payload = {
+        "format": CACHE_FORMAT,
+        "cell": cell.to_dict(),
+        "spec": spec.cell_inputs(),
+        "versions": registry_versions(spec, cell),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return digest, payload
+
+
+class ResultCache:
+    """Content-addressed result store: one pickle per completed cell.
+
+    ``get`` returns ``None`` on a miss *or* on any defect — unreadable
+    pickle, key mismatch (foreign or truncated file), or a result that
+    no longer serves the requested metric surface — so a corrupt entry
+    costs one recompute, never a wrong report.  ``put`` is atomic.
+    The counters (``hits``/``misses``/``stores``/``rejected``) feed the
+    grid benchmark's zero-recompute assertion and the resume tests.
+    """
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.rejected = 0
+
+    def path_for(self, digest):
+        return self.directory / "{}.pkl".format(digest)
+
+    def get(self, digest, payload, metrics=()):
+        """The cached result for ``digest``, or ``None`` to recompute."""
+        path = self.path_for(digest)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+            if entry["key"] != payload:
+                raise ValueError("cache key mismatch")
+            result = entry["result"]
+            if not validate_result_surface(result, metrics):
+                raise ValueError("stale result surface")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # defective entry: drop it and recompute
+            self.rejected += 1
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, digest, payload, result):
+        """Atomically store one completed cell's result."""
+        path = self.path_for(digest)
+        # deterministic temp name: the only writer racing us holds the
+        # same digest (= same bytes), and os.replace is atomic either way
+        temp = path.with_name(path.name + ".tmp")
+        with open(temp, "wb") as handle:
+            pickle.dump({"key": payload, "result": result}, handle,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temp, path)
+        self.stores += 1
+
+    def __len__(self):
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+    def __repr__(self):
+        return ("<ResultCache {} ({} hits, {} misses, {} stores)>"
+                .format(self.directory, self.hits, self.misses,
+                        self.stores))

@@ -5,14 +5,34 @@ Routes single-device specs through
 through :class:`~repro.harness.open_system.FleetOpenSystemExperiment`
 (one run per placement policy), generating each stream from the named
 traffic scenario at the calibrated offered load.  :func:`iter_runs`
-yields ``(cell, result)`` pairs as they finish — streaming progress for
-long grids — and :func:`run` collects them into a
+yields ``(cell, result)`` pairs — streaming progress for long grids —
+and :func:`run` collects them into a
 :class:`~repro.api.results.ResultSet`.
 
 Grid order is deterministic: loads x seeds x repetitions x placements x
 schemes, each axis in spec order.  Repetition 0 uses the spec seed
 verbatim (historical streams reproduce bit-for-bit); repetition ``k > 0``
 derives an independent child seed through :func:`repro.util.make_rng`.
+
+Execution backends
+------------------
+
+Every grid cell is a pure function of ``(spec, cell)`` — the
+:class:`_SpecRunner` refactor — so the same grid runs three ways with
+bit-identical ``ResultSet.to_json`` output:
+
+* **serial** (``workers=1``, the default): cells execute in grid order
+  in this process;
+* **parallel** (``workers=N``): cells execute on a process pool and the
+  merge re-emits results *in grid order regardless of completion
+  order*.  Streaming-mode cells regenerate their arrival iterators
+  inside the worker (iterators are single-use and unpicklable).  If the
+  platform cannot provide a process pool, execution silently falls back
+  to serial — same results, no pool;
+* **cached** (``cache_dir=``): completed cells are flushed to a
+  content-addressed :class:`~repro.api.cache.ResultCache` *as they
+  finish*, so an interrupted sweep resumes from its completed cells and
+  a repeated run is near-free.
 
 The harness sits *above* the registries this package defines, so this
 module imports it lazily — ``import repro.api`` never drags the harness
@@ -21,8 +41,9 @@ in, and the harness can import the registries at module top.
 
 from __future__ import annotations
 
+from repro.api.cache import ResultCache, cell_key
 from repro.api.kernels import (arrival_rate_for_load,
-                               fleet_arrival_rate_for_load)
+                               fleet_arrival_rate_for_load, warm_caches)
 from repro.api.devices import build_device
 from repro.api.placements import placement_from_name
 from repro.api.results import ResultSet
@@ -34,7 +55,14 @@ from repro.workloads.scenarios import scenario as scenario_from_name
 
 def stream_seed(seed, repetition):
     """The per-repetition stream seed: repetition 0 is the spec seed
-    itself, later repetitions draw independent child seeds."""
+    itself, later repetitions draw independent child seeds.
+
+    The draw is 32-bit, so a derived seed *can* equal another spec
+    seed's repetition-0 value — two distinct grid cells replaying the
+    same stream.  Anything that identifies a cell (the result cache
+    above all) must therefore key on the raw ``(seed, repetition)``
+    pair, never on this derived value.
+    """
     if repetition == 0:
         return seed
     return int(make_rng("spec-repetition", seed, repetition)
@@ -53,15 +81,18 @@ def _coerce(spec):
         "{!r}".format(type(spec).__name__))
 
 
-def _stream_model(spec, load, device=None, fleet=None):
+def _stream_model(spec, load, device=None, fleet=None,
+                  caller="build_stream"):
     """The spec's scenario model plus its calibrated arrival rate —
     the shared front half of :func:`build_stream` and
-    :func:`build_stream_iter`."""
+    :func:`build_stream_iter` (``caller`` keeps the error text naming
+    the function the user actually called)."""
     spec = _coerce(spec)
     if (device is None) == (fleet is None):
         raise SimulationError(
-            "build_stream needs exactly one calibration target: device= "
-            "for single-device specs, fleet= for fleet specs")
+            "{} needs exactly one calibration target: device= "
+            "for single-device specs, fleet= for fleet specs".format(
+                caller))
     if (fleet is not None) != spec.is_fleet:
         raise SimulationError(
             "calibration target does not match the spec topology: this "
@@ -85,7 +116,8 @@ def build_stream(spec, load, seed, repetition, device=None, fleet=None):
     reproduce exactly the stream ``run(spec)`` would simulate — which
     is why the calibration target is checked: exactly one of ``device``
     (single-device spec) or ``fleet`` (fleet spec) must be given."""
-    spec, model, rate = _stream_model(spec, load, device=device, fleet=fleet)
+    spec, model, rate = _stream_model(spec, load, device=device, fleet=fleet,
+                                      caller="build_stream")
     return model.generate(rate, spec.count,
                           seed=stream_seed(seed, repetition))
 
@@ -96,75 +128,264 @@ def build_stream_iter(spec, load, seed, repetition, device=None, fleet=None):
     bit-for-bit) without materialising it — what streaming-mode
     ``run(spec)`` consumes.  Each call returns a fresh, single-use
     iterator."""
-    spec, model, rate = _stream_model(spec, load, device=device, fleet=fleet)
+    spec, model, rate = _stream_model(spec, load, device=device, fleet=fleet,
+                                      caller="build_stream_iter")
     return model.iter_arrivals(rate, spec.count,
                                seed=stream_seed(seed, repetition))
 
 
-def iter_runs(spec):
-    """Yield ``(cell, result)`` pairs of ``spec``'s grid as they finish."""
-    spec = _coerce(spec)
-    # lazy: the harness imports this package's registries at module top
-    from repro.harness.open_system import (FleetOpenSystemExperiment,
-                                           OpenSystemExperiment)
-    from repro.sim.fleet import DeviceFleet
-
-    if spec.is_fleet:
-        fleet = DeviceFleet([(entry.id, build_device(entry))
-                             for entry in spec.devices])
-        experiment = FleetOpenSystemExperiment(fleet, policy=spec.policy,
-                                               saturate=spec.saturate)
-        streaming = spec.metrics_mode == "streaming"
-        for load in spec.loads:
-            for seed in spec.seeds:
-                for repetition in range(spec.repetitions):
-                    if not streaming:
-                        arrivals = build_stream(spec, load, seed, repetition,
-                                                fleet=fleet)
-                    for placement in spec.placements:
-                        for scheme in spec.schemes:
-                            if streaming:
-                                # iterators are single-use: regenerate the
-                                # (bit-identical) stream for every cell
-                                result = experiment.run_stream(
-                                    build_stream_iter(spec, load, seed,
-                                                      repetition, fleet=fleet),
-                                    scheme, placement_from_name(placement),
-                                    mode=spec.placement_mode,
-                                    rebalance=spec.rebalance)
-                            else:
-                                result = experiment.run(
-                                    arrivals, scheme,
-                                    placement_from_name(placement),
-                                    mode=spec.placement_mode,
-                                    rebalance=spec.rebalance)
-                            yield (Cell(scheme=scheme, load=load, seed=seed,
-                                        repetition=repetition,
-                                        placement=placement), result)
-        return
-
-    device = build_device(spec.devices[0])
-    experiment = OpenSystemExperiment(device, policy=spec.policy,
-                                      saturate=spec.saturate)
-    streaming = spec.metrics_mode == "streaming"
+def _grid_cells(spec):
+    """Every grid cell of ``spec``, in the deterministic grid order."""
+    cells = []
+    placements = spec.placements if spec.is_fleet else (None,)
     for load in spec.loads:
         for seed in spec.seeds:
             for repetition in range(spec.repetitions):
-                if not streaming:
-                    arrivals = build_stream(spec, load, seed, repetition,
-                                            device=device)
-                for scheme in spec.schemes:
-                    if streaming:
-                        result = experiment.run_stream(
-                            build_stream_iter(spec, load, seed, repetition,
-                                              device=device), scheme)
-                    else:
-                        result = experiment.run(arrivals, scheme)
-                    yield (Cell(scheme=scheme, load=load, seed=seed,
-                                repetition=repetition), result)
+                for placement in placements:
+                    for scheme in spec.schemes:
+                        cells.append(Cell(scheme=scheme, load=load,
+                                          seed=seed, repetition=repetition,
+                                          placement=placement))
+    return cells
 
 
-def run(spec):
-    """Run the whole grid; returns a :class:`ResultSet` in grid order."""
+class _SpecRunner:
+    """Executes any one grid cell as a pure function of ``(spec, cell)``.
+
+    The stateless-cell refactor behind both execution backends: the
+    runner owns the built device/fleet and experiment (one per process),
+    and every cell's arrival stream is (re)generated from the cell's
+    ``(load, seed, repetition)``.  Exact-mode cells sharing a stream
+    reuse one materialised copy (a one-slot memo — cells arrive in grid
+    order, where same-stream cells are adjacent); streaming-mode cells
+    always get a fresh iterator, because iterators are single-use and
+    unpicklable, so they *must* be regenerated wherever the cell runs.
+    """
+
+    def __init__(self, spec):
+        # lazy: the harness imports this package's registries at module top
+        from repro.harness.open_system import (FleetOpenSystemExperiment,
+                                               OpenSystemExperiment)
+        from repro.sim.fleet import DeviceFleet
+        self.spec = spec
+        self.streaming = spec.metrics_mode == "streaming"
+        if spec.is_fleet:
+            self.device = None
+            self.fleet = DeviceFleet([(entry.id, build_device(entry))
+                                      for entry in spec.devices])
+            self.experiment = FleetOpenSystemExperiment(
+                self.fleet, policy=spec.policy, saturate=spec.saturate)
+        else:
+            self.device = build_device(spec.devices[0])
+            self.fleet = None
+            self.experiment = OpenSystemExperiment(
+                self.device, policy=spec.policy, saturate=spec.saturate)
+        self._stream_key = None
+        self._stream = None
+
+    def _arrivals(self, cell):
+        key = (cell.load, cell.seed, cell.repetition)
+        if self._stream_key != key:
+            self._stream = build_stream(self.spec, cell.load, cell.seed,
+                                        cell.repetition, device=self.device,
+                                        fleet=self.fleet)
+            self._stream_key = key
+        return self._stream
+
+    def _fresh_iter(self, cell):
+        return build_stream_iter(self.spec, cell.load, cell.seed,
+                                 cell.repetition, device=self.device,
+                                 fleet=self.fleet)
+
+    def run_cell(self, cell):
+        if self.fleet is not None:
+            policy = placement_from_name(cell.placement)
+            if self.streaming:
+                return self.experiment.run_stream(
+                    self._fresh_iter(cell), cell.scheme, policy,
+                    mode=self.spec.placement_mode,
+                    rebalance=self.spec.rebalance)
+            return self.experiment.run(
+                self._arrivals(cell), cell.scheme, policy,
+                mode=self.spec.placement_mode,
+                rebalance=self.spec.rebalance)
+        if self.streaming:
+            return self.experiment.run_stream(self._fresh_iter(cell),
+                                              cell.scheme)
+        return self.experiment.run(self._arrivals(cell), cell.scheme)
+
+
+# -- process-pool plumbing ------------------------------------------------
+
+# one runner per worker process, built by the pool initializer
+_WORKER_RUNNER = None
+
+
+def _init_worker(spec_json):
+    """Pool initializer: rebuild the spec's runner and warm the kernel
+    caches.  Under the ``fork`` start method the worker inherits the
+    parent's already-warm caches, so this is near-free; under ``spawn``
+    it does the real warm-up exactly once per process instead of once
+    per cell."""
+    global _WORKER_RUNNER
+    spec = ExperimentSpec.from_json(spec_json)
+    warm_caches(spec)
+    _WORKER_RUNNER = _SpecRunner(spec)
+
+
+def _run_cell_task(cell_fields):
+    """The picklable work unit: one grid cell, by its plain-data form."""
+    return _WORKER_RUNNER.run_cell(Cell(**cell_fields))
+
+
+def _make_pool(spec, max_workers):
+    """A process pool primed for ``spec``'s cells, or ``None`` when the
+    platform cannot provide one (the caller then falls back to serial —
+    same results, no pool)."""
+    # warm the parent's kernel caches before forking: fork-started
+    # workers inherit them, so their own warm-up call is a no-op
+    warm_caches(spec)
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        return ProcessPoolExecutor(max_workers=max_workers,
+                                   initializer=_init_worker,
+                                   initargs=(spec.to_json(),))
+    except (ImportError, NotImplementedError, OSError, PermissionError,
+            ValueError):
+        return None
+
+
+def _store_on_completion(store, digest, payload):
+    """A done-callback flushing one finished cell to the cache — the
+    flush happens when the *worker* finishes, not when the merge reaches
+    the cell, so an interrupted parallel sweep keeps every completed
+    result."""
+    def flush(future):
+        if future.cancelled() or future.exception() is not None:
+            return
+        store.put(digest, payload, future.result())
+    return flush
+
+
+def _merge_parallel(executor, cells, cached, pending, keys, store):
+    """Submit every pending cell, then re-emit results in grid order
+    regardless of completion order — the deterministic merge."""
+    futures = {}
+    try:
+        for index in pending:
+            future = executor.submit(_run_cell_task,
+                                     cells[index].to_dict())
+            if store is not None:
+                digest, payload = keys[index]
+                future.add_done_callback(
+                    _store_on_completion(store, digest, payload))
+            futures[index] = future
+        for index, cell in enumerate(cells):
+            if index in cached:
+                yield (cell, cached[index])
+            else:
+                yield (cell, futures[index].result())
+    finally:
+        # wait=True joins the pool's manager thread, which is what runs
+        # the done-callbacks — without it the last cells' cache flushes
+        # could still be in flight when the caller reads the counters
+        executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _open_cache(cache_dir, cache):
+    if not cache or cache_dir is None:
+        return None
+    if isinstance(cache_dir, ResultCache):
+        return cache_dir
+    return ResultCache(cache_dir)
+
+
+def _worker_count(workers):
+    if workers is None:
+        workers = 1
+    if not isinstance(workers, int) or isinstance(workers, bool) \
+            or workers < 1:
+        raise SimulationError(
+            "workers must be a positive integer, got {!r}".format(workers))
+    return workers
+
+
+def iter_runs(spec, workers=1, cache_dir=None, cache=True):
+    """Yield ``(cell, result)`` pairs of ``spec``'s grid, in grid order.
+
+    ``workers > 1`` executes cache-miss cells on a process pool; the
+    merge re-emits results in grid order, so the output — and
+    ``ResultSet.to_json`` built from it — is bit-identical to the
+    serial path.  ``cache_dir`` (a directory path or a
+    :class:`~repro.api.cache.ResultCache`) enables the content-addressed
+    result cache; ``cache=False`` disables lookups and stores even when
+    a directory is given.
+    """
     spec = _coerce(spec)
-    return ResultSet(spec, iter_runs(spec))
+    workers = _worker_count(workers)
+    cells = _grid_cells(spec)
+    store = _open_cache(cache_dir, cache)
+
+    keys = None
+    cached = {}
+    if store is not None:
+        keys = [cell_key(spec, cell) for cell in cells]
+        for index in range(len(cells)):
+            digest, payload = keys[index]
+            hit = store.get(digest, payload, metrics=spec.metrics)
+            if hit is not None:
+                cached[index] = hit
+    pending = [i for i in range(len(cells)) if i not in cached]
+
+    if workers > 1 and len(pending) > 1:
+        executor = _make_pool(spec, min(workers, len(pending)))
+        if executor is not None:
+            yield from _merge_parallel(executor, cells, cached, pending,
+                                       keys, store)
+            return
+        # no usable process pool on this platform: run serially instead
+
+    runner = None
+    for index, cell in enumerate(cells):
+        if index in cached:
+            yield (cell, cached[index])
+            continue
+        if runner is None:
+            runner = _SpecRunner(spec)
+        result = runner.run_cell(cell)
+        if store is not None:
+            digest, payload = keys[index]
+            store.put(digest, payload, result)
+        yield (cell, result)
+
+
+def _progress_note(spec, completed, store):
+    note = ("experiment grid aborted after {}/{} cells".format(
+        completed, spec.cell_count()))
+    if store is not None:
+        note += ("; completed cells are cached under {} — re-running "
+                 "with the same cache_dir resumes from them".format(
+                     store.directory))
+    return note
+
+
+def run(spec, workers=1, cache_dir=None, cache=True):
+    """Run the whole grid; returns a :class:`ResultSet` in grid order.
+
+    ``workers``/``cache_dir``/``cache`` pass through to
+    :func:`iter_runs` (parallel execution, content-addressed result
+    cache).  Completed cells are flushed to the cache *as they finish*,
+    and a mid-grid failure re-raises with a note recording how far the
+    sweep got — nothing already computed is lost.
+    """
+    spec = _coerce(spec)
+    store = _open_cache(cache_dir, cache)
+    pairs = []
+    try:
+        for pair in iter_runs(spec, workers=workers, cache_dir=store,
+                              cache=cache):
+            pairs.append(pair)
+    except BaseException as exc:
+        exc.add_note(_progress_note(spec, len(pairs), store))
+        raise
+    return ResultSet(spec, pairs)

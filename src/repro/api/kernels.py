@@ -96,6 +96,44 @@ def isolated_time(name, device):
     return value
 
 
+def warm_caches(spec=None, devices=None, names=None, policy=None):
+    """Pre-populate the module-level calibration caches.
+
+    The parallel driver's per-process warm-up: under a ``spawn`` start
+    method a worker process begins with empty ``_spec_cache``/
+    ``_iso_cache``/``_chunk_cache`` (under ``fork`` it inherits whatever
+    the parent warmed), and every fill that happens lazily inside a cell
+    would otherwise repeat per process.  Given a ``spec``, warms exactly
+    what its grid touches: the scenario mix's kernel specs, their §6.4
+    chunks under the spec's policy, and the isolated time of every
+    (kernel, device) pair.  Without a spec, warms the explicit
+    ``names``/``devices``/``policy`` (defaults: whole corpus, no
+    devices, adaptive).  Returns the cache sizes after warming.
+    """
+    if spec is not None:
+        # lazy: devices/scenarios sit above this calibration layer
+        from repro.api.devices import build_device
+        from repro.workloads.scenarios import scenario
+        if devices is None:
+            devices = [build_device(entry) for entry in spec.devices]
+        if names is None:
+            names = list(scenario(spec.scenario).mix_weights())
+        if policy is None:
+            policy = spec.policy
+    if names is None:
+        names = list(PROFILE_NAMES)
+    if policy is None:
+        policy = SchedulingPolicy.ADAPTIVE
+    for name in names:
+        base_spec(name)
+        chunk_for_profile(profile_by_name(name), policy)
+    for device in devices or ():
+        for name in names:
+            isolated_time(name, device)
+    return {"specs": len(_spec_cache), "isolated": len(_iso_cache),
+            "chunks": len(_chunk_cache)}
+
+
 def requirements_from_spec(spec):
     """The §3 inputs of one simulator spec (resource demands per WG)."""
     return KernelRequirements(

@@ -60,6 +60,23 @@ def metric_value(name: str, result: object) -> float:
     return float(METRICS.from_name(name)(result))
 
 
+def validate_result_surface(result: object,
+                            metrics: Sequence[str]) -> bool:
+    """True when every named metric is computable from ``result``.
+
+    The cached-result round-trip guard: a pickle written by an older
+    result class — or a truncated/foreign file that still unpickles —
+    is rejected here and recomputed, instead of failing mid-report long
+    after the cache hit.
+    """
+    try:
+        for name in metrics:
+            metric_value(name, result)
+    except Exception:
+        return False
+    return True
+
+
 register_metric("antt", lambda r: r.antt)
 register_metric("stp", lambda r: r.stp)
 register_metric("unfairness", lambda r: r.unfairness)

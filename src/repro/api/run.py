@@ -35,9 +35,9 @@ class _CallableCLIModule(types.ModuleType):
     attribute from the driver function to this module; delegating calls
     keeps ``repro.api.run(spec)`` working either way."""
 
-    def __call__(self, spec):
+    def __call__(self, spec, **kwargs):
         from repro.api.driver import run as _run
-        return _run(spec)
+        return _run(spec, **kwargs)
 
 
 if __name__ != "__main__":
@@ -55,6 +55,17 @@ def main(argv=None):
                              "same spec => bit-identical bytes)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the progress lines and metric table")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="process-pool size for grid cells (default 1 "
+                             "= serial; results are bit-identical either "
+                             "way)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-addressed result cache: completed "
+                             "cells are flushed here as they finish, and "
+                             "re-runs (or interrupted sweeps) reuse them")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir (force every cell to "
+                             "recompute)")
     args = parser.parse_args(argv)
 
     spec = ExperimentSpec.from_json(
@@ -62,7 +73,9 @@ def main(argv=None):
 
     cells = []
     total = spec.cell_count()
-    for cell, result in iter_runs(spec):
+    for cell, result in iter_runs(spec, workers=args.workers,
+                                  cache_dir=args.cache_dir,
+                                  cache=not args.no_cache):
         cells.append((cell, result))
         if not args.quiet:
             print("[{}/{}] {}".format(len(cells), total, cell.to_dict()),

@@ -309,6 +309,29 @@ class ExperimentSpec:
         return (len(self.loads) * len(self.seeds) * self.repetitions
                 * per_stream)
 
+    def cell_inputs(self) -> Dict[str, Any]:
+        """The spec fields that determine one grid cell's *simulation* —
+        the spec half of the result-cache key
+        (:func:`repro.api.cache.cell_key`).
+
+        ``metrics`` is deliberately excluded: it selects what a report
+        prints, not what a cell computes, so two specs differing only in
+        metric selection share cache entries.  The grid axes
+        (``schemes``/``loads``/``seeds``/``repetitions``/``placements``)
+        are excluded too — the cell itself carries its own point on
+        each axis.
+        """
+        return {
+            "scenario": self.scenario,
+            "count": self.count,
+            "devices": [e.to_dict() for e in self.devices],
+            "placement_mode": self.placement_mode,
+            "rebalance": self.rebalance,
+            "metrics_mode": self.metrics_mode,
+            "policy": self.policy,
+            "saturate": self.saturate,
+        }
+
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:

@@ -29,6 +29,12 @@ D106     ``list``/``tuple``/``sorted`` materialisation of an arrival
          stream inside ``src/repro/sim`` — the streaming plane's memory
          bound holds only while arrivals stay lazy end to end; consume
          them incrementally (``for``/``next``) instead
+D107     process identity (``os.getpid``, ``threading.get_ident``,
+         ``multiprocessing.current_process`` ...) or the salted builtin
+         ``hash()`` in the driver plane (``src/repro/api``) — cell hashes
+         and the parallel merge must derive only from spec fields and
+         registry versions, never from which worker ran the cell; cache
+         keys go through ``hashlib`` over canonical JSON
 =======  ====================================================================
 """
 
@@ -276,7 +282,46 @@ class ArrivalMaterializationChecker(Checker):
                         "instead".format(node.func.id, name))
 
 
+# values that identify the executing process/thread: meaningless across
+# a worker pool, so they must never reach a cell hash or the merge order
+POOL_IDENTITY = {
+    "os.getpid", "os.getppid", "os.getpgid", "os.getsid",
+    "multiprocessing.current_process", "threading.get_ident",
+    "threading.get_native_id", "threading.current_thread",
+}
+
+
+class PoolEntropyChecker(Checker):
+    name = "pool-entropy"
+    codes = ("D107",)
+    description = ("process identity / salted builtin hash() in the "
+                   "driver plane (cell-hash inputs)")
+    roots = ("src/repro/api",)
+
+    def run(self, ctx):
+        for pyfile in ctx.python_files(*self.roots):
+            aliases = import_map(pyfile.tree)
+            for node in ast.walk(pyfile.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func, aliases)
+                if name in POOL_IDENTITY:
+                    yield Finding(
+                        pyfile.relpath, node.lineno, "D107",
+                        "{}() is process-local; cell hashes and the "
+                        "parallel merge must derive only from spec "
+                        "fields and registry versions".format(name))
+                elif isinstance(node.func, ast.Name) and \
+                        node.func.id == "hash":
+                    yield Finding(
+                        pyfile.relpath, node.lineno, "D107",
+                        "builtin hash() is salted per interpreter "
+                        "(PYTHONHASHSEED) and differs across pool "
+                        "workers; content-address cache keys with "
+                        "hashlib over canonical JSON instead")
+
+
 DETERMINISM_CHECKERS = (
     UnseededRandomChecker, WallClockChecker, UnsortedSetIterationChecker,
     IdOrderingChecker, FloatTimeEqualityChecker,
-    ArrivalMaterializationChecker)
+    ArrivalMaterializationChecker, PoolEntropyChecker)

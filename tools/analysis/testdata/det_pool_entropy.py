@@ -1,0 +1,20 @@
+# Seeded-violation fixture for the D107 pool-entropy checker: process
+# identity and salted hash() must never reach cell hashes or the merge.
+import hashlib
+import json
+import os
+import threading
+from multiprocessing import current_process
+
+
+def bad_cell_key(cell):
+    worker = os.getpid()  # EXPECT[D107]
+    lane = threading.get_ident()  # EXPECT[D107]
+    name = current_process().name  # EXPECT[D107]
+    digest = hash((cell, worker))  # EXPECT[D107]
+    return digest, lane, name
+
+
+def good_cell_key(payload):
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
