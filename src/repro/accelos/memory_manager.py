@@ -21,12 +21,31 @@ class MemoryManager:
     def __init__(self, context):
         self.context = context
         self.per_app = OrderedDict()   # app_id -> [Buffer]
-        self.paused = deque()          # (app_id, elem_type, count, tag, future)
+        # (app_id, elem_type, count, tag, provenance, future)
+        self.paused = deque()
 
     # -- queries ------------------------------------------------------------
 
     def app_usage(self, app_id):
         return sum(b.size_bytes for b in self.per_app.get(app_id, []))
+
+    def usage_by_provenance(self):
+        """Resident bytes per attribution tenant label, sorted.
+
+        Buffers allocated without a provenance bill to the
+        :data:`~repro.attribution.UNTENANTED` bucket, so the totals sum
+        to the full resident footprint (the ledger's conservation
+        property at the allocator layer).
+        """
+        from repro.attribution import tenant_label
+        usage = {}
+        for buffers in self.per_app.values():
+            for buffer in buffers:
+                provenance = getattr(buffer.region, "provenance", None)
+                label = tenant_label(
+                    provenance.tenant if provenance is not None else None)
+                usage[label] = usage.get(label, 0) + buffer.size_bytes
+        return {label: usage[label] for label in sorted(usage)}
 
     def paused_apps(self):
         return [entry[0] for entry in self.paused]
@@ -36,18 +55,22 @@ class MemoryManager:
 
     # -- allocation ----------------------------------------------------------
 
-    def allocate(self, app_id, elem_type, count, tag=""):
-        """Allocate a buffer for ``app_id``.
+    def allocate(self, app_id, elem_type, count, tag="", provenance=None):
+        """Allocate a buffer for ``app_id``, billed to ``provenance``.
 
         Returns the buffer, or ``None`` when the application had to be
         paused (its request will be served once memory frees up; poll with
-        :meth:`claim`).
+        :meth:`claim`).  The provenance survives the pause: a retried
+        allocation is billed to the original requester, not whoever
+        released the memory that unblocked it.
         """
         try:
-            buffer = self.context.create_buffer(elem_type, count, tag)
+            buffer = self.context.create_buffer(elem_type, count, tag,
+                                                provenance=provenance)
         except DeviceOutOfMemory:
             future = _PendingAllocation()
-            self.paused.append((app_id, elem_type, count, tag, future))
+            self.paused.append((app_id, elem_type, count, tag, provenance,
+                                future))
             return None
         self.per_app.setdefault(app_id, []).append(buffer)
         return buffer
@@ -78,9 +101,10 @@ class MemoryManager:
         made_progress = True
         while made_progress and self.paused:
             made_progress = False
-            app_id, elem_type, count, tag, future = self.paused[0]
+            app_id, elem_type, count, tag, provenance, future = self.paused[0]
             try:
-                buffer = self.context.create_buffer(elem_type, count, tag)
+                buffer = self.context.create_buffer(elem_type, count, tag,
+                                                    provenance=provenance)
             except DeviceOutOfMemory:
                 return
             self.paused.popleft()

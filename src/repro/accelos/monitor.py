@@ -47,15 +47,38 @@ class ApplicationMonitor:
         self.exec_handler = exec_handler
         self.state = MonitorState.IDLE
         self.transitions = []  # (state_from, request_kind, state_to) log
+        # app_id -> {request kind -> count}; the monitor sees every
+        # request, so these are the per-application work totals the
+        # attribution ledger's accounts are cross-checked against
+        self.counters = {}
 
     def handle(self, request):
         """Dispatch one request; returns the handler's result."""
+        per_app = self.counters.setdefault(request.app_id, {})
+        per_app[request.kind] = per_app.get(request.kind, 0) + 1
         if request.kind == Request.PROGRAM:
             return self._dispatch(MonitorState.JIT, request, self.jit_handler)
         if request.kind == Request.KERNEL_EXEC:
             return self._dispatch(MonitorState.SCHEDULER, request,
                                   self.exec_handler)
         return self._dispatch(MonitorState.PASSTHROUGH, request, None)
+
+    def work_totals(self):
+        """Per-application request counts, deterministically ordered.
+
+        ``{app_id: {kind: count}}`` with both levels sorted (app ids by
+        ``str``, kinds lexicographically) — the accessor every consumer
+        must use instead of iterating :attr:`counters` raw.
+        """
+        return {
+            app_id: {kind: self.counters[app_id][kind]
+                     for kind in sorted(self.counters[app_id])}
+            for app_id in sorted(self.counters, key=str)
+        }
+
+    def kernel_execs(self, app_id):
+        """Kernel-execution requests seen from ``app_id`` so far."""
+        return self.counters.get(app_id, {}).get(Request.KERNEL_EXEC, 0)
 
     def _dispatch(self, state, request, handler):
         self.transitions.append((self.state, request.kind, state))

@@ -22,13 +22,13 @@ class ProxyCLContext:
         self.app_id = app_id
         self.device = runtime.context.device
 
-    def create_buffer(self, elem_type, count, tag=""):
+    def create_buffer(self, elem_type, count, tag="", provenance=None):
         request = Request(Request.OTHER,
                           ("create_buffer", elem_type, count, tag),
                           self.app_id)
         self.runtime.monitor.handle(request)
         buffer = self.runtime.memory.allocate(self.app_id, elem_type, count,
-                                              tag)
+                                              tag, provenance=provenance)
         if buffer is None:
             raise CLError(
                 "application {} paused: device memory exhausted".format(

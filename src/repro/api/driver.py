@@ -197,22 +197,35 @@ class _SpecRunner:
                                  cell.repetition, device=self.device,
                                  fleet=self.fleet)
 
+    def _ledger(self):
+        """A fresh attribution ledger per cell (attributed specs only):
+        the ledger is stateful event-consuming accounting, so sharing one
+        across cells would bleed tenants between grid points."""
+        if not self.spec.attribution:
+            return None
+        from repro.attribution import AttributionLedger
+        ids = self.fleet.ids if self.fleet is not None \
+            else [self.device.name]
+        return AttributionLedger(ids)
+
     def run_cell(self, cell):
+        ledger = self._ledger()
         if self.fleet is not None:
             policy = placement_from_name(cell.placement)
             if self.streaming:
                 return self.experiment.run_stream(
                     self._fresh_iter(cell), cell.scheme, policy,
                     mode=self.spec.placement_mode,
-                    rebalance=self.spec.rebalance)
+                    rebalance=self.spec.rebalance, ledger=ledger)
             return self.experiment.run(
                 self._arrivals(cell), cell.scheme, policy,
                 mode=self.spec.placement_mode,
-                rebalance=self.spec.rebalance)
+                rebalance=self.spec.rebalance, ledger=ledger)
         if self.streaming:
             return self.experiment.run_stream(self._fresh_iter(cell),
-                                              cell.scheme)
-        return self.experiment.run(self._arrivals(cell), cell.scheme)
+                                              cell.scheme, ledger=ledger)
+        return self.experiment.run(self._arrivals(cell), cell.scheme,
+                                   ledger=ledger)
 
 
 # -- process-pool plumbing ------------------------------------------------

@@ -92,6 +92,21 @@ register_metric("max_over_mean_slowdown",
                 lambda r: r.slowdown_tails.max_over_mean)
 register_metric("p99_queueing_delay", lambda r: r.queueing_tails.p99)
 
+# attribution-plane metrics: scalar reductions of the fairness audit a
+# ledger-attached run carries as ``result.attribution`` (the full
+# victim x aggressor matrix renders via harness.report.attribution_table).
+# Specs selecting these must set ``attribution: true`` — a result from a
+# default run has no attribution report and the extractor raises.
+ATTRIBUTION_METRICS = ("tenant_occupancy", "induced_delay_matrix",
+                       "attribution_summary")
+
+register_metric("tenant_occupancy",
+                lambda r: r.attribution.tenant_occupancy)
+register_metric("induced_delay_matrix",
+                lambda r: r.attribution.max_cross_tenant_induced_p99)
+register_metric("attribution_summary",
+                lambda r: r.attribution.cross_tenant_induced_share)
+
 
 class ResultSet:
     """All ``(cell, result)`` pairs of one spec run, in grid order."""

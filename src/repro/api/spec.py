@@ -22,7 +22,7 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Union
 from repro.api.devices import DEVICES
 from repro.api.placements import (PLACEMENTS, REBALANCERS,
                                   is_online_placement)
-from repro.api.results import METRICS
+from repro.api.results import ATTRIBUTION_METRICS, METRICS
 from repro.api.schemes import BUILTIN_SCHEMES, SCHEMES
 from repro.accelos.adaptive import SchedulingPolicy
 from repro.errors import SimulationError
@@ -162,6 +162,15 @@ class ExperimentSpec:
     percentile metrics are P² estimates.  Streaming consumes arrivals
     incrementally, so it requires the closed loop (``placement_mode``
     ``"auto"`` or ``"online"``).
+
+    ``attribution`` attaches a per-tenant accounting ledger
+    (:class:`repro.attribution.AttributionLedger`) to every cell: each
+    result gains an ``attribution`` fairness-audit report and the
+    attribution metrics (``tenant_occupancy``, ``induced_delay_matrix``,
+    ``attribution_summary``) become selectable.  Off by default — an
+    unattributed run takes exactly the historical code paths, so its
+    results stay bit-identical.  Attribution needs the closed loop's
+    event timeline (``placement_mode`` ``"auto"`` or ``"online"``).
     """
 
     scenario: str = "steady"
@@ -179,6 +188,7 @@ class ExperimentSpec:
     metrics_mode: str = "exact"
     policy: str = SchedulingPolicy.ADAPTIVE
     saturate: bool = True
+    attribution: bool = False
 
     def __post_init__(self) -> None:
         _known(self.scenario, tuple(sorted(SCENARIOS)), "scenario")
@@ -297,6 +307,20 @@ class ExperimentSpec:
         _require(isinstance(self.saturate, bool),
                  "saturate must be a boolean, got {!r}".format(self.saturate))
 
+        _require(isinstance(self.attribution, bool),
+                 "attribution must be a boolean, got {!r}".format(
+                     self.attribution))
+        if self.attribution:
+            _require(self.placement_mode != "offline",
+                     "attribution needs the closed loop's event timeline; "
+                     "use placement_mode 'auto' or 'online'")
+        else:
+            selected = [n for n in metrics if n in ATTRIBUTION_METRICS]
+            _require(not selected,
+                     "metric {!r} needs the attribution plane; set "
+                     "attribution: true".format(
+                         selected[0] if selected else None))
+
     # -- derived shape -------------------------------------------------------
 
     @property
@@ -330,6 +354,10 @@ class ExperimentSpec:
             "metrics_mode": self.metrics_mode,
             "policy": self.policy,
             "saturate": self.saturate,
+            # attribution changes what a cell *computes* (results carry
+            # the audit report), so attributed and plain runs must not
+            # share cache entries
+            "attribution": self.attribution,
         }
 
     # -- serialization -------------------------------------------------------
@@ -351,6 +379,7 @@ class ExperimentSpec:
             "metrics_mode": self.metrics_mode,
             "policy": self.policy,
             "saturate": self.saturate,
+            "attribution": self.attribution,
         }
 
     @classmethod

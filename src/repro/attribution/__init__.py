@@ -1,0 +1,26 @@
+"""Per-tenant attribution plane: provenance tags, accounting, audits.
+
+Three layers (see ``docs/ATTRIBUTION.md``):
+
+* :mod:`repro.attribution.provenance` — the identity value type
+  (:class:`Provenance`) threaded through interpreter buffers
+  (:class:`repro.interp.memory.MemoryRegion`), the accelOS memory
+  manager and kernel launch stats.
+* :mod:`repro.attribution.footprint` — per-kernel resident-byte
+  footprints derived from the functional plane's real argument sets.
+* :mod:`repro.attribution.ledger` — the streaming event consumer that
+  turns placements, migrations and completions into per-tenant
+  occupancy, induced-delay and migration-cost accounts
+  (:class:`AttributionLedger`) and freezes them into the fairness-audit
+  report (:class:`AttributionReport`).
+"""
+
+from repro.attribution.footprint import FootprintFn, kernel_footprint_bytes
+from repro.attribution.ledger import AttributionLedger, AttributionReport
+from repro.attribution.provenance import (
+    UNTENANTED, Provenance, tenant_label)
+
+__all__ = [
+    "AttributionLedger", "AttributionReport", "FootprintFn",
+    "Provenance", "UNTENANTED", "kernel_footprint_bytes", "tenant_label",
+]

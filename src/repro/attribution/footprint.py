@@ -1,0 +1,49 @@
+"""Per-kernel device-buffer footprints, from the functional plane.
+
+The timing simulator deals in :class:`~repro.sim.spec.KernelExecSpec`
+objects — work-group counts and costs, no buffers — so the attribution
+ledger needs an independent, deterministic answer to "how many bytes
+does one request of kernel X keep resident?".  The functional plane
+already knows: :mod:`repro.workloads.datasets` builds a real argument
+set per corpus kernel (the arrays the equivalence suite uploads through
+:func:`repro.interp.memory.alloc_buffer`), and the sum of those buffer
+sizes is the kernel's device footprint.
+
+Footprints are memoised per kernel name — dataset builders allocate
+real numpy arrays, so they run once, not once per arrival — and the
+builder draws from :func:`repro.util.make_rng` with a fixed seed, so
+the byte counts are a pure function of the kernel name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+# name -> bytes, filled on first use (builders allocate real arrays)
+_FOOTPRINTS: Dict[str, int] = {}
+
+FootprintFn = Callable[[str], int]
+
+
+def kernel_footprint_bytes(name: str) -> int:
+    """Device-buffer bytes one request of corpus kernel ``name`` keeps
+    resident (sum of its functional instance's in/out buffer sizes).
+
+    Deterministic: the instance is built from a fixed seed, so the same
+    name always yields the same byte count.  Unknown names raise
+    ``KeyError`` listing nothing — callers validate names upstream
+    (arrival generators only emit registered profile names).
+    """
+    cached = _FOOTPRINTS.get(name)
+    if cached is not None:
+        return cached
+    # lazy: dataset builders import numpy workloads; the attribution
+    # package stays importable without touching them until first use
+    from repro.workloads.datasets import build_instance
+    instance = build_instance(name, seed=0)
+    total = 0
+    for kind, value in instance.args:
+        if kind in ("in", "out"):
+            total += int(value.nbytes)
+    _FOOTPRINTS[name] = total
+    return total

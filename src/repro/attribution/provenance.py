@@ -1,0 +1,74 @@
+"""Provenance labels: who a buffer or kernel launch belongs to.
+
+The attribution plane threads one small value type from arrival to
+buffer to kernel step: a :class:`Provenance` names the tenant the work
+is billed to, optionally refined by a session id (one application's
+connection to the runtime) and a request id (one arrival in an
+open-system stream).  Interpreter memory
+(:class:`repro.interp.memory.MemoryRegion`), the accelOS memory manager
+and :class:`repro.interp.executor.LaunchStats` all carry an optional
+provenance, so device-memory occupancy and executed work are
+attributable without changing any untagged call site.
+
+Tenants are plain strings; an arrival without a tenant (``tenant is
+None``) is billed to the reserved :data:`UNTENANTED` label, so every
+byte and every second lands in exactly one bucket — the ledger's
+conservation invariant needs a total assignment, not a partial one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+# the bucket untagged work is billed to (arrivals with tenant=None)
+UNTENANTED = "untenanted"
+
+
+def tenant_label(tenant: Optional[Any]) -> str:
+    """The ledger bucket of one tenant id (:data:`UNTENANTED` for None).
+
+    Non-string tenant ids are coerced to ``str`` so ledger buckets stay
+    mutually comparable (sorted iteration over mixed id types).
+    """
+    return str(tenant) if tenant is not None else UNTENANTED
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """One attribution identity: tenant, optional session, optional
+    request id.
+
+    Frozen and hashable, so it can key per-provenance aggregates and ride
+    inside ``__slots__`` classes without lifecycle concerns.  Ordering is
+    lexicographic over ``(label, session, request)``, giving every
+    sorted-iteration site a deterministic order even for mixed
+    None/str/int fields.
+    """
+
+    tenant: Optional[str] = None
+    session: Optional[str] = None
+    request: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        """The tenant bucket this provenance bills to."""
+        return tenant_label(self.tenant)
+
+    def sort_key(self) -> tuple[str, str, int]:
+        """Deterministic total order over provenances."""
+        return (self.label, self.session or "",
+                self.request if self.request is not None else -1)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-ready)."""
+        return {"tenant": self.tenant, "session": self.session,
+                "request": self.request}
+
+    def __repr__(self) -> str:
+        parts = [self.label]
+        if self.session is not None:
+            parts.append("session={}".format(self.session))
+        if self.request is not None:
+            parts.append("request={}".format(self.request))
+        return "<Provenance {}>".format(" ".join(parts))

@@ -17,8 +17,8 @@ class Context:
         self.device = device
         self.allocator = DeviceAllocator(device.global_mem_bytes)
 
-    def create_buffer(self, elem_type, count, tag=""):
-        return Buffer(self, elem_type, count, tag)
+    def create_buffer(self, elem_type, count, tag="", provenance=None):
+        return Buffer(self, elem_type, count, tag, provenance=provenance)
 
     def create_program(self, source):
         from repro.cl.program import Program

@@ -23,7 +23,7 @@ class DeviceAllocator:
         self.used_bytes = 0
         self.live = {}
 
-    def allocate(self, size_bytes, tag=""):
+    def allocate(self, size_bytes, tag="", provenance=None):
         size_bytes = int(size_bytes)
         if size_bytes <= 0:
             raise CLError("buffer size must be positive")
@@ -31,7 +31,8 @@ class DeviceAllocator:
             raise DeviceOutOfMemory(
                 "requested {}B with {}B free".format(
                     size_bytes, self.capacity_bytes - self.used_bytes))
-        region = MemoryRegion(size_bytes, T.GLOBAL, tag)
+        region = MemoryRegion(size_bytes, T.GLOBAL, tag,
+                              provenance=provenance)
         self.used_bytes += size_bytes
         self.live[id(region)] = size_bytes
         return region
@@ -50,13 +51,14 @@ class DeviceAllocator:
 class Buffer:
     """A device buffer (``cl_mem``) of ``count`` elements of ``elem_type``."""
 
-    def __init__(self, context, elem_type, count, tag=""):
+    def __init__(self, context, elem_type, count, tag="", provenance=None):
         from repro.interp.memory import scalar_size
         self.context = context
         self.elem_type = elem_type
         self.count = int(count)
         self.size_bytes = self.count * scalar_size(elem_type)
-        self.region = context.allocator.allocate(self.size_bytes, tag)
+        self.region = context.allocator.allocate(self.size_bytes, tag,
+                                                 provenance=provenance)
         self.released = False
 
     def pointer(self):

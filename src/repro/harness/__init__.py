@@ -9,7 +9,8 @@ Scheme and placement dispatch go through the registries in
 from repro.harness.experiment import (
     SCHEMES, WorkloadResult, isolated_time, run_single_kernel, run_workload)
 from repro.harness.sweep import SweepSummary, run_sweep, summarize
-from repro.harness.report import TAIL_HEADERS, format_table, tail_cells
+from repro.harness.report import (TAIL_HEADERS, attribution_table,
+                                  format_table, tail_cells)
 from repro.harness.open_system import (
     FleetOpenSystemExperiment, FleetOpenSystemResult,
     OpenSystemExperiment, OpenSystemResult, RequestRecord,
@@ -19,7 +20,7 @@ from repro.harness.open_system import (
 __all__ = [
     "SCHEMES", "WorkloadResult", "isolated_time", "run_single_kernel",
     "run_workload", "SweepSummary", "run_sweep", "summarize", "format_table",
-    "TAIL_HEADERS", "tail_cells",
+    "TAIL_HEADERS", "attribution_table", "tail_cells",
     "OpenSystemExperiment", "OpenSystemResult", "RequestRecord",
     "FleetOpenSystemExperiment", "FleetOpenSystemResult",
     "arrival_rate_for_load", "fleet_arrival_rate_for_load",

@@ -143,13 +143,75 @@ class OpenSystemExperiment:
 
     # -- public ------------------------------------------------------------
 
-    def run(self, arrivals, scheme):
+    def run(self, arrivals, scheme, ledger=None):
         """Simulate ``arrivals`` (a list of :class:`ArrivalRequest`) under
         ``scheme`` (a registered name or scheme object); returns an
-        :class:`OpenSystemResult` with records in submission order."""
+        :class:`OpenSystemResult` with records in submission order.
+
+        With a ``ledger`` (:class:`repro.attribution.AttributionLedger`)
+        the run is driven through the harvesting session loop — identical
+        timings, but completions surface as events the ledger can
+        consume — and the result gains an ``attribution`` report.
+        """
         scheme_obj = scheme_from_name(scheme)
+        if ledger is not None:
+            records = self._attributed_records(arrivals, scheme_obj,
+                                               ledger)
+            result = OpenSystemResult(scheme_obj.name, self.device.name,
+                                      records)
+            result.attribution = ledger.report()
+            return result
         records = self.scheme_records(arrivals, scheme_obj)
         return OpenSystemResult(scheme_obj.name, self.device.name, records)
+
+    def _attributed_records(self, arrivals, scheme_obj, ledger):
+        """Exact-path records via the harvesting session loop, with every
+        submit/finish mirrored into ``ledger`` in event order (the eager
+        ``open_records`` path computes identical timings but never
+        surfaces per-completion events)."""
+        if not arrivals:
+            raise SimulationError("empty arrival stream")
+        if not scheme_obj.supports_open_session:
+            raise SimulationError(
+                "scheme {!r} has no open_session, so its runs cannot be "
+                "attributed".format(scheme_obj.name))
+        session = scheme_obj.open_session(self.device, policy=self.policy,
+                                          saturate=self.saturate)
+        records = [None] * len(arrivals)
+        pending = {}
+        order = sorted(range(len(arrivals)),
+                       key=lambda i: (arrivals[i].time, i))
+        for i in order:
+            arrival = arrivals[i]
+            while True:
+                next_time = session.peek()
+                if next_time is None or next_time >= arrival.time:
+                    break
+                session.step()
+            self._drain_attributed(session, pending, records, ledger)
+            session.submit(i, arrival, arrival.time)
+            ledger.submit(i, arrival.name, arrival.tenant, 0, arrival.time,
+                          isolated_time(arrival.name, self.device))
+            pending[i] = arrival
+        while session.peek() is not None:
+            session.step()
+        self._drain_attributed(session, pending, records, ledger)
+        if pending:
+            raise SimulationError(
+                "{} requests never finished on {} (conservation "
+                "violated)".format(len(pending), self.device.name))
+        return records
+
+    def _drain_attributed(self, session, pending, records, ledger):
+        for key, start, finish in session.harvest():
+            arrival = pending.pop(key)
+            ledger.finish(key, start, finish)
+            record = RequestRecord(
+                arrival.name, arrival.time, start, finish,
+                isolated_time(arrival.name, self.device),
+                tenant=arrival.tenant)
+            ledger.observe_record(record)
+            records[key] = record
 
     def scheme_records(self, arrivals, scheme):
         """Per-request records of one scheme over one stream (the building
@@ -161,14 +223,18 @@ class OpenSystemExperiment:
             arrivals, self.device, policy=self.policy,
             saturate=self.saturate)
 
-    def run_stream(self, arrivals, scheme, sink_factory=None):
+    def run_stream(self, arrivals, scheme, sink_factory=None, ledger=None):
         """Streaming :meth:`run`: consume a *lazy* time-ordered arrival
         iterator incrementally, accumulate metrics in a record sink and
         never retain the stream — bounded memory at any request count.
 
         The scheme must support ``open_session`` (with ``harvest()``).
         Returns an :class:`OpenSystemResult` built
-        :meth:`~OpenSystemResult.from_sink` (``records is None``).
+        :meth:`~OpenSystemResult.from_sink` (``records is None``).  With
+        a ``ledger`` the sink forwards every completed record to it, the
+        submit/finish events feed its accounts, and the result gains an
+        ``attribution`` report — still bounded memory (the ledger is
+        O(#tenants·#devices)).
         """
         scheme_obj = scheme_from_name(scheme)
         if not scheme_obj.supports_open_session:
@@ -179,6 +245,8 @@ class OpenSystemExperiment:
         session = scheme_obj.open_session(self.device, policy=self.policy,
                                           saturate=self.saturate)
         sink = (sink_factory or StreamingRecordSink)()
+        if ledger is not None and hasattr(sink, "attach_attribution"):
+            sink.attach_attribution(ledger.observe_record)
         pending = {}                    # key -> arrival, outstanding only
         position = 0
         last_time = None
@@ -195,25 +263,34 @@ class OpenSystemExperiment:
                 if next_time is None or next_time >= arrival.time:
                     break
                 session.step()
-            self._harvest_into(session, pending, sink)
+            self._harvest_into(session, pending, sink, ledger)
             session.submit(position, arrival, arrival.time)
+            if ledger is not None:
+                ledger.submit(position, arrival.name, arrival.tenant, 0,
+                              arrival.time,
+                              isolated_time(arrival.name, self.device))
             pending[position] = arrival
             position += 1
         if position == 0:
             raise SimulationError("empty arrival stream")
         while session.peek() is not None:
             session.step()
-        self._harvest_into(session, pending, sink)
+        self._harvest_into(session, pending, sink, ledger)
         if pending:
             raise SimulationError(
                 "{} requests never finished on {} (conservation "
                 "violated)".format(len(pending), self.device.name))
-        return OpenSystemResult.from_sink(scheme_obj.name,
-                                          self.device.name, sink)
+        result = OpenSystemResult.from_sink(scheme_obj.name,
+                                            self.device.name, sink)
+        if ledger is not None:
+            result.attribution = ledger.report()
+        return result
 
-    def _harvest_into(self, session, pending, sink):
+    def _harvest_into(self, session, pending, sink, ledger=None):
         for key, start, finish in session.harvest():
             arrival = pending.pop(key)
+            if ledger is not None:
+                ledger.finish(key, start, finish)
             sink.observe(RequestRecord(
                 arrival.name, arrival.time, start, finish,
                 isolated_time(arrival.name, self.device),
@@ -370,12 +447,17 @@ class FleetOpenSystemExperiment:
 
     # -- simulation --------------------------------------------------------
 
-    def run(self, arrivals, scheme, placement, mode="auto", rebalance=None):
+    def run(self, arrivals, scheme, placement, mode="auto", rebalance=None,
+            ledger=None):
         """One scheme over one stream under one placement policy.
 
         ``placement`` is a registered name or a policy instance (offline
         or online protocol); ``mode`` and ``rebalance`` are described on
-        the class.
+        the class.  With a ``ledger``
+        (:class:`repro.attribution.AttributionLedger`) the closed loop
+        feeds it placement/migration/completion events and the result
+        gains an ``attribution`` report; the offline pre-pass has no
+        event timeline to attribute, so it rejects a ledger.
         """
         if not arrivals:
             raise SimulationError("empty arrival stream")
@@ -392,6 +474,10 @@ class FleetOpenSystemExperiment:
         if mode == "offline" or (mode == "auto"
                                  and not is_online
                                  and not scheme_obj.supports_open_session):
+            if ledger is not None:
+                raise SimulationError(
+                    "attribution needs the closed loop's event timeline; "
+                    "offline placement cannot be attributed")
             if is_online:
                 raise SimulationError(
                     "placement {!r} is closed-loop-only; drop "
@@ -405,7 +491,7 @@ class FleetOpenSystemExperiment:
 
         policy = self._loop_policy(scheme_obj, policy, is_online, mode,
                                    rebalance)
-        return self._run_loop(arrivals, scheme_obj, policy)
+        return self._run_loop(arrivals, scheme_obj, policy, ledger=ledger)
 
     def _loop_policy(self, scheme_obj, policy, is_online, mode, rebalance):
         """Wrap/validate a placement policy for the closed loop (shared
@@ -430,7 +516,7 @@ class FleetOpenSystemExperiment:
         return policy
 
     def run_stream(self, arrivals, scheme, placement, mode="auto",
-                   rebalance=None, sink_factory=None):
+                   rebalance=None, sink_factory=None, ledger=None):
         """Streaming :meth:`run`: consume a lazy time-ordered arrival
         iterator through the closed loop in bounded memory.
 
@@ -439,7 +525,11 @@ class FleetOpenSystemExperiment:
         requests drain into per-device record sinks as they finish.
         Returns a :class:`FleetOpenSystemResult` built
         :meth:`~FleetOpenSystemResult.from_sinks` (``records`` and
-        ``decisions`` are ``None``).
+        ``decisions`` are ``None``).  With a ``ledger`` the loop feeds
+        it placement/migration/completion events, the *overall* sink
+        forwards completed records (per-device sinks do not — one
+        observation per record), and the result gains an
+        ``attribution`` report.
         """
         if mode not in ("auto", "online"):
             raise SimulationError(
@@ -458,9 +548,11 @@ class FleetOpenSystemExperiment:
             for member in self.fleet
         ]
         simulator = FleetSimulator(self.fleet, sessions, policy,
-                                   estimator=isolated_time)
+                                   estimator=isolated_time, ledger=ledger)
         factory = sink_factory or StreamingRecordSink
         overall = factory()
+        if ledger is not None and hasattr(overall, "attach_attribution"):
+            overall.attach_attribution(ledger.observe_record)
         device_sinks = {device_id: factory()
                         for device_id in self.fleet.ids}
         migrated = [0]
@@ -477,28 +569,59 @@ class FleetOpenSystemExperiment:
                 migrated[0] += 1
 
         simulator.run_stream(arrivals, on_record)
-        return FleetOpenSystemResult.from_sinks(
+        result = FleetOpenSystemResult.from_sinks(
             scheme_obj.name, policy.name, self.fleet, overall,
             device_sinks, migrations=migrated[0],
             rebalances=len(simulator.migrations))
+        if ledger is not None:
+            result.attribution = ledger.report()
+        return result
 
-    def _run_loop(self, arrivals, scheme_obj, policy):
-        """The closed-loop path: one merged timeline over all devices."""
+    def _run_loop(self, arrivals, scheme_obj, policy, ledger=None):
+        """The closed-loop path: one merged timeline over all devices.
+
+        With a ``ledger`` the loop runs through the harvesting streaming
+        machinery over the same (sorted) stream — identical placements
+        and timings, but completions surface as the per-event stream the
+        ledger consumes — and the result is rebuilt in submission order
+        with an ``attribution`` report attached.
+        """
         sessions = [
             scheme_obj.open_session(member.device, policy=self.policy,
                                     saturate=self.saturate)
             for member in self.fleet
         ]
         simulator = FleetSimulator(self.fleet, sessions, policy,
-                                   estimator=isolated_time)
-        placed = simulator.run(arrivals)
-        timings = [session.results() for session in sessions]
+                                   estimator=isolated_time, ledger=ledger)
+        if ledger is None:
+            placed = simulator.run(arrivals)
+            timings = [session.results() for session in sessions]
+            timing_of = [timings[placed[i].index][i]
+                         for i in range(len(arrivals))]
+        else:
+            # same (time, index) order run() uses; stream positions map
+            # back to original positions through it
+            order = sorted(range(len(arrivals)),
+                           key=lambda i: (arrivals[i].time, i))
+            placed = [None] * len(arrivals)
+            timing_of = [None] * len(arrivals)
+
+            def on_harvest(entry, start, finish):
+                original = order[entry.position]
+                placed[original] = entry
+                timing_of[original] = (start, finish)
+                ledger.observe_record(RequestRecord(
+                    entry.arrival.name, entry.arrival.time, start, finish,
+                    self.reference_isolated(entry.arrival.name),
+                    tenant=entry.arrival.tenant))
+
+            simulator.run_stream((arrivals[i] for i in order), on_harvest)
         all_records = [None] * len(arrivals)
         records_by_device = {device_id: [] for device_id in self.fleet.ids}
         decisions = []
         for position, arrival in enumerate(arrivals):
             entry = placed[position]
-            start, finish = timings[entry.index][position]
+            start, finish = timing_of[position]
             record = RequestRecord(
                 arrival.name, arrival.time, start, finish,
                 self.reference_isolated(arrival.name),
@@ -507,10 +630,13 @@ class FleetOpenSystemExperiment:
             records_by_device[self.fleet[entry.index].id].append(record)
             decisions.append(PlacementDecision(
                 arrival, entry.index, entry.penalty, entry.pinned))
-        return FleetOpenSystemResult(
+        result = FleetOpenSystemResult(
             scheme_obj.name, policy.name, self.fleet, records_by_device,
             all_records, decisions,
             rebalances=len(simulator.migrations))
+        if ledger is not None:
+            result.attribution = ledger.report()
+        return result
 
     def _run_offline(self, arrivals, scheme_obj, policy):
         """The legacy pre-pass path: place the whole stream against the

@@ -41,3 +41,33 @@ def _cell(value):
             return "{:.1f}".format(value)
         return "{:.2f}".format(value)
     return str(value)
+
+
+def attribution_table(report, title=None):
+    """The fairness audit of one
+    :class:`repro.attribution.AttributionReport` as an aligned table.
+
+    One row per victim tenant, one ``<-aggressor`` column per tenant:
+    each cell is the p99 (in milliseconds, over the victim's requests)
+    of the queueing delay that aggressor induced on that victim — the
+    diagonal is self-induced.  The trailing columns add the tenant's
+    occupancy share (fraction of total byte·seconds) and the total
+    migration cost charged to it, so "who hogged memory" and "whose
+    bursts made others wait" read off one table.
+    """
+    headers = (["victim"]
+               + ["<-{} p99 ms".format(t) for t in report.tenants]
+               + ["occupancy", "migration s"])
+    rows = []
+    for victim in report.tenants:
+        rows.append(
+            [victim]
+            + [report.induced_p99[victim][aggressor] * 1e3
+               for aggressor in report.tenants]
+            + [report.occupancy_share[victim],
+               report.migration_costs[victim]])
+    if title is None:
+        title = ("Fairness audit: tenant->tenant induced p99 delay "
+                 "({} requests, {} devices)".format(report.requests,
+                                                    len(report.devices)))
+    return format_table(headers, rows, title=title)

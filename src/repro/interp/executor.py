@@ -36,17 +36,31 @@ class LaunchStats:
 
     ``instructions_per_group`` feeds timing calibration: the timing simulator
     can consume real dynamic instruction counts for small launches.
+    ``provenance`` optionally names the tenant/session/request the launch
+    is billed to (:class:`repro.attribution.Provenance`), so executed
+    work-groups and atomic/step counts are attributable per tenant.
     """
 
-    def __init__(self):
+    def __init__(self, provenance=None):
         self.instructions = 0
         self.instructions_per_group = {}
         self.barriers = 0
         self.atomic_ops = 0
+        self.provenance = provenance
 
     def record_group(self, group_id, executed):
         self.instructions_per_group[group_id] = executed
         self.instructions += executed
+
+    def groups(self):
+        """Recorded ``(group_id, executed)`` pairs in sorted group order.
+
+        Group ids are (x, y, z) tuples; launch iteration order is an
+        implementation detail of the executor, so any consumer that
+        iterates recorded groups (the attribution ledger, calibration)
+        must use this deterministic order, not raw dict order.
+        """
+        return sorted(self.instructions_per_group.items())
 
 
 class _WorkItemFrame:
@@ -90,12 +104,14 @@ class KernelLauncher:
 
     # -- public API ------------------------------------------------------------
 
-    def launch(self, kernel_name, args, global_size, local_size):
+    def launch(self, kernel_name, args, global_size, local_size,
+               provenance=None):
         """Run ``kernel_name`` over the ND-range; returns :class:`LaunchStats`.
 
         ``args`` follow OpenCL ``clSetKernelArg`` conventions: scalar Python
         values, :class:`Pointer` for buffers, or :class:`LocalArg` for
-        local-memory sizes.
+        local-memory sizes.  ``provenance`` tags the returned stats with
+        the launching request's attribution identity.
         """
         kernel = self.module.get(kernel_name)
         if not kernel.is_kernel:
@@ -114,7 +130,7 @@ class KernelLauncher:
             raise InterpError("kernel {} expects {} arguments, got {}".format(
                 kernel_name, len(kernel.arguments), len(args)))
 
-        stats = LaunchStats()
+        stats = LaunchStats(provenance=provenance)
         self._launch_geometry = (global_size, local_size, num_groups, work_dim)
         # itertools.product iterates the last axis fastest; build the product
         # as (z, y, x) and reverse each tuple so x varies fastest.

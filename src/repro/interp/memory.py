@@ -38,15 +38,22 @@ class MemoryRegion:
     """A contiguous allocation in some address space.
 
     ``kind`` is ``raw`` (scalar data, reinterpretable) or ``object`` (slots
-    holding Python values such as fat pointers).
+    holding Python values such as fat pointers).  ``provenance`` optionally
+    names the tenant/session/request the allocation is billed to
+    (:class:`repro.attribution.Provenance`); it rides through
+    reinterpreting casts and typed views untouched, since those alias the
+    same bytes.
     """
 
-    __slots__ = ("name", "space", "kind", "data", "_views", "size_bytes")
+    __slots__ = ("name", "space", "kind", "data", "_views", "size_bytes",
+                 "provenance")
 
-    def __init__(self, size_bytes, space, name="", kind="raw", object_slots=0):
+    def __init__(self, size_bytes, space, name="", kind="raw", object_slots=0,
+                 provenance=None):
         self.name = name
         self.space = space
         self.kind = kind
+        self.provenance = provenance
         if kind == "raw":
             self.data = np.zeros(int(size_bytes), dtype=np.uint8)
             self.size_bytes = int(size_bytes)
@@ -174,7 +181,9 @@ class LocalArg:
         return "LocalArg({}B)".format(self.size_bytes)
 
 
-def alloc_buffer(ty, count, space=T.GLOBAL, name=""):
-    """Allocate a region of ``count`` elements of scalar type ``ty``."""
-    region = MemoryRegion(count * scalar_size(ty), space, name)
+def alloc_buffer(ty, count, space=T.GLOBAL, name="", provenance=None):
+    """Allocate a region of ``count`` elements of scalar type ``ty``,
+    optionally billed to ``provenance``."""
+    region = MemoryRegion(count * scalar_size(ty), space, name,
+                          provenance=provenance)
     return Pointer(region, ty, 0)

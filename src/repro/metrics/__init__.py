@@ -9,7 +9,8 @@ Sketches: bounded-memory streaming twins (P2 quantiles, online stats).
 """
 
 from repro.metrics.fairness import (
-    individual_slowdowns, system_unfairness, fairness_improvement)
+    individual_slowdowns, system_unfairness, fairness_improvement,
+    safe_share)
 from repro.metrics.throughput import throughput_speedup, stp
 from repro.metrics.antt import antt, worst_antt
 from repro.metrics.overlap import execution_overlap
@@ -22,6 +23,7 @@ from repro.metrics.sketches import (
 
 __all__ = [
     "individual_slowdowns", "system_unfairness", "fairness_improvement",
+    "safe_share",
     "throughput_speedup", "stp", "antt", "worst_antt", "execution_overlap",
     "TailSummary", "percentile", "tail_summary", "per_tenant_tails",
     "request_tails",

@@ -6,7 +6,23 @@ down equally relative to running in isolation.
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence
+
+
+def safe_share(part: float, whole: float) -> float:
+    """``part / whole`` as a share, 0.0 whenever the denominator is
+    degenerate (zero, negative, NaN or infinite).
+
+    Attribution decompositions routinely hit empty denominators — a
+    single-request run has zero total ahead-of-me work, a zero-work
+    tenant has zero byte·seconds — and a share of *nothing* is zero,
+    not a ``ZeroDivisionError`` or a NaN that poisons every downstream
+    aggregate.
+    """
+    if whole <= 0.0 or math.isnan(whole) or math.isinf(whole):
+        return 0.0
+    return part / whole
 
 
 def individual_slowdowns(shared_times: Sequence[float],

@@ -312,7 +312,7 @@ class FleetSimulator:
     ``t`` (matching the arrival-first tie rule inside each device).
     """
 
-    def __init__(self, fleet, sessions, policy, estimator):
+    def __init__(self, fleet, sessions, policy, estimator, ledger=None):
         if len(sessions) != len(fleet):
             raise SimulationError(
                 "need one device session per fleet member ({} != {})"
@@ -324,6 +324,12 @@ class FleetSimulator:
         self._cost_cache = {}
         self._rebalance_enabled = True
         self.migrations = []            # executed MigrationOrders
+        # optional repro.attribution.AttributionLedger: fed placement,
+        # migration and completion events as they happen.  Completions
+        # only reach it through the harvest path, so attributed runs must
+        # go through run_stream (the harness routes attributed exact runs
+        # through the same loop over a materialised stream).
+        self.ledger = ledger
 
     # -- estimator memoisation ---------------------------------------------
 
@@ -444,6 +450,9 @@ class FleetSimulator:
         self.policy.placed(arrival, index, penalty,
                            self._cost(arrival.name, index))
         self.sessions[index].submit(key, arrival, arrival.time + penalty)
+        if self.ledger is not None:
+            self.ledger.submit(key, arrival.name, arrival.tenant, index,
+                               arrival.time, self._cost(arrival.name, index))
         return PlacedRequest(key, arrival, index, penalty, pinned)
 
     def _harvest_finished(self, on_record):
@@ -453,6 +462,8 @@ class FleetSimulator:
         for session in self.sessions:
             for key, start, finish in session.harvest():
                 entry = self._placed.pop(key)
+                if self.ledger is not None:
+                    self.ledger.finish(key, start, finish)
                 on_record(entry, start, finish)
 
     def _advance_before(self, time):
@@ -519,3 +530,7 @@ class FleetSimulator:
             entry.penalty += migration.penalty
             entry.migrated += 1
             self.migrations.append(migration)
+            if self.ledger is not None:
+                self.ledger.migrate(migration.key, migration.source,
+                                    migration.target, now,
+                                    migration.penalty)

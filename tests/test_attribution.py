@@ -1,0 +1,341 @@
+"""Unit tests for the attribution plane: provenance tags, the kernel
+footprint oracle, and the accounting ledger's decomposition/conservation
+semantics (docs/ATTRIBUTION.md)."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.accelos.memory_manager import MemoryManager
+from repro.attribution import (AttributionLedger, Provenance, UNTENANTED,
+                               kernel_footprint_bytes, tenant_label)
+from repro.cl import Context, nvidia_k20m
+from repro.errors import SimulationError
+from repro.interp.executor import LaunchStats
+from repro.interp.memory import alloc_buffer
+from repro.kernelc import types as T
+from repro.metrics import safe_share
+
+FOOTPRINT = 100
+
+
+def ledger(devices=("d",)):
+    """A ledger with a constant footprint: occupancy math by hand."""
+    return AttributionLedger(list(devices), footprint=lambda name: FOOTPRINT)
+
+
+# -- safe_share (the zero-denominator guard) ------------------------------
+
+
+def test_safe_share_guards_zero_denominator():
+    assert safe_share(0.0, 0.0) == 0.0
+    assert safe_share(1.0, 0.0) == 0.0
+    assert safe_share(1.0, -2.0) == 0.0
+    assert safe_share(1.0, float("nan")) == 0.0
+    assert safe_share(1.0, float("inf")) == 0.0
+    assert safe_share(1.0, 4.0) == 0.25
+
+
+def test_single_request_audit_has_no_nans():
+    """One request, no one ahead of it: every share is 0 or 1, never
+    NaN (the single-request denominator regression)."""
+    led = ledger()
+    led.submit("r", "k", "solo", 0, 0.0, 1.0)
+    led.finish("r", 0.0, 1.0)
+    report = led.report()
+    assert report.occupancy_share == {"solo": 1.0}
+    assert report.tenant_occupancy == 1.0
+    assert report.cross_tenant_induced_share == 0.0
+    assert report.max_cross_tenant_induced_p99 == 0.0
+    # the whole report serialises to finite JSON (NaN would throw here)
+    json.dumps(report.to_dict(), allow_nan=False)
+
+
+def test_zero_work_tenant_gets_zero_shares():
+    """A tenant whose run carries no time at all (zero-duration request
+    at t=0) produces 0-shares, not ZeroDivisionError/NaN."""
+    led = ledger()
+    led.submit("r", "k", "idle", 0, 0.0, 0.0)
+    led.finish("r", 0.0, 0.0)
+    report = led.report()
+    assert report.makespan == 0.0
+    assert report.occupancy_share == {"idle": 0.0}
+    assert report.work["idle"]["queueing_seconds"] == 0.0
+    json.dumps(report.to_dict(), allow_nan=False)
+
+
+# -- the ahead-of-me delay decomposition ----------------------------------
+
+
+def test_delay_charged_to_tenant_ahead():
+    led = ledger()
+    led.submit("a1", "k", "A", 0, 0.0, 2.0)
+    led.submit("b1", "k", "B", 0, 1.0, 2.0)    # waits behind A's 2s
+    led.finish("a1", 0.0, 2.0)                 # no delay, empty snapshot
+    led.finish("b1", 2.0, 4.0)                 # 1s queueing delay
+    report = led.report()
+    assert report.induced_total["B"]["A"] == pytest.approx(1.0)
+    assert report.induced_total["B"]["B"] == 0.0
+    assert report.induced_total["A"]["A"] == 0.0
+    assert report.aggressor_ranking()[0] == ("A", pytest.approx(1.0))
+
+
+def test_delay_split_proportional_to_outstanding_work():
+    led = ledger()
+    led.submit("a1", "k", "A", 0, 0.0, 3.0)
+    led.submit("b1", "k", "B", 0, 0.0, 1.0)
+    led.submit("c1", "k", "C", 0, 0.5, 1.0)    # behind A(3s) + B(1s)
+    led.finish("a1", 0.0, 3.0)
+    led.finish("b1", 3.0, 4.0)
+    led.finish("c1", 4.5, 5.5)                 # 4s delay, split 3:1
+    report = led.report()
+    assert report.induced_total["C"]["A"] == pytest.approx(3.0)
+    assert report.induced_total["C"]["B"] == pytest.approx(1.0)
+    assert report.induced_total["C"]["C"] == 0.0
+
+
+def test_empty_snapshot_self_charges():
+    """Delay with nobody ahead (e.g. scheduling overhead) stays on the
+    victim's own diagonal instead of vanishing."""
+    led = ledger()
+    led.submit("a1", "k", "A", 0, 0.0, 1.0)
+    led.finish("a1", 0.5, 1.5)                 # 0.5s delay, empty snapshot
+    report = led.report()
+    assert report.induced_total["A"]["A"] == pytest.approx(0.5)
+    assert report.cross_tenant_induced_share == 0.0
+
+
+# -- occupancy conservation -----------------------------------------------
+
+
+def test_byte_seconds_integral_is_exact():
+    led = ledger()
+    led.submit("a1", "k", "A", 0, 0.0, 2.0)    # resident 0.0 -> 2.0
+    led.submit("b1", "k", "B", 0, 1.0, 2.0)    # resident 1.0 -> 4.0
+    led.finish("a1", 0.0, 2.0)
+    led.finish("b1", 2.0, 4.0)
+    report = led.report()
+    cells = report.occupancy["d"]
+    assert cells["A"]["byte_seconds"] == pytest.approx(FOOTPRINT * 2.0)
+    assert cells["B"]["byte_seconds"] == pytest.approx(FOOTPRINT * 3.0)
+    assert cells["A"]["peak_bytes"] == FOOTPRINT
+    assert cells["A"]["resident_bytes"] == 0.0   # everything released
+    assert report.occupancy_share["B"] == pytest.approx(0.6)
+
+
+def test_resident_bytes_conserved_at_every_event():
+    led = ledger(("d0", "d1"))
+    led.submit("a1", "k", "A", 0, 0.0, 1.0)
+    led.submit("b1", "k", "B", 0, 0.0, 1.0)
+    assert led.resident_by_tenant(0) == {"A": FOOTPRINT, "B": FOOTPRINT}
+    assert led.total_resident(0) == 2 * FOOTPRINT
+    led.finish("a1", 0.0, 1.0)
+    assert led.resident_by_tenant(0) == {"A": 0, "B": FOOTPRINT}
+    assert led.total_resident(0) == FOOTPRINT
+    led.finish("b1", 1.0, 2.0)
+    assert led.total_resident(0) == 0
+
+
+def test_conservation_violation_raises():
+    led = ledger()
+    with pytest.raises(SimulationError, match="conservation"):
+        led._add_bytes(0, "A", -1)
+
+
+def test_event_contract_violations_raise():
+    led = ledger()
+    led.submit("r", "k", "A", 0, 0.0, 1.0)
+    with pytest.raises(SimulationError, match="twice"):
+        led.submit("r", "k", "A", 0, 0.0, 1.0)
+    with pytest.raises(SimulationError, match="unknown"):
+        led.finish("ghost", 0.0, 1.0)
+    with pytest.raises(SimulationError, match="migrate unknown"):
+        led.migrate("ghost", 0, 0, 0.0, 0.1)
+    with pytest.raises(SimulationError, match="outstanding"):
+        led.report()
+
+
+def test_ledger_needs_a_device():
+    with pytest.raises(SimulationError, match="at least one device"):
+        AttributionLedger([])
+
+
+# -- migration charging ---------------------------------------------------
+
+
+def test_migration_charged_to_dominant_source_tenant():
+    led = ledger(("d0", "d1"))
+    led.submit("a1", "k", "A", 0, 0.0, 5.0)
+    led.submit("a2", "k", "A", 0, 0.0, 5.0)
+    led.submit("b1", "k", "B", 0, 0.0, 1.0)
+    led.migrate("b1", 0, 1, 1.0, 0.25)
+    # the migrant's bytes moved with it
+    assert led.resident_by_tenant(0) == {"A": 2 * FOOTPRINT, "B": 0}
+    assert led.resident_by_tenant(1) == {"B": FOOTPRINT}
+    led.finish("a1", 0.0, 5.0)
+    led.finish("a2", 5.0, 10.0)
+    led.finish("b1", 10.0, 11.0)
+    report = led.report()
+    # A's 10s of backlog triggered the move: A pays, nobody else does
+    assert report.migration_costs == {"A": 0.25, "B": 0.0}
+    assert report.migrations == 1
+
+
+def test_migration_tie_breaks_lexicographically():
+    led = ledger(("d0", "d1"))
+    led.submit("c1", "k", "C", 0, 0.0, 5.0)
+    led.submit("a1", "k", "A", 0, 0.0, 5.0)
+    led.submit("b1", "k", "B", 0, 0.0, 1.0)
+    led.migrate("b1", 0, 1, 1.0, 0.5)
+    led.finish("a1", 0.0, 5.0)
+    led.finish("c1", 5.0, 10.0)
+    led.finish("b1", 10.0, 11.0)
+    assert led.report().migration_costs == {"A": 0.5, "B": 0.0, "C": 0.0}
+
+
+def test_lone_migrant_charges_itself():
+    led = ledger(("d0", "d1"))
+    led.submit("b1", "k", "B", 0, 0.0, 1.0)
+    led.migrate("b1", 0, 1, 0.5, 0.125)
+    led.finish("b1", 1.0, 2.0)
+    assert led.report().migration_costs == {"B": 0.125}
+
+
+def test_migration_folds_target_backlog_into_snapshot():
+    """After the move the migrant also waits behind the target device's
+    outstanding work — its delay decomposition must see both."""
+    led = ledger(("d0", "d1"))
+    led.submit("a1", "k", "A", 0, 0.0, 4.0)    # source backlog
+    led.submit("c1", "k", "C", 1, 0.0, 4.0)    # target backlog
+    led.submit("b1", "k", "B", 0, 1.0, 1.0)    # behind A on d0
+    led.migrate("b1", 0, 1, 2.0, 0.0)          # now also behind C
+    led.finish("a1", 0.0, 4.0)
+    led.finish("c1", 0.0, 4.0)
+    led.finish("b1", 5.0, 6.0)                 # 4s delay, split A:C = 1:1
+    report = led.report()
+    assert report.induced_total["B"]["A"] == pytest.approx(2.0)
+    assert report.induced_total["B"]["C"] == pytest.approx(2.0)
+    assert report.induced_total["B"]["B"] == 0.0
+
+
+# -- the frozen report ----------------------------------------------------
+
+
+def full_report():
+    led = ledger(("d0", "d1"))
+    led.submit("a1", "k", "A", 0, 0.0, 2.0)
+    led.submit("b1", "k", "B", 0, 1.0, 2.0)
+    led.submit("c1", "k", "C", 1, 1.0, 1.0)
+    led.migrate("b1", 0, 1, 1.5, 0.25)
+    led.finish("a1", 0.0, 2.0)
+    led.finish("c1", 1.0, 2.0)
+    led.finish("b1", 2.5, 4.5)
+    return led.report()
+
+
+def test_report_pickles_and_serialises():
+    report = full_report()
+    clone = pickle.loads(pickle.dumps(report))
+    assert clone.to_dict() == report.to_dict()
+    parsed = json.loads(json.dumps(report.to_dict(), sort_keys=True))
+    assert parsed["requests"] == 3
+    assert parsed["migrations"] == 1
+
+
+def test_report_scalars_match_matrix():
+    report = full_report()
+    cross = max(report.induced_p99[v][a]
+                for v in report.tenants for a in report.tenants if v != a)
+    assert report.max_cross_tenant_induced_p99 == cross
+    assert report.tenant_occupancy == max(report.occupancy_share.values())
+    assert sum(report.occupancy_share.values()) == pytest.approx(1.0)
+
+
+def test_state_cells_bounded_by_tenants_and_devices():
+    """The memory-bound witness: cells depend on #tenants/#devices, not
+    on how many requests streamed through."""
+    led = ledger(("d0", "d1"))
+    sizes = []
+    for batch in range(4):
+        for i in range(8):
+            key = (batch, i)
+            tenant = "t{}".format(i % 2)
+            led.submit(key, "k", tenant, i % 2, float(batch), 1.0)
+            led.finish(key, float(batch), batch + 1.0)
+        sizes.append(led.state_cells())
+    # after the first batch every (tenant, device) cell exists: steady
+    assert sizes[1:] == [sizes[0]] * 3
+
+
+# -- provenance tags ------------------------------------------------------
+
+
+def test_tenant_label_defaults_untenanted():
+    assert tenant_label(None) == UNTENANTED
+    assert tenant_label("batch") == "batch"
+    assert tenant_label(7) == "7"
+
+
+def test_provenance_is_frozen_and_sortable():
+    p = Provenance("batch", session="s0", request=3)
+    assert p.label == "batch"
+    assert p.as_dict() == {"tenant": "batch", "session": "s0",
+                           "request": 3}
+    with pytest.raises(AttributeError):
+        p.tenant = "other"
+    tags = [Provenance("b"), Provenance("a", request=1), Provenance("a")]
+    ordered = sorted(tags, key=lambda t: t.sort_key())
+    assert [t.tenant for t in ordered] == ["a", "a", "b"]
+
+
+def test_provenance_threads_through_interp_allocations():
+    p = Provenance("batch")
+    pointer = alloc_buffer(T.FLOAT, 16, provenance=p)
+    assert pointer.region.provenance is p
+    assert alloc_buffer(T.FLOAT, 16).region.provenance is None
+
+
+def test_provenance_survives_memory_manager_pause():
+    """A paused allocation must keep its tag: when memory pressure
+    clears, the retried buffer still bills the original tenant."""
+    device = nvidia_k20m()
+    context = Context(device)
+    manager = MemoryManager(context)
+    cap = device.global_mem_bytes
+    first = manager.allocate("app0", T.FLOAT, cap // 4 - 1024, "big",
+                             provenance=Provenance("interactive"))
+    assert first is not None
+    assert first.region.provenance.tenant == "interactive"
+    paused = manager.allocate("app1", T.FLOAT, cap // 4 - 1024, "big2",
+                              provenance=Provenance("batch"))
+    assert paused is None and manager.is_paused("app1")
+    manager.release("app0", first)
+    granted = manager.claim("app1")
+    assert len(granted) == 1
+    assert granted[0].region.provenance.tenant == "batch"
+    usage = manager.usage_by_provenance()
+    assert list(usage) == sorted(usage)
+    assert usage["batch"] > 0
+
+
+# -- kernel work accounting -----------------------------------------------
+
+
+def test_launch_stats_groups_iterate_sorted():
+    stats = LaunchStats(provenance=Provenance("batch"))
+    stats.record_group((1, 0, 0), 10)
+    stats.record_group((0, 1, 0), 20)
+    stats.record_group((0, 0, 0), 30)
+    assert stats.groups() == [((0, 0, 0), 30), ((0, 1, 0), 20),
+                              ((1, 0, 0), 10)]
+    assert stats.instructions == 60
+    assert stats.provenance.tenant == "batch"
+    assert LaunchStats().provenance is None
+
+
+def test_kernel_footprint_matches_functional_plane():
+    size = kernel_footprint_bytes("sgemm")
+    assert size == 20480
+    # memoised: the second call must agree (and not rebuild datasets)
+    assert kernel_footprint_bytes("sgemm") == size

@@ -1,0 +1,80 @@
+"""Application Monitor coverage (§5 fig. 6): FSM dispatch, the per-app
+request counters, and their agreement with the attribution ledger's
+per-tenant work accounts over a shared run."""
+
+import pytest
+
+from repro.accelos.monitor import ApplicationMonitor, MonitorState, Request
+from repro.attribution import AttributionLedger
+from repro.cl import nvidia_k20m
+from repro.harness import OpenSystemExperiment
+from repro.workloads import scenarios
+
+
+def monitor(jit=None, execute=None):
+    return ApplicationMonitor(jit or (lambda r: ("jit", r.payload)),
+                              execute or (lambda r: ("exec", r.payload)))
+
+
+def test_fsm_routes_and_returns_to_idle():
+    mon = monitor()
+    assert mon.handle(Request(Request.PROGRAM, "src", "a")) == ("jit", "src")
+    assert mon.handle(Request(Request.KERNEL_EXEC, "k", "a")) == ("exec", "k")
+    assert mon.handle(Request(Request.OTHER, None, "a")) is None
+    assert mon.state == MonitorState.IDLE
+    visited = [to_state for _, kind, to_state in mon.transitions
+               if kind != "done"]
+    assert visited == [MonitorState.JIT, MonitorState.SCHEDULER,
+                       MonitorState.PASSTHROUGH]
+
+
+def test_counters_track_every_request_per_app():
+    mon = monitor()
+    mon.handle(Request(Request.PROGRAM, None, "b"))
+    mon.handle(Request(Request.KERNEL_EXEC, None, "a"))
+    mon.handle(Request(Request.KERNEL_EXEC, None, "a"))
+    mon.handle(Request(Request.OTHER, None, "a"))
+    totals = mon.work_totals()
+    assert list(totals) == ["a", "b"]          # sorted app ids
+    assert totals["a"] == {Request.KERNEL_EXEC: 2, Request.OTHER: 1}
+    assert totals["b"] == {Request.PROGRAM: 1}
+    assert mon.kernel_execs("a") == 2
+    assert mon.kernel_execs("missing") == 0
+
+
+def test_counters_survive_handler_failure():
+    """The count records that the request *arrived* — a failing handler
+    must not leave the books understated."""
+    def explode(request):
+        raise RuntimeError("scheduler rejected")
+
+    mon = monitor(execute=explode)
+    with pytest.raises(RuntimeError):
+        mon.handle(Request(Request.KERNEL_EXEC, None, "a"))
+    assert mon.kernel_execs("a") == 1
+    assert mon.state == MonitorState.IDLE      # FSM recovered
+
+
+def test_monitor_counters_agree_with_attribution_ledger():
+    """One shared run, two accountants: every completed request replayed
+    through the monitor as its tenant's kernel-exec must reproduce the
+    ledger's per-tenant request totals exactly."""
+    device = nvidia_k20m()
+    ledger = AttributionLedger([device.name])
+    stream = scenarios.from_name("multi-tenant", seed=3, load=1.1,
+                                 count=18, device=device)
+    result = OpenSystemExperiment(device).run(stream, "accelos",
+                                              ledger=ledger)
+
+    mon = monitor()
+    for record in result.records:
+        mon.handle(Request(Request.KERNEL_EXEC, record.name,
+                           app_id=record.tenant))
+
+    report = result.attribution
+    totals = mon.work_totals()
+    assert sorted(totals, key=str) == report.tenants
+    for tenant in report.tenants:
+        assert mon.kernel_execs(tenant) \
+            == int(report.work[tenant]["requests"])
+    assert sum(mon.kernel_execs(t) for t in totals) == report.requests

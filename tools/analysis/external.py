@@ -26,6 +26,7 @@ STRICT_TYPED_MODULES = (
     "src/repro/api/spec.py",
     "src/repro/api/registry.py",
     "src/repro/api/results.py",
+    "src/repro/attribution",
     "src/repro/metrics",
     "src/repro/util",
 )
