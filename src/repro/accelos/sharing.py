@@ -177,6 +177,186 @@ def _greedy_saturation(allocations, device, weights=None):
         smallest.groups += 1
 
 
+def _compute_allocations_incremental(requirements, device, saturate):
+    """Equal-weight :func:`compute_allocations` with incremental totals.
+
+    The §3 algorithm re-sums every allocation's footprint for each shrink
+    candidate and each greedy-growth candidate (``_fits`` is O(K), making
+    saturation O(K^2) per granted group).  This implementation keeps
+    running thread/local-mem/register totals and checks candidates in
+    O(1), while reproducing the reference selection rules *exactly*: the
+    same base-share arithmetic, the same first-max shrink victim (strict
+    ``>`` keeps the earliest), and the same ``(threads, name)`` greedy
+    minimum — all-integer comparisons that equal the reference's
+    ``threads / 1.0`` float keys exactly.  It exists for the hot
+    open-system re-plan path (:class:`AllocationMemo` misses); the
+    reference path and every ``share_ratio`` caller still run
+    :func:`compute_allocations`.  Equality is pinned per-call by
+    tests/test_engine_fastpath.py across random mixes.
+    """
+    if not requirements:
+        return []
+    k = len(requirements)
+    max_threads = device.max_threads
+    total_lmem = device.total_local_mem
+    total_regs = device.total_registers
+
+    allocations = []
+    threads = lmem = regs = 0
+    for req in requirements:
+        share = 1.0 / k
+        x = int(max_threads * share // req.wg_threads)
+        if req.local_mem_bytes > 0:
+            y = int(total_lmem * share // req.local_mem_bytes)
+        else:
+            y = req.total_groups
+        rpg = req.registers_per_group
+        if rpg > 0:
+            z = int(total_regs * share // rpg)
+        else:
+            z = req.total_groups
+        groups = max(1, min(x, y, z, req.total_groups))
+        allocations.append(Allocation(req, groups))
+        threads += groups * req.wg_threads
+        lmem += groups * req.local_mem_bytes
+        regs += groups * rpg
+
+    guard = 0
+    while not (threads <= max_threads and lmem <= total_lmem
+               and regs <= total_regs):
+        largest = None
+        largest_threads = -1
+        for a in allocations:
+            if a.groups > 1:
+                t = a.groups * a.requirements.wg_threads
+                if t > largest_threads:
+                    largest = a
+                    largest_threads = t
+        if largest is None:
+            raise SchedulingError(
+                "cannot fit {} concurrent kernels on {}".format(
+                    k, device.name))
+        req = largest.requirements
+        largest.groups -= 1
+        threads -= req.wg_threads
+        lmem -= req.local_mem_bytes
+        regs -= req.registers_per_group
+        guard += 1
+        if guard > 10_000_000:
+            raise SchedulingError("allocation shrink loop did not converge")
+
+    if saturate:
+        while True:
+            smallest = None
+            smallest_key = None
+            for a in allocations:
+                req = a.requirements
+                if a.groups >= req.total_groups:
+                    continue
+                if (threads + req.wg_threads > max_threads
+                        or lmem + req.local_mem_bytes > total_lmem
+                        or regs + req.registers_per_group > total_regs):
+                    continue
+                key = (a.groups * req.wg_threads, req.name)
+                if smallest is None or key < smallest_key:
+                    smallest = a
+                    smallest_key = key
+            if smallest is None:
+                break
+            req = smallest.requirements
+            smallest.groups += 1
+            threads += req.wg_threads
+            lmem += req.local_mem_bytes
+            regs += req.registers_per_group
+    return allocations
+
+
+def requirement_key(req):
+    """The canonical hashable identity of one :class:`KernelRequirements`.
+
+    Two requirements with equal keys are interchangeable inputs to the §3
+    algorithm: :func:`compute_allocations` reads exactly these five fields
+    and nothing else.
+    """
+    return (req.name, req.wg_threads, req.local_mem_bytes,
+            req.registers_per_thread, req.total_groups)
+
+
+class AllocationMemo:
+    """Order-insensitive memo for equal-weight :func:`compute_allocations`.
+
+    The open-system loop re-runs the §3 policy on *every* arrival and
+    completion, but a stream drawn from a small kernel corpus cycles
+    through a small set of active multisets — so the re-plan is usually a
+    repeat.  The memo keys on the canonical (sorted) multiset of
+    requirement keys: a lookup stable-sorts the requirements, computes (or
+    recalls) the allocation for the sorted set, and maps the group counts
+    back to the caller's order.
+
+    Replay safety rests on the algorithm being *permutation-equivariant*
+    for equal weights: the base shares are per-kernel, the shrink loop's
+    ``max`` and the greedy loop's ``min`` break ties through
+    ``requirements.name``, and requirements sharing a full key are
+    symmetric under a stable sort.  That is only guaranteed for equal
+    sharing — a ``share_ratio`` attaches position-dependent weights whose
+    ties resolve by list order — so the memo deliberately has no
+    ``share_ratio`` parameter; weighted plans must call
+    :func:`compute_allocations` directly.  See docs/PERFORMANCE.md.
+
+    One further precondition: selection ties must only occur between
+    requirements sharing a *full* key.  The greedy tiebreak is
+    ``(threads, name)``, so two requirements with one name but e.g.
+    different ``total_groups`` can tie while not being interchangeable —
+    under a permutation the tied group counts would attach to the other
+    one.  Engine inputs satisfy this by construction (a kernel name maps
+    to exactly one corpus profile, so equal names mean equal keys);
+    arbitrary hand-built mixes that reuse a name across different
+    footprints should call :func:`compute_allocations` directly.
+    """
+
+    __slots__ = ("device", "saturate", "hits", "misses", "_groups_by_set")
+
+    def __init__(self, device, saturate=True):
+        self.device = device
+        self.saturate = saturate
+        self.hits = 0
+        self.misses = 0
+        # canonical multiset of requirement keys -> tuple of group counts,
+        # aligned with the sorted order.  Entries live for the memo's
+        # lifetime: requirement keys are value-identities, so there is
+        # nothing to invalidate.
+        self._groups_by_set = {}
+
+    def groups_for(self, requirements):
+        """Group targets for ``requirements``, in the caller's order."""
+        keys = [requirement_key(req) for req in requirements]
+        return self.groups_for_keyed(
+            keys, lambda: list(requirements))
+
+    def groups_for_keyed(self, keys, build_requirements):
+        """Like :meth:`groups_for`, but ``build_requirements`` (returning
+        the :class:`KernelRequirements` list aligned with ``keys``) is only
+        called on a miss — callers holding cheaper key sources (simulator
+        specs) skip constructing requirement objects on the hot path."""
+        order = sorted(range(len(keys)), key=keys.__getitem__)
+        cache_key = tuple(keys[i] for i in order)
+        groups = self._groups_by_set.get(cache_key)
+        if groups is None:
+            self.misses += 1
+            requirements = build_requirements()
+            allocations = _compute_allocations_incremental(
+                [requirements[i] for i in order], self.device,
+                self.saturate)
+            groups = tuple(a.groups for a in allocations)
+            self._groups_by_set[cache_key] = groups
+        else:
+            self.hits += 1
+        out = [0] * len(keys)
+        for pos, orig in enumerate(order):
+            out[orig] = groups[pos]
+        return out
+
+
 def thread_imbalance(allocations):
     """max |x_i*w_i - x_j*w_j| across kernel pairs — the §3 objective.
 

@@ -27,10 +27,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.accelos.adaptive import SchedulingPolicy
-from repro.accelos.sharing import KernelRequirements, compute_allocations
+from repro.accelos.sharing import (AllocationMemo, KernelRequirements,
+                                   compute_allocations)
 from repro.accelos.transform import AccelOSTransform
 from repro.errors import SimulationError
-from repro.sim import GPUSimulator
+from repro.sim import GPUSimulator, fast_path_enabled
 from repro.workloads.parboil import (PROFILE_NAMES, compiled_module,
                                      profile_by_name)
 
@@ -84,9 +85,21 @@ def chunk_for_profile(profile, policy=SchedulingPolicy.ADAPTIVE):
     return transform_chunks(profile.benchmark, policy)[profile.kernel]
 
 
+def _device_key(device):
+    """Hashable value identity of a device spec (every scalar field).
+
+    Cache keys must cover the *full* input of the computation they stand
+    in for (docs/PERFORMANCE.md): two specs sharing a display name — say
+    differently-derated "K20m-derated" siblings built in separate
+    experiments — are different simulation inputs, and a name-keyed memo
+    would replay one device's times for the other.
+    """
+    return tuple(sorted(vars(device).items()))
+
+
 def isolated_time(name, device):
     """Isolated standard-OpenCL execution time — the IS denominator."""
-    key = (name, device.name)
+    key = (name, _device_key(device))
     value = _iso_cache.get(key)
     if value is None:
         sim = GPUSimulator(device)
@@ -143,17 +156,39 @@ def requirements_from_spec(spec):
         total_groups=spec.total_groups)
 
 
-def sharing_allocator(device, saturate=True):
+def sharing_allocator(device, saturate=True, memo=None):
     """An allocator callback for :meth:`GPUSimulator.run_open`.
 
     Wraps the §3 sharing algorithm: given the specs of the currently-active
     kernels, returns their physical-group targets.
+
+    ``memo=True`` routes repeats of an active multiset through an
+    order-insensitive :class:`~repro.accelos.sharing.AllocationMemo`
+    (bit-identical targets, see docs/PERFORMANCE.md); ``None`` follows the
+    engine fast-path default so :func:`repro.sim.gpu.reference_path` also
+    disables the memo for A/B baselines.  The memo object is exposed as
+    ``allocate.memo`` for hit/miss instrumentation.
     """
+    use_memo = fast_path_enabled() if memo is None else bool(memo)
+    if not use_memo:
+        def allocate(specs):
+            requirements = [requirements_from_spec(s) for s in specs]
+            allocations = compute_allocations(requirements, device,
+                                              saturate=saturate)
+            return [a.groups for a in allocations]
+        return allocate
+
+    memo_obj = AllocationMemo(device, saturate=saturate)
+
     def allocate(specs):
-        requirements = [requirements_from_spec(s) for s in specs]
-        allocations = compute_allocations(requirements, device,
-                                          saturate=saturate)
-        return [a.groups for a in allocations]
+        # spec fields are already int-coerced, so these tuples equal the
+        # requirement_key() of the KernelRequirements built on a miss
+        keys = [(s.name, s.wg_threads, s.local_mem_per_wg,
+                 s.registers_per_thread, s.total_groups) for s in specs]
+        return memo_obj.groups_for_keyed(
+            keys, lambda: [requirements_from_spec(s) for s in specs])
+
+    allocate.memo = memo_obj
     return allocate
 
 

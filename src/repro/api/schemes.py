@@ -41,7 +41,8 @@ from repro.api.kernels import (base_spec, chunk_for_profile, detailed_spec,
 from repro.api.registry import Registry
 from repro.baselines.elastic_kernels import ElasticKernelsScheduler
 from repro.errors import SimulationError
-from repro.sim import ExecutionMode, GPUSimulator, QueuedRequest
+from repro.sim import (ExecutionMode, GPUSimulator, QueuedRequest,
+                       fast_path_enabled)
 from repro.workloads.parboil import profile_by_name
 
 
@@ -118,6 +119,11 @@ class GpuOpenSession:
         finished = self._sim.finished_requests - self._finished_seen
         self._finished_seen = self._sim.finished_requests
         return time, finished
+
+    @property
+    def events_processed(self):
+        """Simulator events processed so far (bench_engine's denominator)."""
+        return self._sim.events_processed
 
     def queued(self):
         out = []
@@ -470,9 +476,24 @@ class AccelOSScheme(SchedulingScheme):
 
     def open_session(self, device, policy=SchedulingPolicy.ADAPTIVE,
                      saturate=True):
+        # admission_spec is a pure function of the kernel name for a
+        # fixed (device, policy, saturate) — everything but the arrival
+        # time.  The fast path memoises it per name so repeat requests
+        # skip the solo allocation + chunk derivation; the reference
+        # path rebuilds every spec, as the original code did.  Decided
+        # at session construction, like every other fast/ref gate.
+        spec_cache = {} if fast_path_enabled() else None
+
         def build(arrival, time):
-            spec = self.admission_spec(arrival, device, policy=policy,
-                                       saturate=saturate)
+            if spec_cache is None:
+                return self.admission_spec(arrival, device, policy=policy,
+                                           saturate=saturate) \
+                           .with_arrival(time)
+            spec = spec_cache.get(arrival.name)
+            if spec is None:
+                spec = self.admission_spec(arrival, device, policy=policy,
+                                           saturate=saturate)
+                spec_cache[arrival.name] = spec
             return spec.with_arrival(time)
         return GpuOpenSession(
             device, ExecutionMode.ACCELOS, build,

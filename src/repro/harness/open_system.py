@@ -280,6 +280,9 @@ class OpenSystemExperiment:
             raise SimulationError(
                 "{} requests never finished on {} (conservation "
                 "violated)".format(len(pending), self.device.name))
+        # observability only: how many engine events the stream cost
+        # (read by benchmarks/bench_engine.py for events/sec)
+        self.events_processed = getattr(session, "events_processed", 0)
         result = OpenSystemResult.from_sink(scheme_obj.name,
                                             self.device.name, sink)
         if ledger is not None:
@@ -569,6 +572,9 @@ class FleetOpenSystemExperiment:
                 migrated[0] += 1
 
         simulator.run_stream(arrivals, on_record)
+        # observability only: engine events summed over the fleet's
+        # sessions (read by benchmarks/bench_engine.py for events/sec)
+        self.events_processed = simulator.events_processed()
         result = FleetOpenSystemResult.from_sinks(
             scheme_obj.name, policy.name, self.fleet, overall,
             device_sinks, migrations=migrated[0],

@@ -22,7 +22,8 @@ overlap and throughput.
 
 from repro.sim.engine import EventQueue
 from repro.sim.spec import KernelExecSpec, ExecutionMode
-from repro.sim.gpu import GPUSimulator
+from repro.sim.gpu import (GPUSimulator, fast_path_enabled, reference_path,
+                           set_fast_path)
 from repro.sim.fleet import (DeviceFleet, DeviceStatus, FleetDevice,
                              FleetSimulator, FleetStatus, MigrationOrder,
                              PlacedRequest, QueuedRequest)
@@ -33,4 +34,5 @@ __all__ = [
     "DeviceFleet", "FleetDevice", "FleetSimulator", "FleetStatus",
     "DeviceStatus", "MigrationOrder", "PlacedRequest", "QueuedRequest",
     "ExecutionTrace", "KernelInterval",
+    "fast_path_enabled", "reference_path", "set_fast_path",
 ]

@@ -111,6 +111,26 @@ class DeviceFleet:
         # (pinned requests, session routing), a linear scan per call made
         # fleet-size lookups O(N^2) over a stream
         self._index_by_id = {m.id: i for i, m in enumerate(members)}
+        # estimator callable -> {(kernel name, fleet index): estimate};
+        # shared by every FleetSimulator over this fleet (estimators are
+        # deterministic in (name, device), so the values are identical to
+        # per-simulator recomputation)
+        self._estimate_caches = {}
+
+    def estimate_cache(self, estimator):
+        """The fleet-lifetime estimator memo for one estimator callable.
+
+        Online placement calls the estimator per (arrival, device); the
+        values depend only on (kernel name, device), so one fleet-level
+        dict serves every simulator — repeated experiment cells (the
+        parallel driver reuses one fleet per worker) stop re-deriving
+        estimates per run.
+        """
+        cache = self._estimate_caches.get(estimator)
+        if cache is None:
+            cache = {}
+            self._estimate_caches[estimator] = cache
+        return cache
 
     # -- container surface -------------------------------------------------
 
@@ -321,7 +341,7 @@ class FleetSimulator:
         self.sessions = list(sessions)
         self.policy = policy
         self._estimator = estimator
-        self._cost_cache = {}
+        self._cost_cache = fleet.estimate_cache(estimator)
         self._rebalance_enabled = True
         self.migrations = []            # executed MigrationOrders
         # optional repro.attribution.AttributionLedger: fed placement,
@@ -340,6 +360,12 @@ class FleetSimulator:
             value = self._estimator(name, self.fleet[index].device)
             self._cost_cache[key] = value
         return value
+
+    def events_processed(self):
+        """Total simulator events across device sessions (sessions without
+        a counter — e.g. Elastic Kernels replay — contribute zero)."""
+        return sum(getattr(session, "events_processed", 0)
+                   for session in self.sessions)
 
     # -- the loop ----------------------------------------------------------
 

@@ -56,6 +56,7 @@ mid-chunk; every admitted request finishes or the run raises.
 from __future__ import annotations
 
 from collections import deque
+from contextlib import contextmanager
 
 from repro.errors import SimulationError
 from repro.sim.contention import BandwidthTracker
@@ -72,6 +73,45 @@ _REFERENCE_CU_RATE = 384 * 706.0
 # windows (grid setup, channel switch).  This is why even two small kernels
 # that would fit together mostly serialise on the standard stack.
 KERNEL_HANDOFF_LATENCY = 90e-6
+
+
+# Engine fast path: incremental admission totals, the live-active run set,
+# per-run pending-slot counters and the chunk-cost caches.  The fast path is
+# bit-identical to the reference scans by construction (every structure is a
+# running copy of what the reference path recomputes per event) and is pinned
+# by the A/B suite (tests/test_engine_fastpath.py) and benchmarks/
+# bench_engine.py.  The module default exists so A/B harnesses can flip whole
+# stacks — sessions, fleets, allocators — without threading a flag through
+# every constructor.
+_FAST_PATH_DEFAULT = True
+
+
+def fast_path_enabled():
+    """The module-wide default for :class:`GPUSimulator` ``fast_path``."""
+    return _FAST_PATH_DEFAULT
+
+
+def set_fast_path(enabled):
+    """Set the fast-path default; returns the previous value."""
+    global _FAST_PATH_DEFAULT
+    previous = _FAST_PATH_DEFAULT
+    _FAST_PATH_DEFAULT = bool(enabled)
+    return previous
+
+
+@contextmanager
+def reference_path():
+    """Run the enclosed block on the unoptimised reference engine path.
+
+    Simulators and allocators *created inside* the block use the original
+    per-event scans (and no allocation memo) — the A/B baseline for
+    tests/test_engine_fastpath.py and benchmarks/bench_engine.py.
+    """
+    previous = set_fast_path(False)
+    try:
+        yield
+    finally:
+        set_fast_path(previous)
 
 
 def device_cost_scale(device):
@@ -96,10 +136,15 @@ def per_cu_residency_cap(spec, device):
 class _KernelRun:
     """Mutable per-kernel simulation state."""
 
-    def __init__(self, index, spec, device, cost_scale):
+    def __init__(self, index, spec, device, cost_scale, costs=None,
+                 chunk_sums=None):
         self.index = index
         self.spec = spec
-        self.costs = spec.wg_costs * cost_scale
+        # ``costs``/``chunk_sums`` let the open-system fast path share one
+        # scaled cost array (and its chunk-sum memo) across every run of
+        # the same profile; both default to per-run state.
+        self.costs = spec.wg_costs * cost_scale if costs is None else costs
+        self.chunk_sums = chunk_sums   # {(base, end): float} or None
         self.total = spec.total_groups
         self.k_max = per_cu_residency_cap(spec, device)
         self.completed = 0
@@ -124,6 +169,20 @@ class _KernelRun:
         self.active = False            # has the request arrived yet?
         self.shrink_slots = 0          # live slots to retire at chunk bounds
         self.withdrawn = False         # migrated away before starting
+        # running copies of the _pending_slots scans (kept exact in both
+        # engine paths; only the fast path reads them)
+        self.pending_slots = 0         # live queued-slot entries of this run
+        self.pending_drop = 0          # queued entries tombstoned by a shrink
+        # per-WG residency footprint, computed once (registers_per_group is
+        # a derived property) — read by the fast-path placement loops
+        self.footprint = (spec.wg_threads, spec.registers_per_group,
+                          spec.local_mem_per_wg)
+        # chunk-draw constants, hoisted for the fast path's dequeue loop
+        self.chunk_size = spec.chunk
+        self.overhead = spec.sched_overhead
+        # occupancy_factor(k) per co-residency k, filled by the fast path
+        # (the factor depends only on k for a fixed spec)
+        self.occ_cache = {}
 
     @property
     def finished(self):
@@ -165,10 +224,17 @@ class GPUSimulator:
     set on every arrival and completion.
     """
 
-    def __init__(self, device, hardware_scheduler=None, rebalance=False):
+    def __init__(self, device, hardware_scheduler=None, rebalance=False,
+                 fast_path=None):
         self.device = device
         self.hardware_scheduler = hardware_scheduler or scheduler_for(device)
         self.rebalance = rebalance
+        # ``fast_path`` switches the per-event decision procedures between
+        # the incremental structures and the original reference scans (same
+        # decisions either way — see module docstring); None follows the
+        # module default so A/B harnesses can flip whole stacks at once.
+        self.fast_path = (fast_path_enabled() if fast_path is None
+                          else bool(fast_path))
         self._open = False
         self._allocator = None
 
@@ -283,8 +349,22 @@ class GPUSimulator:
                                    self.events.now))
         first = self._live_submissions == 0
         self._live_submissions += 1
-        run = _KernelRun(index if index is not None else len(self.runs),
-                         spec, self.device, self._cost_scale * jitter)
+        run_index = index if index is not None else len(self.runs)
+        if self.fast_path and jitter == 1.0:
+            # Streams re-submit the same profile (one shared wg_costs array
+            # per kernel) thousands of times; scale it once per simulator
+            # and share the scaled array — and its chunk-sum memo — across
+            # those runs.  Costs are read-only downstream, and the cached
+            # array holds exactly what the per-run multiply would produce.
+            entry = self._costs_cache.get(id(spec.wg_costs))
+            if entry is None or entry[0] is not spec.wg_costs:
+                entry = (spec.wg_costs, spec.wg_costs * self._cost_scale, {})
+                self._costs_cache[id(spec.wg_costs)] = entry
+            run = _KernelRun(run_index, spec, self.device, self._cost_scale,
+                             costs=entry[1], chunk_sums=entry[2])
+        else:
+            run = _KernelRun(run_index, spec, self.device,
+                             self._cost_scale * jitter)
         # Keep the run list sorted by (arrival, submission order): it IS
         # the FIFO priority order of the hardware dispatch window and the
         # allocator's iteration order.  Plain arrival-order submission
@@ -321,6 +401,7 @@ class GPUSimulator:
     def open_step(self):
         """Process exactly one event; returns its simulation time."""
         time, payload = self.events.pop()
+        self.events_processed += 1
         if self._open_mode == ExecutionMode.HARDWARE:
             self._process_hw_event(payload)
         else:
@@ -439,6 +520,25 @@ class GPUSimulator:
         self.runs = runs
         self._cost_scale = scale
         self.finished_requests = 0
+        # events popped off the queue — the denominator of events/sec in
+        # benchmarks/bench_engine.py (identical across engine paths: the
+        # fast path changes per-event cost, never the event sequence)
+        self.events_processed = 0
+        # fast-path running state; maintained exactly in both paths, read
+        # only when self.fast_path (so the reference path stays the
+        # original per-event scans)
+        self._adm_threads = 0          # admission footprint of active,
+        self._adm_lmem = 0             # unfinished software runs
+        self._adm_regs = 0
+        self._live_active = {}         # admitted unfinished runs, in
+        #                                admission order == self.runs order
+        # id(spec.wg_costs) -> (wg_costs, scaled costs, chunk-sum memo);
+        # holding the key array pins its id, so entries cannot collide
+        self._costs_cache = {}
+        # resource footprint -> live queued-slot entries with it: the index
+        # over _pending_slots that lets a placement pass stop as soon as
+        # every queued footprint is known-unplaceable
+        self._pending_footprints = {}
         # open-system streaming support: finished runs queue here until
         # the owner harvests (and thereby prunes) them
         self._finished_runs = deque()
@@ -479,6 +579,7 @@ class GPUSimulator:
         self._hw_dispatch()
         while self.events:
             _, payload = self.events.pop()
+            self.events_processed += 1
             self._process_hw_event(payload)
 
     def _process_hw_event(self, payload):
@@ -570,6 +671,7 @@ class GPUSimulator:
     def _software_loop(self, mode):
         while self.events:
             _, payload = self.events.pop()
+            self.events_processed += 1
             self._process_software_event(payload, mode)
 
     def _process_software_event(self, payload, mode):
@@ -603,13 +705,30 @@ class GPUSimulator:
                 break
             run = self._admission_queue.popleft()
             run.active = True
+            # incremental admission accounting + the live-active set
+            # (admission order is arrival order, which is self.runs order)
+            spec = run.spec
+            self._adm_threads += spec.wg_threads
+            self._adm_lmem += spec.local_mem_per_wg
+            self._adm_regs += spec.registers_per_group
+            self._live_active[run] = None
             admitted = True
         return admitted
 
     def _admission_fits(self, candidate):
+        spec = candidate.spec
+        if self.fast_path:
+            # the running totals are exact int copies of the sums below
+            # (updated on admit and finish), so the comparison is identical
+            return (self._adm_threads + spec.wg_threads
+                    <= self.device.max_threads
+                    and (self._adm_lmem + spec.local_mem_per_wg
+                         <= self.device.total_local_mem)
+                    and (self._adm_regs + spec.registers_per_group
+                         <= self.device.total_registers))
         specs = [run.spec for run in self.runs
                  if run.active and run.finish_time is None]
-        specs.append(candidate.spec)
+        specs.append(spec)
         return (sum(s.wg_threads for s in specs) <= self.device.max_threads
                 and (sum(s.local_mem_per_wg for s in specs)
                      <= self.device.total_local_mem)
@@ -648,6 +767,8 @@ class GPUSimulator:
                 cu = self._freest_cu(run.spec)
                 if cu is None:
                     self._pending_slots.append((run, slot_index))
+                    run.pending_slots += 1
+                    self._pending_inc(run)
                     continue
                 cu.admit(run.spec)
                 run.cu_resident[cu.index] = run.cu_resident.get(cu.index, 0) + 1
@@ -676,8 +797,15 @@ class GPUSimulator:
         shrinking lazily at chunk boundaries, since resident work groups
         are never preempted mid-chunk.
         """
-        active = [run for run in self.runs
-                  if run.active and not run.mode_done()]
+        if self.fast_path:
+            # the live-active set is the admission-ordered running copy of
+            # the filter below (finished runs left at finish time, and
+            # finished implies mode_done for accelOS runs)
+            active = [run for run in self._live_active
+                      if not run.mode_done()]
+        else:
+            active = [run for run in self.runs
+                      if run.active and not run.mode_done()]
         if not active:
             return
         targets = self._allocator([run.spec for run in active])
@@ -685,10 +813,14 @@ class GPUSimulator:
             raise SimulationError(
                 "allocator returned {} targets for {} active kernels".format(
                     len(targets), len(active)))
+        fast = self.fast_path
         for run, target in zip(active, targets):
             remaining = run.total - run.next_vgroup
             target = max(1, min(int(target), remaining))
-            pending = sum(1 for r, _ in self._pending_slots if r is run)
+            if fast:
+                pending = run.pending_slots
+            else:
+                pending = sum(1 for r, _ in self._pending_slots if r is run)
             effective = run.live_slots - run.shrink_slots + pending
             if target > effective:
                 self._grow_run(run, target - effective)
@@ -705,20 +837,50 @@ class GPUSimulator:
             run.slot_counter += 1
             if not self._try_place_slot(run, slot_index, self._software_mode):
                 self._pending_slots.append((run, slot_index))
+                run.pending_slots += 1
+                self._pending_inc(run)
+
+    def _pending_inc(self, run):
+        footprint = run.footprint
+        counts = self._pending_footprints
+        counts[footprint] = counts.get(footprint, 0) + 1
+
+    def _pending_dec(self, run, count=1):
+        footprint = run.footprint
+        counts = self._pending_footprints
+        left = counts[footprint] - count
+        if left:
+            counts[footprint] = left
+        else:
+            del counts[footprint]
 
     def _shrink_run(self, run, count, pending):
         # drop queued (never-placed) slots first: they hold no resources
         if pending:
-            dropped = 0
-            kept = deque()
-            while self._pending_slots:
-                entry = self._pending_slots.popleft()
-                if entry[0] is run and dropped < count:
-                    dropped += 1
-                else:
-                    kept.append(entry)
-            self._pending_slots = kept
-            count -= dropped
+            if self.fast_path:
+                # Tombstone instead of rebuilding the deque: the run's
+                # earliest queued entries are discarded when they are next
+                # popped — the same entries the rebuild below removes
+                # eagerly, since both take them in FIFO order.
+                dropped = min(count, run.pending_slots)
+                run.pending_slots -= dropped
+                run.pending_drop += dropped
+                count -= dropped
+                if dropped:
+                    self._pending_dec(run, dropped)
+            else:
+                dropped = 0
+                kept = deque()
+                while self._pending_slots:
+                    entry = self._pending_slots.popleft()
+                    if entry[0] is run and dropped < count:
+                        dropped += 1
+                        run.pending_slots -= 1
+                        self._pending_dec(run)
+                    else:
+                        kept.append(entry)
+                self._pending_slots = kept
+                count -= dropped
         # retire the rest at chunk boundaries; never shrink the last live
         # slot while the virtual-group queue is undrained
         run.shrink_slots = min(run.shrink_slots + count,
@@ -727,17 +889,57 @@ class GPUSimulator:
     # -- slot lifecycle ------------------------------------------------------
 
     def _activate_slot(self, run, slot_index, cu):
-        occ = run.occupancy_factor(run.cu_resident[cu.index])
+        k = run.cu_resident[cu.index]
+        if self.fast_path:
+            # occupancy_factor(k) is a pure function of k for a fixed
+            # spec; memoise it per run (k is bounded by k_max)
+            occ = run.occ_cache.get(k)
+            if occ is None:
+                occ = run.occupancy_factor(k)
+                run.occ_cache[k] = occ
+        else:
+            occ = run.occupancy_factor(k)
         rate = run.spec.mem_rate_per_wg / occ
         run.slot_occ[slot_index] = occ
         run.slot_rate[slot_index] = rate
         self.bandwidth.add_rate(rate)
 
     def _try_place_slot(self, run, slot_index, mode):
-        cu = self._freest_cu(run.spec)
-        if cu is None:
-            return False
-        cu.admit(run.spec)
+        if self.fast_path:
+            # fused scan-and-admit: same selection as _freest_cu (max
+            # threads_free among fitting CUs, earliest index on ties),
+            # with the footprint read once from the run and the admit-time
+            # fits() recheck dropped — the scan just proved the fit
+            threads, regs, lmem = run.footprint
+            cu = None
+            best_free = -1
+            for cand in self.cus:
+                free = cand.threads_free
+                if (free > best_free and free >= threads
+                        and cand.slots_free >= 1
+                        and cand.registers_free >= regs
+                        and cand.local_mem_free >= lmem):
+                    cu = cand
+                    best_free = free
+            if cu is None:
+                return False
+            cu.threads_free = best_free - threads
+            cu.registers_free -= regs
+            cu.local_mem_free -= lmem
+            cu.slots_free -= 1
+            run.cu_resident[cu.index] = run.cu_resident.get(cu.index, 0) + 1
+            run.resident += 1
+            run.live_slots += 1
+            if run.start_time is None:   # inlined mark_start
+                run.start_time = self.events.now
+            self._activate_slot(run, slot_index, cu)
+            self._draw_chunk(run, cu, mode, slot_index)
+            return True
+        else:
+            cu = self._freest_cu(run.spec)
+            if cu is None:
+                return False
+            cu.admit(run.spec)
         run.cu_resident[cu.index] = run.cu_resident.get(cu.index, 0) + 1
         run.resident += 1
         run.live_slots += 1
@@ -757,22 +959,58 @@ class GPUSimulator:
         # known-failing attempts: placement order and outcomes are
         # unchanged.
         unplaceable = set()
+        fast = self.fast_path
         while self._pending_slots:
             run, slot_index = self._pending_slots.popleft()
-            if run.mode_done():
+            if run.pending_drop:
+                # tombstoned by a fast-path shrink: the reference path
+                # removed this entry from the deque eagerly
+                run.pending_drop -= 1
                 continue
-            spec = run.spec
-            footprint = (spec.wg_threads, spec.registers_per_group,
-                         spec.local_mem_per_wg)
+            if run.mode_done():
+                run.pending_slots -= 1
+                self._pending_dec(run)
+                continue
+            footprint = run.footprint
             if footprint in unplaceable:
                 still_pending.append((run, slot_index))
                 continue
             if not self._try_place_slot(run, slot_index, self._software_mode):
                 unplaceable.add(footprint)
                 still_pending.append((run, slot_index))
+                if fast and len(unplaceable) == len(self._pending_footprints):
+                    # every live queued footprint is known-unplaceable:
+                    # the rest of this pass could only skip or re-append
+                    # entries unchanged, so keep them in place (tombstones
+                    # and drained runs left behind are discarded by a
+                    # later pass, exactly as a skipped entry would be)
+                    break
+            else:
+                run.pending_slots -= 1
+                self._pending_dec(run)
+        still_pending.extend(self._pending_slots)
         self._pending_slots = still_pending
 
     def _freest_cu(self, spec):
+        if self.fast_path:
+            # same selection as below — max threads_free among fitting
+            # CUs, earliest index on ties — with the spec's footprint
+            # hoisted and the fits() predicate inlined (it runs per CU
+            # per placement attempt, millions of times per stream)
+            threads = spec.wg_threads
+            regs = spec.registers_per_group
+            lmem = spec.local_mem_per_wg
+            best = None
+            best_free = -1
+            for cu in self.cus:
+                free = cu.threads_free
+                if (free > best_free and free >= threads
+                        and cu.slots_free >= 1
+                        and cu.registers_free >= regs
+                        and cu.local_mem_free >= lmem):
+                    best = cu
+                    best_free = free
+            return best
         best = None
         for cu in self.cus:
             if cu.fits(spec):
@@ -793,10 +1031,21 @@ class GPUSimulator:
                 run.shrink_slots -= 1
                 self._retire_slot(run, cu, slot_index)
                 return
-            end = min(base + run.spec.chunk, run.total)
+            end = min(base + run.chunk_size, run.total)
             run.next_vgroup = end
-            work = float(run.costs[base:end].sum())
-            overhead = run.spec.sched_overhead
+            sums = run.chunk_sums
+            if sums is None:
+                work = float(run.costs[base:end].sum())
+            else:
+                # memoised per shared costs array: every run of a profile
+                # draws the same (base, end) windows, and the cached value
+                # is exactly what the slice-sum would return (a prefix-sum
+                # rewrite would change numpy's pairwise summation order)
+                work = sums.get((base, end))
+                if work is None:
+                    work = float(run.costs[base:end].sum())
+                    sums[(base, end)] = work
+            overhead = run.overhead
             done = end - base
         else:  # ELASTIC: frozen per-slot assignment, no dequeue cost
             queue = run.slot_assignments[slot_index]
@@ -813,7 +1062,15 @@ class GPUSimulator:
         self.events.push(now + cost, ("chunk", run, cu, slot_index, done))
 
     def _retire_slot(self, run, cu, slot_index):
-        cu.release(run.spec)
+        if self.fast_path:
+            # inlined cu.release(run.spec) via the cached footprint
+            threads, regs, lmem = run.footprint
+            cu.threads_free += threads
+            cu.registers_free += regs
+            cu.local_mem_free += lmem
+            cu.slots_free += 1
+        else:
+            cu.release(run.spec)
         self.bandwidth.remove_rate(run.slot_rate[slot_index])
         run.cu_resident[cu.index] -= 1
         run.resident -= 1
@@ -829,6 +1086,13 @@ class GPUSimulator:
             run.mark_dispatch_done(self.events.now)
             self.finished_requests += 1
             if self._open:
+                # a finished run leaves the admission footprint and the
+                # live-active set before the queue is re-checked
+                spec = run.spec
+                self._adm_threads -= spec.wg_threads
+                self._adm_lmem -= spec.local_mem_per_wg
+                self._adm_regs -= spec.registers_per_group
+                self._live_active.pop(run, None)
                 self._finished_runs.append(run)
                 self._admit_arrivals()
                 self._reallocate()
@@ -857,5 +1121,7 @@ class GPUSimulator:
         self._try_place_slot(starved, slot_index, self._software_mode)
 
     def _has_pending_work(self, run):
+        if self.fast_path:
+            return run.pending_slots > 0 and not run.mode_done()
         return any(pending_run is run and not pending_run.mode_done()
                    for pending_run, _ in self._pending_slots)

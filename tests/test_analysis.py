@@ -41,6 +41,7 @@ FIXTURE_LAYOUT = {
     "det_float_eq.py": "src/repro/sim/det_float_eq.py",
     "det_arrival_mat.py": "src/repro/sim/det_arrival_mat.py",
     "det_pool_entropy.py": "src/repro/api/det_pool_entropy.py",
+    "det_memo_state.py": "src/repro/accelos/det_memo_state.py",
     "reg_names.py": "src/repro/reg_names.py",
     "suppressed.py": "src/repro/suppressed.py",
     "skipped.py": "src/repro/skipped.py",
@@ -99,7 +100,7 @@ def test_select_prefix_filters_checkers(scratch_repo):
     codes = {f.code for f in findings}
     # S001 directive findings ride along with whatever files were parsed
     assert codes <= {"D101", "D102", "D103", "D104", "D105", "D106",
-                     "D107", "S001"}
+                     "D107", "D108", "S001"}
     assert any(c.startswith("D") for c in codes)
 
 

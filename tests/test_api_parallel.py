@@ -283,10 +283,11 @@ def test_warm_caches_populates_what_the_spec_touches():
     assert sizes["specs"] >= 1
     assert sizes["chunks"] >= 1
     from repro.api import build_device
+    from repro.api.kernels import _device_key
     from repro.workloads.scenarios import scenario
     device = build_device(spec.devices[0])
     for name in scenario(spec.scenario).mix_weights():
-        assert (name, device.name) in _iso_cache
+        assert (name, _device_key(device)) in _iso_cache
 
 
 # -- the CLI flags --------------------------------------------------------------

@@ -35,6 +35,13 @@ D107     process identity (``os.getpid``, ``threading.get_ident``,
          and the parallel merge must derive only from spec fields and
          registry versions, never from which worker ran the cell; cache
          keys go through ``hashlib`` over canonical JSON
+D108     module-level or default-argument memo/cache containers in the
+         engine planes (``sim/``, ``accelos/``) — memo state that
+         outlives one simulation leaks results across runs and across
+         the fast/reference A/B legs; memos must live on an instance
+         created per run (``self._cache = {}`` in ``__init__``), keyed
+         on their full inputs (see :class:`repro.accelos.sharing
+         .AllocationMemo`)
 =======  ====================================================================
 """
 
@@ -321,7 +328,77 @@ class PoolEntropyChecker(Checker):
                         "hashlib over canonical JSON instead")
 
 
+# names that (by repo convention) hold memoised results
+_MEMO_NAME = re.compile(r"cache|memo", re.IGNORECASE)
+
+# constructors yielding an empty mutable container
+_MUTABLE_CTORS = ("dict", "list", "set", "defaultdict", "OrderedDict",
+                  "Counter", "deque")
+
+
+def _is_mutable_container(node):
+    """AST expressions that build a mutable container."""
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CTORS)
+
+
+class MemoStateChecker(Checker):
+    name = "memo-state"
+    codes = ("D108",)
+    description = ("module-level / default-argument memo containers in "
+                   "the engine planes (state leaking across runs)")
+    roots = ("src/repro/sim", "src/repro/accelos")
+
+    def run(self, ctx):
+        for pyfile in ctx.python_files(*self.roots):
+            # module-level memo/cache containers: shared by every
+            # simulation in the process, so a replay is only identical
+            # if the first run already populated them the same way —
+            # and the fast/reference A/B legs would observe each other
+            for node in pyfile.tree.body:
+                targets = ()
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                    value = node.value
+                elif isinstance(node, ast.AnnAssign) and node.value:
+                    targets = (node.target,)
+                    value = node.value
+                for target in targets:
+                    if (isinstance(target, ast.Name)
+                            and _MEMO_NAME.search(target.id)
+                            and _is_mutable_container(value)):
+                        yield Finding(
+                            pyfile.relpath, node.lineno, "D108",
+                            "module-level memo container {!r} outlives "
+                            "the simulation and leaks results across "
+                            "runs (and across the fast/reference A/B "
+                            "legs); hold memo state on an instance "
+                            "created per run, keyed on its full inputs"
+                            .format(target.id))
+            # mutable default arguments: one shared container per
+            # *function object*, i.e. a process-lifetime memo in
+            # disguise (with the classic aliasing footgun on top)
+            for node in ast.walk(pyfile.tree):
+                if not isinstance(node, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None]
+                for default in defaults:
+                    if _is_mutable_container(default):
+                        yield Finding(
+                            pyfile.relpath, default.lineno, "D108",
+                            "mutable default argument on {}() is one "
+                            "shared container per function object — a "
+                            "process-lifetime memo; default to None and "
+                            "create the container per call/instance"
+                            .format(node.name))
+
+
 DETERMINISM_CHECKERS = (
     UnseededRandomChecker, WallClockChecker, UnsortedSetIterationChecker,
     IdOrderingChecker, FloatTimeEqualityChecker,
-    ArrivalMaterializationChecker, PoolEntropyChecker)
+    ArrivalMaterializationChecker, PoolEntropyChecker, MemoStateChecker)

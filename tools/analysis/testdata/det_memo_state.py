@@ -1,0 +1,43 @@
+# Seeded-violation fixture for the D108 memo-state checker.
+from collections import defaultdict
+
+_ALLOCATION_CACHE = {}  # EXPECT[D108]
+RESULT_MEMO = defaultdict(list)  # EXPECT[D108]
+cache_by_name: dict = {}  # EXPECT[D108]
+
+
+def lookup_with_shared_default(key, memo={}):  # EXPECT[D108]
+    if key not in memo:
+        memo[key] = expensive(key)
+    return memo[key]
+
+
+def keyword_only_default(key, *, seen=[]):  # EXPECT[D108]
+    seen.append(key)
+    return seen
+
+
+def expensive(key):
+    return key * 2
+
+
+# instance-level memo state created per run is the sanctioned pattern
+class PerRunMemo:
+    def __init__(self):
+        self._cache = {}
+
+    def get(self, key):
+        if key not in self._cache:
+            self._cache[key] = expensive(key)
+        return self._cache[key]
+
+
+# a module-level *constant* table is not a memo: name carries intent
+REPLACEMENT_TABLE = {"a": "b"}
+
+
+def explicit_none_default(key, memo=None):
+    if memo is None:
+        memo = {}
+    memo[key] = expensive(key)
+    return memo

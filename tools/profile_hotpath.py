@@ -1,0 +1,144 @@
+"""Profile the event-engine hot path of an open-system stream.
+
+The optimisation loop behind ``docs/PERFORMANCE.md`` is: run this
+harness, read the ranked hot-function table, gate the win behind
+``fast_path``, re-run the A/B bench.  It drives the same bursty
+multi-tenant stream as ``benchmarks/bench_engine.py`` through
+cProfile and prints the top functions by own-time (``tottime``) —
+the number that tells you where the interpreter actually spends its
+per-event budget, as opposed to cumulative time, which every caller
+up the stack inherits.
+
+Usage:
+
+    python tools/profile_hotpath.py                   # fast path, 10^4
+    python tools/profile_hotpath.py --reference       # reference path
+    python tools/profile_hotpath.py --count 50000 --top 40
+    python tools/profile_hotpath.py --fleet           # fleet leg
+    python tools/profile_hotpath.py --sort cumtime    # callers' view
+    python tools/profile_hotpath.py --output prof.out # pstats dump
+
+Warm-up (2000 requests, untraced) fills the interpreter-lifetime
+caches first, so the profile shows the steady-state engine, not
+first-touch kernel-profile loads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_COUNT = 10_000
+WARMUP_COUNT = 2_000
+SEED = 2016
+LOAD = 0.8
+BURST_FACTOR = 1.4
+SCENARIO = "multi-tenant"
+SCHEME = "accelos"
+PLACEMENT = "least-loaded"
+SMALL_KERNELS = (
+    "mri-gridding_scan_inter1", "mri-q_ComputePhiMag",
+    "sad_larger_calc_16", "histo_final", "mri-gridding_scan_L1",
+    "sad_larger_calc_8", "mri-gridding_uniformAdd", "histo_prescan",
+)
+
+
+def arrival_iter(count, seed=SEED):
+    from repro.workloads import calibrated_model
+    model, rate = calibrated_model(SCENARIO, load=LOAD,
+                                   names=list(SMALL_KERNELS))
+    return model.iter_arrivals(rate * BURST_FACTOR, count, seed=seed)
+
+
+def build_runner(fleet):
+    """``(warm, run)`` thunk pair for the chosen leg."""
+    if fleet:
+        from repro.cl import derated_device, nvidia_k20m
+        from repro.harness import FleetOpenSystemExperiment
+        from repro.sim import DeviceFleet
+
+        def make():
+            return FleetOpenSystemExperiment(DeviceFleet([
+                ("fast", nvidia_k20m()),
+                ("slow", derated_device(nvidia_k20m(), "K20m-derated", 0.5)),
+            ]))
+
+        def run(experiment, count):
+            return experiment.run_stream(arrival_iter(count), SCHEME,
+                                         PLACEMENT)
+    else:
+        from repro.cl import nvidia_k20m
+        from repro.harness import OpenSystemExperiment
+
+        def make():
+            return OpenSystemExperiment(nvidia_k20m())
+
+        def run(experiment, count):
+            return experiment.run_stream(arrival_iter(count), SCHEME)
+    return make, run
+
+
+def profile_stream(count, fleet=False, reference=False, sort="tottime",
+                   top=25, output=None):
+    """Profile one streaming run; returns the report text."""
+    from repro.sim import set_fast_path
+
+    make, run = build_runner(fleet)
+    previous = set_fast_path(not reference)
+    try:
+        run(make(), WARMUP_COUNT)          # untraced cache warm-up
+        experiment = make()
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run(experiment, count)
+        profiler.disable()
+    finally:
+        set_fast_path(previous)
+    if output:
+        profiler.dump_stats(output)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    events = getattr(experiment, "events_processed", 0)
+    header = "{} leg, {} path, {} requests, {} engine events".format(
+        "fleet" if fleet else "single-device",
+        "reference" if reference else "fast", count, events)
+    return header + "\n" + buffer.getvalue()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="cProfile the open-system event-engine hot path")
+    parser.add_argument("--count", type=int, default=DEFAULT_COUNT,
+                        help="requests in the profiled stream "
+                             "(default {})".format(DEFAULT_COUNT))
+    parser.add_argument("--fleet", action="store_true",
+                        help="profile the fleet leg (placement + "
+                             "per-device engines) instead of one device")
+    parser.add_argument("--reference", action="store_true",
+                        help="profile the unoptimised reference path")
+    parser.add_argument("--sort", default="tottime",
+                        choices=["tottime", "cumtime", "ncalls"],
+                        help="pstats sort column (default tottime)")
+    parser.add_argument("--top", type=int, default=25,
+                        help="rows in the ranked table (default 25)")
+    parser.add_argument("--output", metavar="PATH",
+                        help="also dump raw pstats here (for snakeviz "
+                             "or pstats.Stats)")
+    args = parser.parse_args(argv)
+    print(profile_stream(args.count, fleet=args.fleet,
+                         reference=args.reference, sort=args.sort,
+                         top=args.top, output=args.output))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
